@@ -1,0 +1,91 @@
+"""Fig. 10 (extension) — path-adaptive opto-electronic hybrid NoC.
+
+Sweeps the distance threshold at which traffic moves to the optical layer
+(the authors' ISPA 2013 follow-up direction).  Threshold 0 = pure optical,
+above-diameter = pure electrical.  Expected shape: performance moves
+monotonically-ish from electrical-like to optical-like as the threshold
+drops, while the hybrid's optical *traffic fraction* — and hence the share
+of energy on the expensive layer — falls steeply with higher thresholds.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.config import TraceConfig
+from repro.core import compare_to_reference, replay_trace
+from repro.engine import Simulator
+from repro.harness import format_table, run_execution_driven
+from repro.onoc import HybridConfig, HybridNetwork
+from repro.power import electrical_energy_report, optical_energy_report
+from repro.system import FullSystem, build_workload
+
+THRESHOLDS = (0, 2, 3, 4, 7)
+WORKLOAD = "fft"
+REPLAY_CHECK_THRESHOLD = 3   # cross-check the trace model on this hybrid
+
+
+def run_all(exp):
+    programs = build_workload(WORKLOAD, exp.system.num_cores, exp.seed)
+    rows = []
+    replay_err = None
+    for thr in THRESHOLDS:
+        from repro.core import TraceCapture
+
+        sim = Simulator(seed=exp.seed)
+        hybrid_cfg = HybridConfig(noc=exp.noc, onoc=exp.onoc,
+                                  optical_threshold=thr)
+        net = HybridNetwork(sim, hybrid_cfg)
+        cap = TraceCapture() if thr == REPLAY_CHECK_THRESHOLD else None
+        system = FullSystem(sim, exp.system, net, programs, capture=cap)
+        res = system.run(max_cycles=50_000_000)
+        rep_e = electrical_energy_report(net.electrical, res.exec_time_cycles)
+        rep_o = optical_energy_report(net.optical, res.exec_time_cycles)
+        rows.append({
+            "threshold": thr,
+            "exec_time": res.exec_time_cycles,
+            "optical_frac_%": round(100 * net.optical_fraction, 1),
+            "avg_latency": round(net.stats.latency.mean, 1),
+            "energy_uj": round(rep_e.total_energy_uj + rep_o.total_energy_uj, 3),
+        })
+        if cap is not None:
+            # Cross-check: the electrically-captured trace, self-correcting,
+            # must predict this hybrid's execution time too.
+            ref_trace = cap.finalize()
+            _, trace, _ = run_execution_driven(exp, WORKLOAD, "electrical")
+
+            def hybrid_factory():
+                s = Simulator(seed=exp.seed)
+                return s, HybridNetwork(s, hybrid_cfg)
+
+            result = replay_trace(trace, hybrid_factory,
+                                  TraceConfig(mode="self_correcting"))
+            replay_err = compare_to_reference(
+                result, ref_trace).exec_time_error_pct
+    return rows, replay_err
+
+
+def test_fig10_hybrid_threshold_sweep(benchmark, exp_cfg, results_dir):
+    rows, replay_err = benchmark.pedantic(run_all, args=(exp_cfg,), rounds=1,
+                                          iterations=1)
+    text = format_table(
+        rows, title=f"Fig. 10: Path-adaptive hybrid threshold sweep ({WORKLOAD})")
+    text += (f"\nself-correcting replay error on the threshold-"
+             f"{REPLAY_CHECK_THRESHOLD} hybrid: {replay_err:.2f}%")
+    save_and_print(results_dir, "fig10_hybrid", text)
+
+    # The trace model generalises to the hybrid, with a caveat measured and
+    # documented in EXPERIMENTS.md: per-message fidelity stays excellent
+    # (mean-latency error < 1%) but the layer-coupled critical path is
+    # reconstructed less tightly than on single-layer targets (~11% vs ~1%),
+    # still 5x better than naive replay (~56%).
+    assert replay_err is not None and replay_err < 15.0
+
+    by_thr = {r["threshold"]: r for r in rows}
+    # Traffic fraction is monotone in the threshold.
+    fracs = [by_thr[t]["optical_frac_%"] for t in THRESHOLDS]
+    assert fracs == sorted(fracs, reverse=True)
+    assert by_thr[0]["optical_frac_%"] == 100.0
+    assert by_thr[7]["optical_frac_%"] == 0.0
+    # All-optical must beat all-electrical on this workload.
+    assert by_thr[0]["exec_time"] < by_thr[7]["exec_time"]

@@ -1,0 +1,60 @@
+"""Fig. 11 (extension) — trace compaction vs replay accuracy.
+
+Applies the two leaf-safe compactions (drop leaf control messages; coalesce
+leaf bursts) and measures the compression ratio against the accuracy cost of
+a self-correcting replay of the compacted trace.  Expected shape: accuracy
+essentially unchanged; compression modest (coherence traffic is
+dependency-dense — an honest property of the format, recorded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.core import (
+    coalesce_leaves,
+    compare_to_reference,
+    filter_leaf_control,
+    replay_trace,
+)
+from repro.harness import format_table, optical_factory, run_execution_driven
+
+WORKLOAD = "radix"
+
+
+def run(exp):
+    _, trace, _ = run_execution_driven(exp, WORKLOAD, "electrical")
+    _, ref_trace, _ = run_execution_driven(exp, WORKLOAD, "optical")
+    factory = optical_factory(exp.onoc, exp.seed)
+
+    variants = [("uncompacted", trace, None)]
+    filt, fstats = filter_leaf_control(trace)
+    variants.append(("filter_leaf_control", filt, fstats))
+    for window in (16, 128):
+        coal, cstats = coalesce_leaves(trace, window=window)
+        variants.append((f"coalesce(w={window})", coal, cstats))
+
+    rows = []
+    for name, variant, stats in variants:
+        rep = compare_to_reference(replay_trace(variant, factory), ref_trace)
+        rows.append({
+            "variant": name,
+            "records": len(variant),
+            "record_ratio": round(stats.record_ratio, 4) if stats else 1.0,
+            "byte_ratio": round(stats.byte_ratio, 4) if stats else 1.0,
+            "exec_err_%": round(rep.exec_time_error_pct, 2),
+        })
+    return rows
+
+
+def test_fig11_compaction(benchmark, exp_cfg, results_dir):
+    rows = benchmark.pedantic(run, args=(exp_cfg,), rounds=1, iterations=1)
+    text = format_table(
+        rows, title=f"Fig. 11: Trace compaction vs accuracy ({WORKLOAD})")
+    save_and_print(results_dir, "fig11_compaction", text)
+
+    base_err = rows[0]["exec_err_%"]
+    for r in rows[1:]:
+        assert r["record_ratio"] <= 1.0
+        assert r["exec_err_%"] < base_err + 5.0, r["variant"]

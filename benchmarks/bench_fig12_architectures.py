@@ -1,0 +1,58 @@
+"""Fig. 12 (extension) — one trace, four optical architectures.
+
+The design-space-exploration payoff: a single electrically-captured trace is
+replayed (self-correcting) against all four optical data planes — MWSR
+crossbar, SWMR crossbar, passive AWGR, circuit-switched mesh — and each
+prediction is cross-checked against its own execution-driven reference.
+Expected shape: the replay ranks the architectures the same way the
+execution-driven runs do, with single-digit errors across all four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import save_and_print
+
+from repro.config import TraceConfig
+from repro.core import compare_to_reference, replay_trace
+from repro.harness import format_table, optical_factory, run_execution_driven
+
+ARCHITECTURES = ("crossbar", "swmr_crossbar", "awgr", "circuit_mesh")
+WORKLOAD = "radix"
+
+
+def run(exp):
+    _, trace, _ = run_execution_driven(exp, WORKLOAD, "electrical")
+    rows = []
+    for arch in ARCHITECTURES:
+        exp_v = replace(exp, onoc=replace(exp.onoc, topology=arch))
+        ref_res, ref_trace, _ = run_execution_driven(exp_v, WORKLOAD,
+                                                     "optical")
+        result = replay_trace(trace, optical_factory(exp_v.onoc, exp.seed),
+                              TraceConfig(mode="self_correcting"))
+        rep = compare_to_reference(result, ref_trace)
+        rows.append({
+            "architecture": arch,
+            "reference_exec": ref_res.exec_time_cycles,
+            "predicted_exec": result.exec_time_estimate,
+            "error_%": round(rep.exec_time_error_pct, 2),
+            "replay_s": round(result.wall_clock_s, 3),
+        })
+    return rows
+
+
+def test_fig12_architecture_sweep(benchmark, exp_cfg, results_dir):
+    rows = benchmark.pedantic(run, args=(exp_cfg,), rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        title=f"Fig. 12: One trace vs four optical architectures ({WORKLOAD})")
+    save_and_print(results_dir, "fig12_architectures", text)
+
+    for r in rows:
+        assert r["error_%"] < 8.0, r["architecture"]
+    # The replay must rank the architectures like the references do.
+    by_ref = sorted(rows, key=lambda r: r["reference_exec"])
+    by_pred = sorted(rows, key=lambda r: r["predicted_exec"])
+    assert [r["architecture"] for r in by_ref] == \
+        [r["architecture"] for r in by_pred]

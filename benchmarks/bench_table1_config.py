@@ -1,0 +1,62 @@
+"""Table 1 — simulated system configuration.
+
+The paper's configuration table; here it is generated from the live config
+objects (so it can never drift from what the simulator actually runs), and
+the benchmark measures full-system construction cost.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.engine import Simulator
+from repro.harness import format_table
+from repro.noc import ElectricalNetwork
+from repro.onoc import build_optical_network, crossbar_ring_census
+from repro.system import FullSystem, build_workload
+
+
+def build_everything(exp):
+    sim = Simulator(seed=exp.seed)
+    net_e = ElectricalNetwork(sim, exp.noc)
+    sim2 = Simulator(seed=exp.seed)
+    net_o = build_optical_network(sim2, exp.onoc)
+    progs = build_workload("fft", exp.system.num_cores, exp.seed)
+    system = FullSystem(sim, exp.system, net_e, progs)
+    return net_e, net_o, system
+
+
+def test_table1_system_configuration(benchmark, exp_cfg, results_dir):
+    net_e, net_o, system = benchmark.pedantic(
+        build_everything, args=(exp_cfg,), rounds=1, iterations=1
+    )
+    s, n, o = exp_cfg.system, exp_cfg.noc, exp_cfg.onoc
+    census = crossbar_ring_census(o.num_nodes, o.num_wavelengths)
+    rows = [
+        {"parameter": "cores", "value": f"{s.num_cores} in-order, blocking"},
+        {"parameter": "L1 (private)", "value":
+            f"{s.l1.size_bytes // 1024} KiB, {s.l1.assoc}-way, "
+            f"{s.l1.line_bytes} B lines, {s.l1.hit_latency} cyc"},
+        {"parameter": "L2 (shared, S-NUCA)", "value":
+            f"{s.l2_slice.size_bytes // 1024} KiB/slice, "
+            f"{s.l2_slice.assoc}-way, {s.l2_slice.hit_latency} cyc"},
+        {"parameter": "coherence", "value": "MSI directory at home slice"},
+        {"parameter": "memory", "value":
+            f"{s.num_mem_ctrls} ctrls, {s.mem_latency} cyc"},
+        {"parameter": "baseline NoC", "value":
+            f"{n.width}x{n.height} {n.topology}, {n.routing} wormhole, "
+            f"{n.num_vcs} VC x {n.vc_depth} flits, "
+            f"{n.router_latency}-cyc router"},
+        {"parameter": "flit size", "value": f"{n.flit_bytes} B"},
+        {"parameter": "ONOC", "value":
+            f"{o.num_nodes}-node {o.topology}, {o.num_wavelengths} λ x "
+            f"{o.bitrate_gbps} Gb/s ({o.channel_gbps} Gb/s/channel)"},
+        {"parameter": "microrings", "value": f"{census.total} total"},
+        {"parameter": "clock", "value": f"{n.clock_ghz} GHz network/core"},
+        {"parameter": "messages", "value":
+            f"ctrl {exp_cfg.system.ctrl_msg_bytes} B / "
+            f"data {exp_cfg.system.data_msg_bytes} B"},
+    ]
+    text = format_table(rows, title="Table 1: Simulated system configuration")
+    save_and_print(results_dir, "table1_config", text)
+    assert net_e.num_nodes == net_o.num_nodes == s.num_cores

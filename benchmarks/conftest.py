@@ -1,0 +1,43 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table/figure from DESIGN.md's experiment
+index: it runs the experiment once (``benchmark.pedantic(..., rounds=1)`` —
+these are minutes-long simulations, not microbenchmarks), prints the
+paper-style table, and persists it under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference the regenerated numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.config import default_16core_config
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def exp_cfg():
+    """The paper-style 16-core configuration used by every experiment."""
+    return default_16core_config().with_seed(7)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a rendered table and echo it to the terminal."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+# All eight application kernels (the paper's case study used one real
+# application; we sweep the full suite).
+ALL_WORKLOADS = ("fft", "lu", "radix", "stencil", "prodcons", "randshare",
+                 "barnes", "cholesky")

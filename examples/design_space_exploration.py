@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Design-space exploration — the trace model's raison d'être.
+
+An architect sweeping ONOC design points cannot afford an execution-driven
+full-system run per point.  With the self-correction trace model the
+workload is captured ONCE (on the electrical baseline) and replayed against
+every candidate network; this script sweeps the optical crossbar's
+wavelength count and the circuit-switched mesh alternative, and cross-checks
+two points against execution-driven references to show the replay stayed
+accurate across the sweep.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import time
+from dataclasses import replace
+
+from repro import TraceConfig, compare_to_reference, default_16core_config, replay_trace
+from repro.config import ONOC_CIRCUIT_MESH
+from repro.harness import format_table, optical_factory, run_execution_driven
+
+WORKLOAD = "lu"
+WAVELENGTH_SWEEP = (8, 16, 32, 64, 128)
+
+
+def main() -> None:
+    exp = default_16core_config().with_seed(7)
+
+    print(f"capturing {WORKLOAD} once on the electrical baseline ...")
+    t0 = time.perf_counter()
+    _, trace, _ = run_execution_driven(exp, WORKLOAD, "electrical")
+    capture_s = time.perf_counter() - t0
+    print(f"  {len(trace)} messages in {capture_s:.2f}s\n")
+
+    rows = []
+    replay_total = 0.0
+    for wl_count in WAVELENGTH_SWEEP:
+        onoc = replace(exp.onoc, num_wavelengths=wl_count)
+        result = replay_trace(trace, optical_factory(onoc, exp.seed),
+                              TraceConfig(mode="self_correcting"))
+        replay_total += result.wall_clock_s
+        rows.append({
+            "design point": f"crossbar {wl_count}λ",
+            "predicted_exec": result.exec_time_estimate,
+            "replay_s": round(result.wall_clock_s, 3),
+        })
+    for label, topology in (
+        ("SWMR crossbar", "swmr_crossbar"),
+        ("passive AWGR", "awgr"),
+        ("circuit-switched mesh", ONOC_CIRCUIT_MESH),
+    ):
+        onoc = replace(exp.onoc, topology=topology)
+        result = replay_trace(trace, optical_factory(onoc, exp.seed),
+                              TraceConfig(mode="self_correcting"))
+        replay_total += result.wall_clock_s
+        rows.append({
+            "design point": label,
+            "predicted_exec": result.exec_time_estimate,
+            "replay_s": round(result.wall_clock_s, 3),
+        })
+    print(format_table(rows, title=f"Sweep of ONOC design points ({WORKLOAD})"))
+    print(f"\ntotal replay time for {len(rows)} design points: "
+          f"{replay_total:.2f}s (one capture: {capture_s:.2f}s)")
+
+    # Cross-check two points against execution-driven references.
+    print("\ncross-checking replay accuracy at 16λ and 64λ ...")
+    checks = []
+    for wl_count in (16, 64):
+        onoc = replace(exp.onoc, num_wavelengths=wl_count)
+        exp_v = replace(exp, onoc=onoc)
+        ref_res, ref_trace, _ = run_execution_driven(exp_v, WORKLOAD, "optical")
+        result = replay_trace(trace, optical_factory(onoc, exp.seed),
+                              TraceConfig(mode="self_correcting"))
+        rep = compare_to_reference(result, ref_trace)
+        checks.append({
+            "design point": f"crossbar {wl_count}λ",
+            "reference_exec": ref_res.exec_time_cycles,
+            "predicted_exec": result.exec_time_estimate,
+            "error_%": round(rep.exec_time_error_pct, 2),
+        })
+    print(format_table(checks, title="Replay vs execution-driven reference"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — Self-Correction Trace Model: A Full-System Simulator for ONOC.
+
+Reproduction of Zhang, He & Fan, IPDPSW 2012 (see DESIGN.md for scope and
+the source-text caveat).  Public API tour:
+
+>>> from repro import (
+...     default_16core_config, run_execution_driven, replay_trace, TraceConfig,
+... )
+>>> exp = default_16core_config()
+>>> _, trace, _ = run_execution_driven(exp, "fft", "electrical")  # capture
+>>> # ... replay `trace` on the optical network, self-correcting:
+>>> from repro.harness import optical_factory
+>>> result = replay_trace(trace, optical_factory(exp.onoc, exp.seed),
+...                       TraceConfig(mode="self_correcting"))
+
+Layers (bottom-up): :mod:`repro.engine` (event kernel), :mod:`repro.noc`
+(electrical baseline), :mod:`repro.onoc` (optical networks),
+:mod:`repro.system` (full-system CMP), :mod:`repro.core` (the trace model),
+:mod:`repro.traffic` / :mod:`repro.power` / :mod:`repro.stats`
+(characterisation), :mod:`repro.harness` (per-figure experiment drivers).
+"""
+
+from repro.config import (
+    CacheConfig,
+    ConfigError,
+    ExperimentConfig,
+    NocConfig,
+    OnocConfig,
+    PhotonicDeviceConfig,
+    SystemConfig,
+    TraceConfig,
+    default_16core_config,
+)
+from repro.core import (
+    IterativeRefiner,
+    NaiveReplayer,
+    SelfCorrectingReplayer,
+    Trace,
+    TraceCapture,
+    compare_to_reference,
+    replay_trace,
+)
+from repro.engine import Simulator
+from repro.harness import run_execution_driven
+from repro.net import Message, NetworkAdapter
+from repro.noc import ElectricalNetwork
+from repro.onoc import OpticalCrossbar, CircuitSwitchedMesh, build_optical_network
+from repro.system import FullSystem, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "CircuitSwitchedMesh",
+    "ConfigError",
+    "ElectricalNetwork",
+    "ExperimentConfig",
+    "FullSystem",
+    "IterativeRefiner",
+    "Message",
+    "NaiveReplayer",
+    "NetworkAdapter",
+    "NocConfig",
+    "OnocConfig",
+    "OpticalCrossbar",
+    "PhotonicDeviceConfig",
+    "SelfCorrectingReplayer",
+    "Simulator",
+    "SystemConfig",
+    "Trace",
+    "TraceCapture",
+    "TraceConfig",
+    "build_optical_network",
+    "build_workload",
+    "compare_to_reference",
+    "default_16core_config",
+    "replay_trace",
+    "run_execution_driven",
+    "__version__",
+]

@@ -1,0 +1,293 @@
+"""Command-line interface: the full methodology without writing Python.
+
+Subcommands::
+
+    capture    run the full system on a network, write the trace to JSON
+    replay     replay a trace JSON on a target network
+    accuracy   capture + reference + both replay modes, print the report
+    casestudy  execution-driven ONOC vs electrical comparison
+    sweep      synthetic load-latency series for one network/pattern
+    info       print the resolved configuration (Table-1 style)
+
+Run ``python -m repro <subcommand> --help`` for flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import pathlib
+import sys
+from dataclasses import replace
+
+from repro.config import (
+    ExperimentConfig,
+    NocConfig,
+    ONOC_CIRCUIT_MESH,
+    ONOC_CROSSBAR,
+    OnocConfig,
+    SystemConfig,
+    TraceConfig,
+)
+from repro.core import Trace, compare_to_reference, replay_trace
+from repro.harness import (
+    accuracy_experiment,
+    case_study,
+    electrical_factory,
+    format_table,
+    load_latency_sweep,
+    make_electrical,
+    make_optical,
+    optical_factory,
+    run_execution_driven,
+)
+from repro.traffic import PATTERNS
+
+
+def _square_side(cores: int) -> int:
+    side = math.isqrt(cores)
+    if side * side != cores:
+        raise SystemExit(f"--cores must be a perfect square, got {cores}")
+    return side
+
+
+def build_experiment(args: argparse.Namespace) -> ExperimentConfig:
+    """Experiment config from common CLI flags."""
+    side = _square_side(args.cores)
+    return ExperimentConfig(
+        system=SystemConfig(num_cores=args.cores,
+                            num_mem_ctrls=max(1, args.cores // 4)),
+        noc=NocConfig(width=side, height=side),
+        onoc=OnocConfig(num_nodes=args.cores,
+                        num_wavelengths=args.wavelengths),
+        seed=args.seed,
+    )
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cores", type=int, default=16,
+                   help="core count (perfect square; default 16)")
+    p.add_argument("--seed", type=int, default=7, help="master seed")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload scale factor")
+    p.add_argument("--wavelengths", type=int, default=64,
+                   help="WDM wavelengths per optical channel")
+
+
+def cmd_capture(args: argparse.Namespace) -> int:
+    exp = build_experiment(args)
+    res, trace, _ = run_execution_driven(exp, args.workload, args.network,
+                                         scale=args.scale)
+    assert trace is not None
+    out = pathlib.Path(args.out)
+    out.write_text(trace.to_json())
+    print(f"captured {len(trace)} messages over {res.exec_time_cycles} cycles "
+          f"-> {out} ({out.stat().st_size // 1024} KiB)")
+    return 0
+
+
+_OPTICAL_TARGETS = {
+    "crossbar": ONOC_CROSSBAR,
+    "circuit_mesh": ONOC_CIRCUIT_MESH,
+    "swmr_crossbar": "swmr_crossbar",
+    "awgr": "awgr",
+}
+
+
+def _target_factory(args: argparse.Namespace, exp: ExperimentConfig):
+    if args.target == "electrical":
+        return electrical_factory(exp.noc, exp.seed)
+    onoc = replace(exp.onoc, topology=_OPTICAL_TARGETS[args.target])
+    return optical_factory(onoc, exp.seed)
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    trace = Trace.from_json(pathlib.Path(args.trace).read_text())
+    cores = trace.meta.get("num_cores", args.cores)
+    args.cores = cores
+    exp = build_experiment(args)
+    result = replay_trace(trace, _target_factory(args, exp),
+                          TraceConfig(mode=args.mode))
+    print(f"mode={result.mode} target={args.target}")
+    print(f"predicted exec time : {result.exec_time_estimate} cycles")
+    print(f"messages replayed   : {result.messages_replayed} "
+          f"({result.messages_unreplayed} unreplayed)")
+    print(f"wall clock          : {result.wall_clock_s:.3f}s "
+          f"({result.sim_events} events)")
+    return 0
+
+
+def cmd_accuracy(args: argparse.Namespace) -> int:
+    exp = build_experiment(args)
+    row = accuracy_experiment(exp, args.workload, scale=args.scale)
+    rows = [
+        {"mode": "naive", "estimate": row.naive_estimate,
+         "exec_err_%": round(row.naive.exec_time_error_pct, 2),
+         "mean_lat_err_%": round(row.naive.mean_latency_error_pct, 2)},
+        {"mode": "self_correcting", "estimate": row.self_correcting_estimate,
+         "exec_err_%": round(row.self_correcting.exec_time_error_pct, 2),
+         "mean_lat_err_%": round(row.self_correcting.mean_latency_error_pct, 2)},
+    ]
+    print(format_table(
+        rows, title=f"{args.workload}: reference exec {row.ref_exec_time} cycles"))
+    return 0
+
+
+def cmd_casestudy(args: argparse.Namespace) -> int:
+    exp = build_experiment(args)
+    r = case_study(exp, args.workload, scale=args.scale)
+    print(format_table([{
+        "workload": r.workload,
+        "exec_electrical": r.exec_electrical,
+        "exec_optical": r.exec_optical,
+        "speedup_x": round(r.speedup, 3),
+        "lat_reduction_%": round(r.latency_reduction_pct, 1),
+    }], title="Case study"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    exp = build_experiment(args)
+    rates = [float(r) for r in args.rates.split(",")]
+    if args.network == "electrical":
+        from repro.noc import ElectricalNetwork
+
+        def make(sim):
+            return ElectricalNetwork(sim, exp.noc)
+    else:
+        from repro.onoc import build_optical_network
+
+        topology = (ONOC_CIRCUIT_MESH if args.network == "circuit_mesh"
+                    else ONOC_CROSSBAR)
+        onoc = replace(exp.onoc, topology=topology)
+
+        def make(sim):
+            return build_optical_network(sim, onoc)
+    points = load_latency_sweep(make, args.pattern, rates, seed=exp.seed)
+    rows = [{
+        "rate": p.injection_rate,
+        "avg_latency": round(p.avg_latency, 1),
+        "p99": p.p99_latency,
+        "throughput": round(p.throughput_flits_cycle, 3),
+        "saturated": p.saturated,
+    } for p in points]
+    print(format_table(rows,
+                       title=f"{args.network} / {args.pattern} load-latency"))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core import profile_trace, sharing_summary
+
+    trace = Trace.from_json(pathlib.Path(args.trace).read_text())
+    meta = ", ".join(f"{k}={v}" for k, v in trace.meta.items())
+    print(f"trace: {args.trace} ({meta})")
+    print(format_table(profile_trace(trace).as_rows(), title="Profile"))
+    print()
+    print(format_table(
+        [{"sharing class": k, "lines": v}
+         for k, v in sharing_summary(trace).items()],
+        title="Line sharing"))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report import generate_report
+
+    exp = build_experiment(args)
+    workloads = [w for w in args.workloads.split(",") if w]
+    text = generate_report(exp, workloads, scale=args.scale)
+    out = pathlib.Path(args.out)
+    out.write_text(text)
+    print(f"wrote {out} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    exp = build_experiment(args)
+    print(format_table([
+        {"parameter": "cores", "value": exp.system.num_cores},
+        {"parameter": "baseline NoC",
+         "value": f"{exp.noc.width}x{exp.noc.height} {exp.noc.topology}"},
+        {"parameter": "ONOC",
+         "value": f"{exp.onoc.num_nodes}-node {exp.onoc.topology}, "
+                  f"{exp.onoc.num_wavelengths} λ"},
+        {"parameter": "channel bandwidth",
+         "value": f"{exp.onoc.channel_gbps} Gb/s"},
+        {"parameter": "seed", "value": exp.seed},
+    ], title="Resolved configuration"))
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-Correction Trace Model ONOC simulator (IPDPSW'12 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("capture", help="capture a dependency-annotated trace")
+    _add_common(p)
+    p.add_argument("--workload", required=True)
+    p.add_argument("--network", choices=("electrical", "optical"),
+                   default="electrical")
+    p.add_argument("--out", default="trace.json")
+    p.set_defaults(fn=cmd_capture)
+
+    p = sub.add_parser("replay", help="replay a trace JSON on a target")
+    _add_common(p)
+    p.add_argument("--trace", required=True)
+    p.add_argument("--target",
+                   choices=("electrical", "crossbar", "circuit_mesh",
+                            "swmr_crossbar", "awgr"),
+                   default="crossbar")
+    p.add_argument("--mode", choices=("naive", "self_correcting"),
+                   default="self_correcting")
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("accuracy", help="full accuracy experiment")
+    _add_common(p)
+    p.add_argument("--workload", required=True)
+    p.set_defaults(fn=cmd_accuracy)
+
+    p = sub.add_parser("casestudy", help="ONOC vs electrical case study")
+    _add_common(p)
+    p.add_argument("--workload", required=True)
+    p.set_defaults(fn=cmd_casestudy)
+
+    p = sub.add_parser("sweep", help="synthetic load-latency sweep")
+    _add_common(p)
+    p.add_argument("--pattern", choices=sorted(PATTERNS), default="uniform")
+    p.add_argument("--network",
+                   choices=("electrical", "crossbar", "circuit_mesh"),
+                   default="electrical")
+    p.add_argument("--rates", default="0.02,0.05,0.1,0.2,0.3")
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("info", help="print the resolved configuration")
+    _add_common(p)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("analyze",
+                       help="profile a captured trace (structure + sharing)")
+    p.add_argument("--trace", required=True)
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("report",
+                       help="run the evaluation and write a markdown report")
+    _add_common(p)
+    p.add_argument("--workloads", default="fft,lu,randshare",
+                   help="comma-separated kernel list")
+    p.add_argument("--out", default="report.md")
+    p.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Accuracy evaluation: replay vs execution-driven reference.
+
+The reference is itself captured with :class:`~repro.core.capture.TraceCapture`
+on the *target* network, so both sides carry semantic message keys and can be
+matched pairwise even though their raw message ids differ.
+"""
+
+from __future__ import annotations
+
+from repro.core.replay import ReplayResult
+from repro.core.trace import SemanticKey, Trace, latencies_by_key
+from repro.stats import ErrorReport
+
+
+def reference_latencies(reference_trace: Trace) -> dict[SemanticKey, int]:
+    """Per-message latency map of an execution-driven reference run."""
+    return latencies_by_key(reference_trace.records)
+
+
+def compare_to_reference(
+    replay: ReplayResult, reference_trace: Trace
+) -> ErrorReport:
+    """Exec-time error and per-message latency MAPE of a replay.
+
+    Messages present on only one side (protocol races or dependency-edge
+    ablation) count as unmatched and are excluded from the MAPE.
+    """
+    ref = reference_latencies(reference_trace)
+    return ErrorReport.compare(
+        replay_exec_time=replay.exec_time_estimate,
+        ref_exec_time=reference_trace.exec_time,
+        replay_latencies=replay.latencies_by_key,
+        ref_latencies=ref,
+    )

@@ -1,0 +1,124 @@
+"""Trace capture: the coupling between the full-system run and the trace.
+
+Implements the :class:`repro.system.cmp.CaptureHook` protocol.  During the
+run it only appends lightweight tuples; the trace is materialised by
+:meth:`finalize` after the simulation drains (when every message's delivery
+time is known).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net import Message
+from repro.core.trace import EndMarker, SemanticKey, Trace, TraceRecord
+from repro.system.protocol import ProtPayload
+
+
+class TraceCapture:
+    """Records dependency-annotated network messages from a system run."""
+
+    def __init__(self) -> None:
+        self._sent: list[tuple[Message, Optional[Message], Optional[Message]]] = []
+        self._occurrence: dict[tuple[int, int, str, int], int] = {}
+        self._keys: dict[int, SemanticKey] = {}      # msg_id -> key
+        self._finishes: list[tuple[int, int, Optional[Message]]] = []
+
+    # ------------------------------------------------------------ hooks
+    def on_network_send(self, msg: Message) -> None:
+        """Called by FullSystem for every message entering the network."""
+        payload = msg.payload
+        if not isinstance(payload, ProtPayload):
+            raise TypeError(
+                "TraceCapture requires protocol messages (ProtPayload); "
+                f"got {type(payload).__name__}"
+            )
+        cause = payload.cause  # already normalised to a network msg or None
+        base = (msg.src, msg.dst, msg.kind,
+                payload.line if payload.line >= 0 else payload.aux)
+        occ = self._occurrence.get(base, 0)
+        self._occurrence[base] = occ + 1
+        self._keys[msg.id] = (*base[:3], base[3], occ)
+        self._sent.append((msg, cause, payload.bound))
+
+    def on_core_finish(self, node: int, finish_time: int,
+                       cause: Optional[Message]) -> None:
+        self._finishes.append((node, finish_time, cause))
+
+    # --------------------------------------------------------- finalise
+    def finalize(self, meta: Optional[dict] = None) -> Trace:
+        """Build the validated Trace (call after the simulation drains)."""
+        records: list[TraceRecord] = []
+        captured_ids = set(self._keys)
+        for msg, cause, bound in self._sent:
+            if msg.deliver_time < 0:
+                raise RuntimeError(
+                    f"message {msg} was captured but never delivered — "
+                    "network did not drain"
+                )
+            for trig in (cause, bound):
+                if trig is not None and trig.id not in captured_ids:
+                    # A trigger outside the captured set would be a
+                    # cause-threading bug (all network messages are captured).
+                    raise RuntimeError(
+                        f"message {msg.id} triggered by uncaptured "
+                        f"message {trig.id}"
+                    )
+            if cause is None:
+                gap = msg.inject_time
+                cause_id = -1
+                bound_id = -1
+                bound_gap = 0
+            else:
+                gap = msg.inject_time - cause.deliver_time
+                cause_id = cause.id
+                if gap < 0:
+                    raise RuntimeError(
+                        f"message {msg.id} injected {-gap} cycles before its "
+                        "cause was delivered — causality bug"
+                    )
+                if bound is not None:
+                    bound_id = bound.id
+                    bound_gap = msg.inject_time - bound.deliver_time
+                    if bound_gap < 0:
+                        raise RuntimeError(
+                            f"message {msg.id} injected before its bound "
+                            "was delivered — causality bug"
+                        )
+                else:
+                    bound_id = -1
+                    bound_gap = 0
+            records.append(TraceRecord(
+                msg_id=msg.id,
+                key=self._keys[msg.id],
+                src=msg.src,
+                dst=msg.dst,
+                size_bytes=msg.size_bytes,
+                kind=msg.kind,
+                t_inject=msg.inject_time,
+                t_deliver=msg.deliver_time,
+                cause_id=cause_id,
+                gap=gap,
+                bound_id=bound_id,
+                bound_gap=bound_gap,
+            ))
+        markers: list[EndMarker] = []
+        for node, t_finish, cause in self._finishes:
+            if cause is None:
+                markers.append(EndMarker(node, t_finish, -1, t_finish))
+            else:
+                markers.append(EndMarker(
+                    node, t_finish, cause.id, t_finish - cause.deliver_time
+                ))
+        records.sort(key=lambda r: (r.t_inject, r.msg_id))
+        markers.sort(key=lambda m: m.node)
+        exec_time = max((m.t_finish for m in markers), default=0)
+        trace = Trace(records=records, end_markers=markers,
+                      exec_time=exec_time, meta=dict(meta or {}))
+        trace.validate()
+        return trace
+
+    # ----------------------------------------------------------- queries
+    @property
+    def messages_captured(self) -> int:
+        return len(self._sent)

@@ -1,0 +1,108 @@
+"""Sharing-pattern classification from a trace.
+
+Coherence studies bucket cache lines by how they are shared — private,
+read-only, read-shared, producer-consumer, migratory — because each bucket
+responds differently to interconnect changes (migratory lines ride the
+FETCH/WB critical chain; read-shared lines fan out).  The trace already
+carries everything needed: request records name their line in the semantic
+key and their requester as the source.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.trace import Trace
+from repro.net import MSG_REQ_READ, MSG_REQ_WRITE
+
+
+class SharingClass(str, Enum):
+    """Line-sharing buckets (standard taxonomy)."""
+
+    PRIVATE = "private"                  # one core only
+    READ_ONLY = "read_only"              # many readers, no writer
+    PRODUCER_CONSUMER = "producer_consumer"  # stable writer(s), other readers
+    MIGRATORY = "migratory"              # write ownership hops between cores
+
+
+@dataclass(frozen=True)
+class LineSharing:
+    """Observed access pattern of one line."""
+
+    line: int
+    readers: frozenset[int]
+    writers: frozenset[int]
+    reads: int
+    writes: int
+    writer_changes: int          # times consecutive writes came from new cores
+    sharing_class: SharingClass
+
+
+def _classify(readers: set[int], writers: set[int], reads: int,
+              writes: int, writer_changes: int) -> SharingClass:
+    cores = readers | writers
+    if len(cores) <= 1:
+        return SharingClass.PRIVATE
+    if not writers:
+        return SharingClass.READ_ONLY
+    if len(writers) == 1:
+        return SharingClass.PRODUCER_CONSUMER
+    # Multiple writers: migratory if ownership visibly hops.
+    if writer_changes >= len(writers) - 1:
+        return SharingClass.MIGRATORY
+    return SharingClass.PRODUCER_CONSUMER
+
+
+def classify_lines(trace: Trace) -> dict[int, LineSharing]:
+    """Per-line sharing classification from the trace's request records.
+
+    Only GETS/GETX records are consulted (they carry the requesting core as
+    ``src`` and the line in the semantic key); protocol-internal messages
+    (fetches, acks, memory traffic) are derived effects and would double
+    count.
+    """
+    readers: dict[int, set[int]] = defaultdict(set)
+    writers: dict[int, set[int]] = defaultdict(set)
+    reads: dict[int, int] = defaultdict(int)
+    writes: dict[int, int] = defaultdict(int)
+    last_writer: dict[int, int] = {}
+    writer_changes: dict[int, int] = defaultdict(int)
+
+    for r in sorted(trace.records, key=lambda r: (r.t_inject, r.msg_id)):
+        if r.kind == MSG_REQ_READ:
+            line = r.key[3]
+            readers[line].add(r.src)
+            reads[line] += 1
+        elif r.kind == MSG_REQ_WRITE:
+            line = r.key[3]
+            writers[line].add(r.src)
+            writes[line] += 1
+            prev = last_writer.get(line)
+            if prev is not None and prev != r.src:
+                writer_changes[line] += 1
+            last_writer[line] = r.src
+
+    out: dict[int, LineSharing] = {}
+    for line in sorted(readers.keys() | writers.keys()):
+        out[line] = LineSharing(
+            line=line,
+            readers=frozenset(readers[line]),
+            writers=frozenset(writers[line]),
+            reads=reads[line],
+            writes=writes[line],
+            writer_changes=writer_changes[line],
+            sharing_class=_classify(readers[line], writers[line],
+                                    reads[line], writes[line],
+                                    writer_changes[line]),
+        )
+    return out
+
+
+def sharing_summary(trace: Trace) -> dict[str, int]:
+    """Lines per sharing class (for table printing)."""
+    counts: dict[str, int] = {c.value: 0 for c in SharingClass}
+    for info in classify_lines(trace).values():
+        counts[info.sharing_class.value] += 1
+    return counts

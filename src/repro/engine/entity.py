@@ -1,0 +1,46 @@
+"""Base class for simulated components."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engine.events import Event
+from repro.engine.simulator import Simulator
+
+
+class Entity:
+    """A named component attached to a :class:`Simulator`.
+
+    Provides scheduling sugar and a per-entity random stream.  Subclasses
+    are ordinary Python objects; the kernel imposes no component graph —
+    wiring (who calls whom) is done explicitly by the network/system builders
+    so that the call topology is visible in one place.
+    """
+
+    __slots__ = ("sim", "name")
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+
+    def schedule(
+        self,
+        delay: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` ``delay`` cycles from now."""
+        return self.sim.schedule_after(delay, fn, args, priority)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time."""
+        return self.sim.now
+
+    def rng(self):
+        """This entity's private random stream (seeded from sim seed + name)."""
+        return self.sim.rng.stream(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"

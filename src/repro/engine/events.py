@@ -1,0 +1,138 @@
+"""Event and event-queue primitives for the discrete-event kernel.
+
+The queue is a plain binary heap (``heapq``) keyed on ``(time, priority,
+seq)``.  ``seq`` is a monotonically increasing sequence number assigned at
+scheduling time; it guarantees a *stable* order among events that share a
+timestamp and priority, which in turn guarantees deterministic simulations —
+a hard requirement for the trace self-correction experiments, where two runs
+of the same configuration must produce identical message timings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`repro.engine.simulator.Simulator.schedule`
+    rather than directly.  An event may be *cancelled*, which leaves it in the
+    heap but marks it dead; the queue skips dead events on pop.  This is the
+    classic "lazy deletion" scheme — O(1) cancel at the cost of transient heap
+    garbage, which profiling showed is much cheaper than heap re-siftings for
+    NoC workloads where timeouts are frequently cancelled.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "_alive")
+
+    def __init__(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        """Whether the event is still pending (not cancelled, not fired)."""
+        return self._alive
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self._alive = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self._alive else "dead"
+        return (
+            f"Event(t={self.time}, prio={self.priority}, seq={self.seq}, "
+            f"fn={getattr(self.fn, '__qualname__', self.fn)!r}, {state})"
+        )
+
+
+class EventQueue:
+    """Binary-heap event queue with deterministic tie-breaking.
+
+    Not thread-safe; the simulation kernel is single-threaded by design
+    (parallel experiments shard whole simulations, never one event loop).
+    """
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) pending events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at ``time``; returns a cancellable handle."""
+        ev = Event(time, priority, self._seq, fn, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def cancel(self, ev: Event) -> None:
+        """Cancel a pending event (no-op if already dead)."""
+        if ev._alive:
+            ev._alive = False
+            self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty.
+
+        Dead (cancelled) events are discarded transparently.
+        """
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if ev._alive:
+                ev._alive = False  # consumed
+                self._live -= 1
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event without popping it."""
+        heap = self._heap
+        while heap and not heap[0]._alive:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+        self._live = 0
+
+    def iter_pending(self) -> Iterator[Event]:
+        """Iterate live events in arbitrary (heap) order — for inspection."""
+        return (ev for ev in self._heap if ev._alive)

@@ -1,0 +1,138 @@
+"""Lightweight coroutine processes on top of the event kernel.
+
+The core simulators use plain callbacks for speed, but sequential behaviours
+(test harnesses, experiment scripts, future device models) read much better
+as coroutines.  A process is a generator that yields:
+
+* an ``int`` — sleep that many cycles;
+* a :class:`Signal` — park until someone calls :meth:`Signal.fire`;
+* another :class:`Process` — park until that process finishes.
+
+Example::
+
+    def writer(sim, sig):
+        yield 10
+        sig.fire()
+
+    def reader(sim, sig):
+        yield sig            # wakes at t=10
+        yield 5              # ... t=15
+
+    sig = Signal()
+    spawn(sim, writer(sim, sig))
+    spawn(sim, reader(sim, sig))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.engine.simulator import SimulationError, Simulator
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Signal:
+    """One-shot broadcast: processes waiting on it resume when fired."""
+
+    __slots__ = ("_fired", "_waiters", "fire_time")
+
+    def __init__(self) -> None:
+        self._fired = False
+        self._waiters: list["Process"] = []
+        self.fire_time: Optional[int] = None
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def fire(self, sim: Optional[Simulator] = None) -> None:
+        """Fire the signal; waiting processes resume in wait order.
+
+        ``sim`` is only needed to stamp :attr:`fire_time`; waiters carry
+        their own simulator references.
+        """
+        if self._fired:
+            return
+        self._fired = True
+        if sim is not None:
+            self.fire_time = sim.now
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._resume(None)
+
+    def _add_waiter(self, proc: "Process") -> bool:
+        """Returns False if already fired (waiter should not park)."""
+        if self._fired:
+            return False
+        self._waiters.append(proc)
+        return True
+
+
+class Process:
+    """A running coroutine; see module docstring for the yield protocol."""
+
+    __slots__ = ("sim", "gen", "name", "_done", "_done_signal", "result",
+                 "_killed")
+
+    def __init__(self, sim: Simulator, gen: ProcessGen, name: str = "proc") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self._done = False
+        self._done_signal = Signal()
+        self.result: Any = None
+        self._killed = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def kill(self) -> None:
+        """Stop the process; it never resumes (pending wakeups are inert)."""
+        self._killed = True
+        if not self._done:
+            self._finish(None)
+
+    # -------------------------------------------------------------- driving
+    def _resume(self, value: Any) -> None:
+        if self._done or self._killed:
+            return
+        try:
+            yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, int):
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {yielded}")
+            self.sim.schedule_after(yielded, self._resume, (None,))
+        elif isinstance(yielded, Signal):
+            if not yielded._add_waiter(self):
+                # Already fired: continue on the next cycle boundary.
+                self.sim.schedule_after(0, self._resume, (None,))
+        elif isinstance(yielded, Process):
+            if not yielded._done_signal._add_waiter(self):
+                self.sim.schedule_after(0, self._resume, (None,))
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {yielded!r} "
+                "(expected int, Signal, or Process)")
+
+    def _finish(self, result: Any) -> None:
+        self._done = True
+        self.result = result
+        self._done_signal.fire(self.sim)
+
+
+def spawn(sim: Simulator, gen: ProcessGen, name: str = "proc",
+          delay: int = 0) -> Process:
+    """Start a coroutine process ``delay`` cycles from now."""
+    proc = Process(sim, gen, name)
+    sim.schedule_after(delay, proc._resume, (None,))
+    return proc

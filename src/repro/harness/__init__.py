@@ -1,0 +1,45 @@
+"""Experiment drivers: one function per paper table/figure (see DESIGN.md)."""
+
+from repro.harness.builders import (
+    electrical_factory,
+    make_electrical,
+    make_optical,
+    optical_factory,
+    run_execution_driven,
+)
+from repro.harness.experiments import (
+    AccuracyRow,
+    CaseStudyRow,
+    SimTimeRow,
+    accuracy_experiment,
+    ablation_dep_fraction,
+    ablation_network_mismatch,
+    case_study,
+    convergence_experiment,
+    load_latency_sweep,
+    power_experiment,
+    simtime_experiment,
+)
+from repro.harness.report import generate_report
+from repro.harness.tables import format_table
+
+__all__ = [
+    "AccuracyRow",
+    "CaseStudyRow",
+    "SimTimeRow",
+    "ablation_dep_fraction",
+    "ablation_network_mismatch",
+    "accuracy_experiment",
+    "case_study",
+    "convergence_experiment",
+    "electrical_factory",
+    "format_table",
+    "generate_report",
+    "load_latency_sweep",
+    "make_electrical",
+    "make_optical",
+    "optical_factory",
+    "power_experiment",
+    "run_execution_driven",
+    "simtime_experiment",
+]

@@ -1,0 +1,79 @@
+"""Construction helpers shared by all experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import ExperimentConfig, NocConfig, OnocConfig
+from repro.core import Trace, TraceCapture
+from repro.engine import Simulator
+from repro.net import NetworkAdapter
+from repro.noc import ElectricalNetwork
+from repro.onoc import build_optical_network
+from repro.system import FullSystem, SystemResult, build_workload
+
+NetworkFactory = Callable[[], tuple[Simulator, NetworkAdapter]]
+
+# Safety net for execution-driven runs; generously above any default-scale
+# workload's real execution time.
+MAX_EXEC_CYCLES = 50_000_000
+
+
+def make_electrical(
+    cfg: NocConfig, seed: int, keep_per_message_latency: bool = False
+) -> tuple[Simulator, ElectricalNetwork]:
+    sim = Simulator(seed=seed)
+    return sim, ElectricalNetwork(sim, cfg, keep_per_message_latency)
+
+
+def make_optical(
+    cfg: OnocConfig, seed: int, keep_per_message_latency: bool = False
+) -> tuple[Simulator, NetworkAdapter]:
+    sim = Simulator(seed=seed)
+    return sim, build_optical_network(sim, cfg, keep_per_message_latency)
+
+
+def electrical_factory(cfg: NocConfig, seed: int) -> NetworkFactory:
+    """Factory of fresh (sim, electrical net) pairs — replay passes need a
+    clean network per pass."""
+    return lambda: make_electrical(cfg, seed)
+
+
+def optical_factory(cfg: OnocConfig, seed: int) -> NetworkFactory:
+    """Factory of fresh (sim, optical net) pairs."""
+    return lambda: make_optical(cfg, seed)
+
+
+def run_execution_driven(
+    exp: ExperimentConfig,
+    workload: str,
+    target: str = "electrical",
+    capture: bool = True,
+    scale: float = 1.0,
+) -> tuple[SystemResult, Optional[Trace], NetworkAdapter]:
+    """Full-system run of ``workload`` on the chosen interconnect.
+
+    ``target`` is ``"electrical"`` or ``"optical"``.  Returns the system
+    result, the captured trace (None when ``capture=False``), and the network
+    (for power accounting).
+    """
+    programs = build_workload(workload, exp.system.num_cores, exp.seed, scale)
+    if target == "electrical":
+        sim, net = make_electrical(exp.noc, exp.seed)
+    elif target == "optical":
+        sim, net = make_optical(exp.onoc, exp.seed)
+    else:
+        raise ValueError(f"target must be 'electrical' or 'optical', got {target!r}")
+    cap = TraceCapture() if capture else None
+    system = FullSystem(sim, exp.system, net, programs, capture=cap)
+    result = system.run(max_cycles=MAX_EXEC_CYCLES)
+    trace = None
+    if cap is not None:
+        trace = cap.finalize(meta={
+            "workload": workload,
+            "seed": exp.seed,
+            "scale": scale,
+            "capture_network": target,
+            "num_cores": exp.system.num_cores,
+        })
+    return result, trace, net

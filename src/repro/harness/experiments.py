@@ -1,0 +1,285 @@
+"""One driver per reconstructed table/figure (ids match DESIGN.md)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.config import (
+    ExperimentConfig,
+    OnocConfig,
+    TRACE_NAIVE,
+    TRACE_SELF_CORRECTING,
+    TraceConfig,
+)
+from repro.core import (
+    IterationInfo,
+    IterativeRefiner,
+    compare_to_reference,
+    replay_trace,
+)
+from repro.harness.builders import (
+    electrical_factory,
+    make_electrical,
+    make_optical,
+    optical_factory,
+    run_execution_driven,
+)
+from repro.power import (
+    EnergyReport,
+    electrical_energy_report,
+    optical_energy_report,
+)
+from repro.stats import ErrorReport
+from repro.traffic import SyntheticTrafficGenerator, TrafficResult
+
+from dataclasses import replace
+
+
+# ---------------------------------------------------------------- Fig. 3
+def load_latency_sweep(
+    make_network: Callable,
+    pattern: str,
+    rates: Sequence[float],
+    seed: int = 1,
+    message_bytes: int = 64,
+    warmup: int = 500,
+    measure: int = 3000,
+) -> list[TrafficResult]:
+    """Latency vs offered load for one network/pattern (one Fig. 3 series).
+
+    Stops sweeping past the first saturated point (latency is unbounded
+    there, so higher rates add no information).
+    """
+    out: list[TrafficResult] = []
+    for rate in rates:
+        from repro.engine import Simulator
+
+        sim = Simulator(seed=seed)
+        net = make_network(sim)
+        gen = SyntheticTrafficGenerator(sim, net, pattern, rate,
+                                        message_bytes=message_bytes)
+        res = gen.run(warmup=warmup, measure=measure)
+        out.append(res)
+        if res.saturated:
+            break
+    return out
+
+
+# ---------------------------------------------------------------- Fig. 4/5
+@dataclass
+class AccuracyRow:
+    """Accuracy of both trace modes for one workload (Fig. 4 + Fig. 5)."""
+
+    workload: str
+    ref_exec_time: int
+    naive: ErrorReport
+    self_correcting: ErrorReport
+    naive_estimate: int
+    self_correcting_estimate: int
+    extra: dict = field(default_factory=dict)
+
+
+def accuracy_experiment(
+    exp: ExperimentConfig, workload: str, scale: float = 1.0
+) -> AccuracyRow:
+    """Capture on the electrical baseline, replay both modes on the ONOC,
+    compare against the execution-driven ONOC reference."""
+    _, trace, _ = run_execution_driven(exp, workload, "electrical", scale=scale)
+    ref_res, ref_trace, _ = run_execution_driven(exp, workload, "optical",
+                                                 scale=scale)
+    assert trace is not None and ref_trace is not None
+    factory = optical_factory(exp.onoc, exp.seed)
+    naive = replay_trace(trace, factory, TraceConfig(mode=TRACE_NAIVE))
+    sc = replay_trace(trace, factory, TraceConfig(mode=TRACE_SELF_CORRECTING))
+    return AccuracyRow(
+        workload=workload,
+        ref_exec_time=ref_res.exec_time_cycles,
+        naive=compare_to_reference(naive, ref_trace),
+        self_correcting=compare_to_reference(sc, ref_trace),
+        naive_estimate=naive.exec_time_estimate,
+        self_correcting_estimate=sc.exec_time_estimate,
+        extra={"trace_messages": len(trace)},
+    )
+
+
+# ---------------------------------------------------------------- Fig. 6
+def convergence_experiment(
+    exp: ExperimentConfig,
+    workload: str,
+    scale: float = 1.0,
+    max_iterations: int = 10,
+    damping: float = 0.5,
+) -> tuple[list[IterationInfo], int]:
+    """Offline iterative self-correction history + the reference exec time."""
+    _, trace, _ = run_execution_driven(exp, workload, "electrical", scale=scale)
+    ref_res, _, _ = run_execution_driven(exp, workload, "optical",
+                                         capture=False, scale=scale)
+    assert trace is not None
+    refiner = IterativeRefiner(
+        trace,
+        optical_factory(exp.onoc, exp.seed),
+        max_iterations=max_iterations,
+        convergence_tol=exp.trace.convergence_tol,
+        damping=damping,
+    )
+    result = refiner.run()
+    return result.extra["history"], ref_res.exec_time_cycles
+
+
+# ---------------------------------------------------------------- Table 2
+@dataclass
+class SimTimeRow:
+    """Wall-clock cost of each methodology for one workload (Table 2)."""
+
+    workload: str
+    exec_driven_s: float
+    naive_replay_s: float
+    self_correcting_s: float
+    capture_overhead_s: float     # execution-driven run with capture enabled
+
+    @property
+    def replay_speedup(self) -> float:
+        """Execution-driven time over self-correcting replay time."""
+        return (
+            self.exec_driven_s / self.self_correcting_s
+            if self.self_correcting_s > 0 else float("inf")
+        )
+
+
+def simtime_experiment(
+    exp: ExperimentConfig, workload: str, scale: float = 1.0
+) -> SimTimeRow:
+    """Wall-clock comparison on the *optical* target network: full-system
+    execution-driven vs trace replays ("not substantially extend the total
+    simulation time")."""
+    cap_res, trace, _ = run_execution_driven(exp, workload, "electrical",
+                                             scale=scale)
+    ref_res, _, _ = run_execution_driven(exp, workload, "optical",
+                                         capture=False, scale=scale)
+    assert trace is not None
+    factory = optical_factory(exp.onoc, exp.seed)
+    naive = replay_trace(trace, factory, TraceConfig(mode=TRACE_NAIVE))
+    sc = replay_trace(trace, factory, TraceConfig(mode=TRACE_SELF_CORRECTING))
+    return SimTimeRow(
+        workload=workload,
+        exec_driven_s=ref_res.wall_clock_s,
+        naive_replay_s=naive.wall_clock_s,
+        self_correcting_s=sc.wall_clock_s,
+        capture_overhead_s=cap_res.wall_clock_s,
+    )
+
+
+# ---------------------------------------------------------------- Table 3
+@dataclass
+class CaseStudyRow:
+    """ONOC vs electrical baseline for one application (Table 3)."""
+
+    workload: str
+    exec_electrical: int
+    exec_optical: int
+    avg_latency_electrical: float
+    avg_latency_optical: float
+    messages: int
+
+    @property
+    def speedup(self) -> float:
+        return self.exec_electrical / self.exec_optical
+
+    @property
+    def latency_reduction_pct(self) -> float:
+        if self.avg_latency_electrical == 0:
+            return 0.0
+        return (1 - self.avg_latency_optical / self.avg_latency_electrical) * 100
+
+
+def case_study(
+    exp: ExperimentConfig, workload: str, scale: float = 1.0
+) -> CaseStudyRow:
+    """The paper's headline comparison: the application on the ONOC vs the
+    baseline electrical NoC, both execution-driven."""
+    res_e, _, _ = run_execution_driven(exp, workload, "electrical",
+                                       capture=False, scale=scale)
+    res_o, _, _ = run_execution_driven(exp, workload, "optical",
+                                       capture=False, scale=scale)
+    return CaseStudyRow(
+        workload=workload,
+        exec_electrical=res_e.exec_time_cycles,
+        exec_optical=res_o.exec_time_cycles,
+        avg_latency_electrical=res_e.avg_network_latency,
+        avg_latency_optical=res_o.avg_network_latency,
+        messages=res_o.messages,
+    )
+
+
+# ---------------------------------------------------------------- Table 4
+def power_experiment(
+    exp: ExperimentConfig, workload: str, scale: float = 1.0
+) -> tuple[EnergyReport, EnergyReport]:
+    """Energy of the case-study run on each network (Table 4)."""
+    res_e, _, net_e = run_execution_driven(exp, workload, "electrical",
+                                           capture=False, scale=scale)
+    res_o, _, net_o = run_execution_driven(exp, workload, "optical",
+                                           capture=False, scale=scale)
+    return (
+        electrical_energy_report(net_e, res_e.exec_time_cycles),
+        optical_energy_report(net_o, res_o.exec_time_cycles),
+    )
+
+
+# ---------------------------------------------------------------- Fig. 7
+def ablation_dep_fraction(
+    exp: ExperimentConfig,
+    workload: str,
+    fractions: Sequence[float],
+    scale: float = 1.0,
+) -> list[tuple[float, ErrorReport]]:
+    """Accuracy vs fraction of dependency edges kept (annotation-completeness
+    sensitivity)."""
+    _, trace, _ = run_execution_driven(exp, workload, "electrical", scale=scale)
+    _, ref_trace, _ = run_execution_driven(exp, workload, "optical", scale=scale)
+    assert trace is not None and ref_trace is not None
+    factory = optical_factory(exp.onoc, exp.seed)
+    out = []
+    for frac in fractions:
+        res = replay_trace(
+            trace, factory,
+            TraceConfig(mode=TRACE_SELF_CORRECTING, keep_dep_fraction=frac),
+        )
+        out.append((frac, compare_to_reference(res, ref_trace)))
+    return out
+
+
+# ---------------------------------------------------------------- Fig. 8
+def ablation_network_mismatch(
+    exp: ExperimentConfig,
+    workload: str,
+    wavelength_counts: Sequence[int],
+    scale: float = 1.0,
+) -> list[tuple[int, ErrorReport, ErrorReport]]:
+    """Accuracy vs capture/target speed mismatch.
+
+    The target ONOC's bandwidth is swept via its wavelength count; for each
+    point the electrical-captured trace is replayed naive and self-correcting
+    against a fresh execution-driven reference on that ONOC.  Returns
+    ``(wavelengths, naive_report, self_correcting_report)`` triples.
+    """
+    _, trace, _ = run_execution_driven(exp, workload, "electrical", scale=scale)
+    assert trace is not None
+    out = []
+    for wl_count in wavelength_counts:
+        onoc = replace(exp.onoc, num_wavelengths=wl_count)
+        exp_v = replace(exp, onoc=onoc)
+        _, ref_trace, _ = run_execution_driven(exp_v, workload, "optical",
+                                               scale=scale)
+        assert ref_trace is not None
+        factory = optical_factory(onoc, exp.seed)
+        naive = replay_trace(trace, factory, TraceConfig(mode=TRACE_NAIVE))
+        sc = replay_trace(trace, factory,
+                          TraceConfig(mode=TRACE_SELF_CORRECTING))
+        out.append((
+            wl_count,
+            compare_to_reference(naive, ref_trace),
+            compare_to_reference(sc, ref_trace),
+        ))
+    return out

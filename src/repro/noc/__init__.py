@@ -1,0 +1,21 @@
+"""Cycle-level electrical wormhole NoC — the paper's baseline simulator.
+
+An input-queued virtual-channel wormhole network in the Garnet/Popnet
+tradition: per-hop routers with a ``router_latency``-stage pipeline,
+credit-based VC flow control, dimension-order or minimal-adaptive routing,
+and mesh / torus / ring topologies.
+"""
+
+from repro.noc.flit import Flit, Packet
+from repro.noc.network import ElectricalNetwork
+from repro.noc.routing import route_port
+from repro.noc.topology import Coord, Topology
+
+__all__ = [
+    "Coord",
+    "ElectricalNetwork",
+    "Flit",
+    "Packet",
+    "Topology",
+    "route_port",
+]

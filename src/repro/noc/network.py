@@ -1,0 +1,193 @@
+"""The electrical NoC: routers + links + NIs behind the NetworkAdapter API.
+
+Orchestration: components (routers, NIs) that have work are kept in an
+*active set*; a single network tick event per cycle runs ``cycle()`` on each
+active component in deterministic (sorted-key) order and reschedules itself
+only while anything remains active.  Flit and credit transfers are plain
+simulator events with sub-tick priority, so state landed by time *t* is
+visible to the tick at *t*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import NocConfig
+from repro.engine import Simulator
+from repro.net import Message
+from repro.noc.flit import Flit
+from repro.noc.interface import NetworkInterface
+from repro.noc.router import Router
+from repro.noc.topology import LOCAL, Topology
+from repro.stats import NetworkStats, LatencyRecorder
+
+# Event priorities: transfers land before the tick evaluates the cycle.
+_PRIO_TRANSFER = 0
+_PRIO_TICK = 10
+
+
+class ElectricalNetwork:
+    """Cycle-level wormhole NoC implementing :class:`repro.net.NetworkAdapter`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: NocConfig,
+        keep_per_message_latency: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.topo = Topology(cfg)
+        self.routers = [Router(n, cfg, self.topo, self) for n in range(cfg.num_nodes)]
+        self.nis = [NetworkInterface(n, cfg, self) for n in range(cfg.num_nodes)]
+        self.stats = NetworkStats(
+            latency=LatencyRecorder(keep_per_message=keep_per_message_latency)
+        )
+        self._delivery_handler: Optional[Callable[[Message], None]] = None
+        # Active set keyed by a stable integer: routers 0..N-1, NIs N..2N-1.
+        self._active: dict[int, object] = {}
+        self._tick_scheduled = False
+        self._in_tick = False
+        # Per-directed-link flit counters for utilisation reports.
+        self.link_flits: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------ adapter API
+    @property
+    def num_nodes(self) -> int:
+        return self.cfg.num_nodes
+
+    def send(self, msg: Message) -> None:
+        """Inject ``msg`` at the current cycle (source queueing included)."""
+        n = self.cfg.num_nodes
+        if not (0 <= msg.src < n and 0 <= msg.dst < n):
+            raise ValueError(f"message endpoints out of range: {msg}")
+        if msg.src == msg.dst:
+            raise ValueError(f"self-send not routed through the network: {msg}")
+        msg.inject_time = self.sim.now
+        self.stats.messages_sent += 1
+        self.nis[msg.src].enqueue(msg)
+
+    def set_delivery_handler(self, fn: Callable[[Message], None]) -> None:
+        self._delivery_handler = fn
+
+    # -------------------------------------------------------- tick engine
+    def _key(self, comp: object) -> int:
+        if isinstance(comp, Router):
+            return comp.node
+        assert isinstance(comp, NetworkInterface)
+        return self.cfg.num_nodes + comp.node
+
+    def wake(self, comp: object) -> None:
+        """Mark a component as having work; guarantees a tick will run."""
+        self._active[self._key(comp)] = comp
+        if not self._tick_scheduled:
+            self._tick_scheduled = True
+            # A wake during the tick itself must target the *next* cycle.
+            t = self.sim.now + 1 if self._in_tick else self.sim.now
+            self.sim.schedule(t, self._tick, priority=_PRIO_TICK)
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        self._in_tick = True
+        try:
+            still_active: dict[int, object] = {}
+            for key in sorted(self._active):
+                comp = self._active[key]
+                if comp.cycle():  # type: ignore[attr-defined]
+                    still_active[key] = comp
+            self._active = still_active
+        finally:
+            self._in_tick = False
+        if self._active and not self._tick_scheduled:
+            self._tick_scheduled = True
+            self.sim.schedule(self.sim.now + 1, self._tick, priority=_PRIO_TICK)
+
+    # -------------------------------------------------- transfer plumbing
+    def inject_flit(self, node: int, vc: int, flit: Flit) -> None:
+        """NI -> router LOCAL input port, one link latency away."""
+        self.sim.schedule(
+            self.sim.now + self.cfg.link_latency,
+            self.routers[node].flit_arrive,
+            (LOCAL, vc, flit),
+            priority=_PRIO_TRANSFER,
+        )
+
+    def send_flit(self, node: int, out_port: int, out_vc: int, flit: Flit) -> None:
+        """Router output -> downstream input buffer (or NI ejection)."""
+        now = self.sim.now
+        if out_port == LOCAL:
+            self.sim.schedule(
+                now + self.cfg.link_latency,
+                self.nis[node].flit_eject,
+                (flit,),
+                priority=_PRIO_TRANSFER,
+            )
+            # The NI sink always has room; recycle the ejection credit so the
+            # LOCAL output VC can be atomically re-allocated.
+            self.sim.schedule(
+                now + self.cfg.credit_latency,
+                self.routers[node].credit_arrive,
+                (LOCAL, out_vc),
+                priority=_PRIO_TRANSFER,
+            )
+        else:
+            nb = self.topo.neighbor(node, out_port)
+            if nb is None:
+                raise RuntimeError(
+                    f"router {node} routed out dead port {out_port} — routing bug"
+                )
+            nbr, in_port = nb
+            self.sim.schedule(
+                now + self.cfg.link_latency,
+                self.routers[nbr].flit_arrive,
+                (in_port, out_vc, flit),
+                priority=_PRIO_TRANSFER,
+            )
+            key = (node, out_port)
+            self.link_flits[key] = self.link_flits.get(key, 0) + 1
+
+    def return_credit(self, node: int, in_port: int, in_vc: int) -> None:
+        """Input buffer slot at ``node`` freed: credit the upstream sender."""
+        now = self.sim.now
+        if in_port == LOCAL:
+            self.sim.schedule(
+                now + self.cfg.credit_latency,
+                self.nis[node].credit_arrive,
+                (in_vc,),
+                priority=_PRIO_TRANSFER,
+            )
+        else:
+            nb = self.topo.neighbor(node, in_port)
+            assert nb is not None, "credit for a dead port"
+            upstream, upstream_out_port = nb
+            self.sim.schedule(
+                now + self.cfg.credit_latency,
+                self.routers[upstream].credit_arrive,
+                (upstream_out_port, in_vc),
+                priority=_PRIO_TRANSFER,
+            )
+
+    # ------------------------------------------------------------ delivery
+    def deliver(self, msg: Message) -> None:
+        """Tail flit reassembled at the destination NI."""
+        msg.deliver_time = self.sim.now
+        st = self.stats
+        st.messages_delivered += 1
+        st.bytes_delivered += msg.size_bytes
+        st.flits_delivered += self.cfg.flits_for_bytes(msg.size_bytes)
+        st.latency.record(msg.id, msg.latency)
+        st.hop_count.add(self.topo.min_hops(msg.src, msg.dst))
+        if msg.on_delivery is not None:
+            msg.on_delivery(msg)
+        if self._delivery_handler is not None:
+            self._delivery_handler(msg)
+
+    # ------------------------------------------------------------- queries
+    def quiescent(self) -> bool:
+        """True when nothing is queued, buffered, or in flight."""
+        return (
+            self.stats.in_flight() == 0
+            and not self._active
+            and all(ni.backlog == 0 for ni in self.nis)
+            and all(r.buffered_flits() == 0 for r in self.routers)
+        )

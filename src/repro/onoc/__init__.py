@@ -1,0 +1,41 @@
+"""Optical Network-on-Chip data plane.
+
+Two 2012-era ONOC architectures are provided behind the same
+:class:`repro.net.NetworkAdapter` interface as the electrical baseline:
+
+* :class:`~repro.onoc.crossbar.OpticalCrossbar` — a Corona-style MWSR
+  (multiple-writer single-reader) WDM crossbar on a serpentine waveguide with
+  optical token-channel arbitration.
+* :class:`~repro.onoc.circuit.CircuitSwitchedMesh` — a circuit-switched
+  photonic mesh with an electrical control plane that reserves microring
+  switch points hop-by-hop (Phastlane/path-setup style).
+
+The physical layer (insertion-loss budget, laser power, ring census) lives in
+:mod:`repro.onoc.devices` and :mod:`repro.onoc.loss`.
+"""
+
+from repro.onoc.awgr import OpticalAwgr, awgr_ring_census
+from repro.onoc.circuit import CircuitSwitchedMesh
+from repro.onoc.crossbar import OpticalCrossbar
+from repro.onoc.devices import RingCensus, SerpentineLayout, crossbar_ring_census, mesh_ring_census
+from repro.onoc.hybrid import HybridConfig, HybridNetwork
+from repro.onoc.loss import LossBudget
+from repro.onoc.network import build_optical_network
+from repro.onoc.swmr import OpticalSwmrCrossbar, swmr_ring_census
+
+__all__ = [
+    "CircuitSwitchedMesh",
+    "HybridConfig",
+    "HybridNetwork",
+    "LossBudget",
+    "OpticalAwgr",
+    "OpticalCrossbar",
+    "OpticalSwmrCrossbar",
+    "RingCensus",
+    "SerpentineLayout",
+    "awgr_ring_census",
+    "build_optical_network",
+    "crossbar_ring_census",
+    "mesh_ring_census",
+    "swmr_ring_census",
+]

@@ -1,0 +1,198 @@
+"""Circuit-switched optical mesh with an electrical control plane.
+
+A message triggers a *path setup*: a control packet walks the XY route on a
+narrow electrical network, reserving the directed optical link segment of
+each hop (hold-and-wait, FIFO per segment).  XY-ordered acquisition of
+directed links is deadlock-free by the same channel-dependency argument as
+dimension-ordered wormhole routing.  When the walker reaches the destination
+an ack returns over the control plane, the payload is streamed end-to-end
+optically (E/O, serialization, propagation over the whole path, O/E), and the
+segments are torn down after the tail passes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.config import MESH, NocConfig, OnocConfig, ROUTING_XY
+from repro.engine import Simulator
+from repro.net import Message
+from repro.noc.routing import route_port
+from repro.noc.topology import Topology
+from repro.onoc.devices import mesh_link_length_cm
+from repro.stats import LatencyRecorder, NetworkStats
+
+FLIT_BYTES_EQUIV = 16
+
+
+class _Segment:
+    """One directed optical link segment with a FIFO wait queue."""
+
+    __slots__ = ("holder", "waiters")
+
+    def __init__(self) -> None:
+        self.holder: Optional[int] = None           # circuit (walker) id
+        self.waiters: deque["_SetupWalker"] = deque()
+
+
+class _SetupWalker:
+    """State of one in-flight path setup."""
+
+    __slots__ = ("cid", "msg", "path", "idx", "held")
+
+    def __init__(self, cid: int, msg: Message, path: list[tuple[int, int]]) -> None:
+        self.cid = cid
+        self.msg = msg
+        self.path = path          # [(node, out_port), ...] along the XY route
+        self.idx = 0              # next hop to reserve
+        self.held: list[tuple[int, int]] = []
+
+
+class CircuitSwitchedMesh:
+    """Photonic circuit-switched mesh implementing the NetworkAdapter API."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: OnocConfig,
+        keep_per_message_latency: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        side = cfg.mesh_side
+        # Reuse the electrical topology/routing machinery for the control
+        # plane's XY walk; only wiring and port math are borrowed.
+        self._ctl_cfg = NocConfig(topology=MESH, width=side, height=side,
+                                  routing=ROUTING_XY)
+        self.topo = Topology(self._ctl_cfg)
+        self.segments: dict[tuple[int, int], _Segment] = {}
+        self.link_length_cm = mesh_link_length_cm(cfg)
+        self.stats = NetworkStats(
+            latency=LatencyRecorder(keep_per_message=keep_per_message_latency)
+        )
+        self._delivery_handler: Optional[Callable[[Message], None]] = None
+        self._next_cid = 0
+        # Power-model counters.
+        self.bits_transmitted = 0
+        self.setup_hops_total = 0
+        self.circuits_completed = 0
+
+    # ------------------------------------------------------ adapter API
+    @property
+    def num_nodes(self) -> int:
+        return self.cfg.num_nodes
+
+    def send(self, msg: Message) -> None:
+        n = self.cfg.num_nodes
+        if not (0 <= msg.src < n and 0 <= msg.dst < n):
+            raise ValueError(f"message endpoints out of range: {msg}")
+        if msg.src == msg.dst:
+            raise ValueError(f"self-send not routed through the network: {msg}")
+        msg.inject_time = self.sim.now
+        self.stats.messages_sent += 1
+        walker = _SetupWalker(self._next_cid, msg, self._xy_path(msg.src, msg.dst))
+        self._next_cid += 1
+        # First control-plane hop: the setup flit leaves the source NI.
+        self.sim.schedule(
+            self.sim.now + self.cfg.setup_router_latency,
+            self._advance,
+            (walker,),
+        )
+
+    def set_delivery_handler(self, fn: Callable[[Message], None]) -> None:
+        self._delivery_handler = fn
+
+    # ----------------------------------------------------------- routing
+    def _xy_path(self, src: int, dst: int) -> list[tuple[int, int]]:
+        """XY route as a list of (node, out_port) hops."""
+        path: list[tuple[int, int]] = []
+        cur = src
+        while cur != dst:
+            port = route_port(self.topo, ROUTING_XY, cur, dst)
+            path.append((cur, port))
+            nb = self.topo.neighbor(cur, port)
+            assert nb is not None, "XY routed off the mesh"
+            cur = nb[0]
+        return path
+
+    def _segment(self, key: tuple[int, int]) -> _Segment:
+        seg = self.segments.get(key)
+        if seg is None:
+            seg = _Segment()
+            self.segments[key] = seg
+        return seg
+
+    # -------------------------------------------------------- setup walk
+    def _advance(self, walker: _SetupWalker) -> None:
+        """Try to reserve the next segment; block in its FIFO if held."""
+        if walker.idx == len(walker.path):
+            self._path_complete(walker)
+            return
+        key = walker.path[walker.idx]
+        seg = self._segment(key)
+        if seg.holder is None:
+            seg.holder = walker.cid
+            walker.held.append(key)
+            walker.idx += 1
+            self.setup_hops_total += 1
+            self.sim.schedule(
+                self.sim.now
+                + self.cfg.setup_link_latency
+                + self.cfg.setup_router_latency,
+                self._advance,
+                (walker,),
+            )
+        else:
+            seg.waiters.append(walker)
+
+    def _path_complete(self, walker: _SetupWalker) -> None:
+        """Destination reached: ack back, stream payload, schedule teardown."""
+        msg = walker.msg
+        hops = len(walker.path)
+        now = self.sim.now
+        self.stats.queueing_delay.add(now - msg.inject_time)  # setup latency
+        ack = hops * self.cfg.setup_link_latency + 1
+        ser = self.cfg.serialization_cycles(msg.size_bytes)
+        prop = self.cfg.propagation_cycles(hops * self.link_length_cm)
+        data_end = now + ack + 2 * self.cfg.conversion_cycles + ser + prop
+        self.sim.schedule(data_end, self._deliver, (msg, hops))
+        self.sim.schedule(
+            data_end + self.cfg.teardown_latency, self._teardown, (walker,)
+        )
+
+    def _teardown(self, walker: _SetupWalker) -> None:
+        """Release all held segments; wake the head waiter of each FIFO."""
+        self.circuits_completed += 1
+        for key in walker.held:
+            seg = self.segments[key]
+            assert seg.holder == walker.cid, "teardown of a stolen segment"
+            seg.holder = None
+            if seg.waiters:
+                nxt = seg.waiters.popleft()
+                # The waiter re-attempts this same segment now that it's free.
+                self.sim.schedule(self.sim.now, self._advance, (nxt,))
+        walker.held.clear()
+
+    # ---------------------------------------------------------- delivery
+    def _deliver(self, msg: Message, hops: int) -> None:
+        msg.deliver_time = self.sim.now
+        st = self.stats
+        st.messages_delivered += 1
+        st.bytes_delivered += msg.size_bytes
+        st.flits_delivered += max(1, -(-msg.size_bytes // FLIT_BYTES_EQUIV))
+        st.latency.record(msg.id, msg.latency)
+        st.hop_count.add(hops)
+        self.bits_transmitted += msg.size_bytes * 8
+        if msg.on_delivery is not None:
+            msg.on_delivery(msg)
+        if self._delivery_handler is not None:
+            self._delivery_handler(msg)
+
+    # ------------------------------------------------------------ queries
+    def quiescent(self) -> bool:
+        """True when no circuit is held or pending."""
+        return self.stats.in_flight() == 0 and all(
+            seg.holder is None and not seg.waiters
+            for seg in self.segments.values()
+        )

@@ -1,0 +1,103 @@
+"""Photonic device census and physical floorplan helpers.
+
+Timing only needs distances (propagation) and bandwidth (serialization); the
+device *counts* feed the static-power model, and the per-device *losses*
+(:class:`repro.config.PhotonicDeviceConfig`) feed the laser-power budget in
+:mod:`repro.onoc.loss`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import OnocConfig
+
+
+@dataclass(frozen=True)
+class RingCensus:
+    """Microring counts for one network instance (static-power input)."""
+
+    modulator_rings: int
+    detector_rings: int
+    switch_rings: int
+
+    @property
+    def total(self) -> int:
+        return self.modulator_rings + self.detector_rings + self.switch_rings
+
+
+def crossbar_ring_census(num_nodes: int, num_wavelengths: int) -> RingCensus:
+    """MWSR crossbar: every node can write every other node's home channel
+    (a modulator bank per (writer, channel) pair) and reads its own channel
+    (one detector bank)."""
+    if num_nodes < 2 or num_wavelengths < 1:
+        raise ValueError("need >= 2 nodes and >= 1 wavelength")
+    return RingCensus(
+        modulator_rings=num_nodes * (num_nodes - 1) * num_wavelengths,
+        detector_rings=num_nodes * num_wavelengths,
+        switch_rings=0,
+    )
+
+
+def mesh_ring_census(
+    num_nodes: int, num_wavelengths: int, rings_per_switch_point: int = 2
+) -> RingCensus:
+    """Circuit-switched mesh: each router has a photonic switch (ring pairs
+    per wavelength at each of the 4 crossing points) plus one modulator and
+    one detector bank per node for injection/ejection."""
+    if num_nodes < 2 or num_wavelengths < 1:
+        raise ValueError("need >= 2 nodes and >= 1 wavelength")
+    if rings_per_switch_point < 1:
+        raise ValueError("rings_per_switch_point must be >= 1")
+    return RingCensus(
+        modulator_rings=num_nodes * num_wavelengths,
+        detector_rings=num_nodes * num_wavelengths,
+        switch_rings=num_nodes * 4 * rings_per_switch_point * num_wavelengths,
+    )
+
+
+class SerpentineLayout:
+    """Physical positions of nodes along a closed serpentine waveguide.
+
+    The data waveguide bundle snakes across the die visiting every node once
+    and closes back on itself (Corona's layout).  Nodes are evenly spaced;
+    the total length is the serpentine path across a ``side x side`` tile
+    grid on a ``chip_width_cm x chip_height_cm`` die, plus the return run.
+    """
+
+    def __init__(self, cfg: OnocConfig) -> None:
+        self.num_nodes = cfg.num_nodes
+        # Tile the die into a near-square grid for spacing purposes.
+        side = max(1, int(round(cfg.num_nodes ** 0.5)))
+        rows = (cfg.num_nodes + side - 1) // side
+        # Serpentine: one full chip width per row, one chip height of column
+        # runs, plus the return segment closing the loop.
+        self.total_length_cm = (
+            rows * cfg.chip_width_cm + cfg.chip_height_cm + cfg.chip_width_cm
+        )
+        self.spacing_cm = self.total_length_cm / cfg.num_nodes
+
+    def position_cm(self, node: int) -> float:
+        """Arc-length position of ``node`` along the waveguide."""
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+        return node * self.spacing_cm
+
+    def distance_cm(self, src: int, dst: int) -> float:
+        """Propagation distance from src to dst in the fixed light direction."""
+        d = self.position_cm(dst) - self.position_cm(src)
+        if d <= 0:
+            d += self.total_length_cm
+        return d
+
+    def ring_hops(self, src: int, dst: int) -> int:
+        """Node count passed travelling src -> dst in the token direction."""
+        return (dst - src) % self.num_nodes or self.num_nodes
+
+
+def mesh_link_length_cm(cfg: OnocConfig) -> float:
+    """Waveguide length of one hop in the circuit-switched mesh floorplan."""
+    side = cfg.mesh_side
+    if side <= 1:
+        return max(cfg.chip_width_cm, cfg.chip_height_cm)
+    return max(cfg.chip_width_cm, cfg.chip_height_cm) / (side - 1)

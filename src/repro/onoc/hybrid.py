@@ -1,0 +1,127 @@
+"""Path-adaptive opto-electronic hybrid NoC (extension).
+
+Implements the research direction the same authors published the year after
+this paper ("A Path-Adaptive Opto-electronic Hybrid NoC for Chip
+Multi-processor", ISPA 2013): both an electrical mesh layer and an optical
+layer span the whole chip, and each message picks a layer by the distance to
+its destination — short-haul traffic stays on the cheap electrical mesh,
+long-haul traffic takes the distance-insensitive optical medium.
+
+The hybrid is itself a :class:`repro.net.NetworkAdapter`, so workloads and
+traces run on it unchanged; its statistics are the union of the two layers
+plus the routing-decision counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config import NocConfig, OnocConfig
+from repro.engine import Simulator
+from repro.net import Message
+from repro.noc import ElectricalNetwork
+from repro.noc.topology import Topology
+from repro.onoc.network import build_optical_network
+from repro.stats import LatencyRecorder, NetworkStats
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Layer configs plus the path-adaptive threshold.
+
+    Messages whose minimal electrical hop count is >= ``optical_threshold``
+    ride the optical layer.  Threshold 0 sends everything optical; a
+    threshold above the network diameter sends everything electrical.
+    """
+
+    noc: NocConfig
+    onoc: OnocConfig
+    optical_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.noc.num_nodes != self.onoc.num_nodes:
+            raise ValueError(
+                f"layer size mismatch: electrical {self.noc.num_nodes} vs "
+                f"optical {self.onoc.num_nodes}"
+            )
+        if self.optical_threshold < 0:
+            raise ValueError(
+                f"optical_threshold must be >= 0, got {self.optical_threshold}"
+            )
+
+
+class HybridNetwork:
+    """Distance-adaptive two-layer interconnect."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: HybridConfig,
+        keep_per_message_latency: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.electrical = ElectricalNetwork(sim, cfg.noc)
+        self.optical = build_optical_network(sim, cfg.onoc)
+        self.topo = Topology(cfg.noc)
+        self.stats = NetworkStats(
+            latency=LatencyRecorder(keep_per_message=keep_per_message_latency)
+        )
+        self._delivery_handler: Optional[Callable[[Message], None]] = None
+        self.sent_electrical = 0
+        self.sent_optical = 0
+        # Layer delivery funnels into the hybrid's own accounting.
+        self.electrical.set_delivery_handler(self._on_layer_delivery)
+        self.optical.set_delivery_handler(self._on_layer_delivery)
+
+    # ------------------------------------------------------ adapter API
+    @property
+    def num_nodes(self) -> int:
+        return self.cfg.noc.num_nodes
+
+    def send(self, msg: Message) -> None:
+        n = self.num_nodes
+        if not (0 <= msg.src < n and 0 <= msg.dst < n):
+            raise ValueError(f"message endpoints out of range: {msg}")
+        if msg.src == msg.dst:
+            raise ValueError(f"self-send not routed through the network: {msg}")
+        self.stats.messages_sent += 1
+        if self.route_optical(msg.src, msg.dst):
+            self.sent_optical += 1
+            self.optical.send(msg)
+        else:
+            self.sent_electrical += 1
+            self.electrical.send(msg)
+
+    def set_delivery_handler(self, fn: Callable[[Message], None]) -> None:
+        self._delivery_handler = fn
+
+    # ----------------------------------------------------------- routing
+    def route_optical(self, src: int, dst: int) -> bool:
+        """The path-adaptive decision: optical iff the electrical route is
+        at least ``optical_threshold`` hops."""
+        return self.topo.min_hops(src, dst) >= self.cfg.optical_threshold
+
+    # ---------------------------------------------------------- delivery
+    def _on_layer_delivery(self, msg: Message) -> None:
+        st = self.stats
+        st.messages_delivered += 1
+        st.bytes_delivered += msg.size_bytes
+        st.flits_delivered += self.cfg.noc.flits_for_bytes(msg.size_bytes)
+        st.latency.record(msg.id, msg.latency)
+        st.hop_count.add(self.topo.min_hops(msg.src, msg.dst))
+        # Per-message callbacks already fired inside the layer; only the
+        # hybrid-level global handler remains.
+        if self._delivery_handler is not None:
+            self._delivery_handler(msg)
+
+    # ------------------------------------------------------------ queries
+    def quiescent(self) -> bool:
+        return self.electrical.quiescent() and self.optical.quiescent()
+
+    @property
+    def optical_fraction(self) -> float:
+        """Fraction of sent messages that took the optical layer."""
+        total = self.sent_electrical + self.sent_optical
+        return self.sent_optical / total if total else 0.0

@@ -1,0 +1,38 @@
+"""Factory for optical networks."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.config import (
+    ONOC_AWGR,
+    ONOC_CIRCUIT_MESH,
+    ONOC_CROSSBAR,
+    ONOC_SWMR,
+    OnocConfig,
+)
+from repro.engine import Simulator
+from repro.onoc.awgr import OpticalAwgr
+from repro.onoc.circuit import CircuitSwitchedMesh
+from repro.onoc.crossbar import OpticalCrossbar
+from repro.onoc.swmr import OpticalSwmrCrossbar
+
+OpticalNetwork = Union[OpticalCrossbar, CircuitSwitchedMesh,
+                       OpticalSwmrCrossbar, OpticalAwgr]
+
+
+def build_optical_network(
+    sim: Simulator,
+    cfg: OnocConfig,
+    keep_per_message_latency: bool = False,
+) -> OpticalNetwork:
+    """Instantiate the optical network selected by ``cfg.topology``."""
+    if cfg.topology == ONOC_CROSSBAR:
+        return OpticalCrossbar(sim, cfg, keep_per_message_latency)
+    if cfg.topology == ONOC_CIRCUIT_MESH:
+        return CircuitSwitchedMesh(sim, cfg, keep_per_message_latency)
+    if cfg.topology == ONOC_SWMR:
+        return OpticalSwmrCrossbar(sim, cfg, keep_per_message_latency)
+    if cfg.topology == ONOC_AWGR:
+        return OpticalAwgr(sim, cfg, keep_per_message_latency)
+    raise ValueError(f"unknown optical topology {cfg.topology!r}")

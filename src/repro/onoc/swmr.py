@@ -1,0 +1,136 @@
+"""Firefly-style SWMR (single-writer multiple-reader) optical crossbar.
+
+The dual of the Corona MWSR design: every *source* owns a home WDM channel
+that it alone modulates — so there is **no write arbitration at all** — and
+every other node holds detector banks on that channel.  The costs move
+elsewhere:
+
+* a writer can address only one destination at a time (its channel is a
+  single resource), so *fan-out bursts from one source* serialize, the
+  mirror image of MWSR's hotspot-destination serialization;
+* all N-1 potential readers must either burn N-1 full detector banks per
+  channel (Firefly's "reservation-assisted" variants exist precisely to cut
+  this) — reflected here in the ring census and hence tuning power.
+
+Event-driven at message granularity like the MWSR model: a granted
+transmission is a contention-free circuit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.config import OnocConfig
+from repro.engine import Simulator
+from repro.net import Message
+from repro.onoc.devices import RingCensus, SerpentineLayout
+from repro.stats import LatencyRecorder, NetworkStats
+
+FLIT_BYTES_EQUIV = 16
+
+
+def swmr_ring_census(num_nodes: int, num_wavelengths: int) -> RingCensus:
+    """SWMR: one modulator bank per source channel, a detector bank per
+    (channel, reader) pair."""
+    if num_nodes < 2 or num_wavelengths < 1:
+        raise ValueError("need >= 2 nodes and >= 1 wavelength")
+    return RingCensus(
+        modulator_rings=num_nodes * num_wavelengths,
+        detector_rings=num_nodes * (num_nodes - 1) * num_wavelengths,
+        switch_rings=0,
+    )
+
+
+class _SourceChannel:
+    """Transmission state of one source's home channel."""
+
+    __slots__ = ("src", "queue", "busy")
+
+    def __init__(self, src: int) -> None:
+        self.src = src
+        self.queue: deque[Message] = deque()
+        self.busy = False
+
+
+class OpticalSwmrCrossbar:
+    """SWMR WDM crossbar implementing :class:`repro.net.NetworkAdapter`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: OnocConfig,
+        keep_per_message_latency: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.layout = SerpentineLayout(cfg)
+        self.channels = [_SourceChannel(s) for s in range(cfg.num_nodes)]
+        self.stats = NetworkStats(
+            latency=LatencyRecorder(keep_per_message=keep_per_message_latency)
+        )
+        self._delivery_handler: Optional[Callable[[Message], None]] = None
+        self.bits_transmitted = 0
+
+    # ------------------------------------------------------ adapter API
+    @property
+    def num_nodes(self) -> int:
+        return self.cfg.num_nodes
+
+    def send(self, msg: Message) -> None:
+        n = self.cfg.num_nodes
+        if not (0 <= msg.src < n and 0 <= msg.dst < n):
+            raise ValueError(f"message endpoints out of range: {msg}")
+        if msg.src == msg.dst:
+            raise ValueError(f"self-send not routed through the network: {msg}")
+        msg.inject_time = self.sim.now
+        self.stats.messages_sent += 1
+        ch = self.channels[msg.src]
+        ch.queue.append(msg)
+        if not ch.busy:
+            self._transmit_next(ch)
+
+    def set_delivery_handler(self, fn: Callable[[Message], None]) -> None:
+        self._delivery_handler = fn
+
+    # ------------------------------------------------------ transmission
+    def _transmit_next(self, ch: _SourceChannel) -> None:
+        """Start the next queued transmission on this source channel.
+
+        No arbitration: the writer owns the channel; consecutive messages
+        from one source serialize back to back.
+        """
+        if not ch.queue:
+            ch.busy = False
+            return
+        ch.busy = True
+        msg = ch.queue.popleft()
+        now = self.sim.now
+        ser = self.cfg.serialization_cycles(msg.size_bytes)
+        prop = self.cfg.propagation_cycles(
+            self.layout.distance_cm(msg.src, msg.dst))
+        release = now + ser
+        deliver = now + ser + prop + 2 * self.cfg.conversion_cycles
+        self.stats.queueing_delay.add(now - msg.inject_time)
+        self.sim.schedule(deliver, self._deliver, (msg,))
+        self.sim.schedule(release, self._transmit_next, (ch,))
+
+    def _deliver(self, msg: Message) -> None:
+        msg.deliver_time = self.sim.now
+        st = self.stats
+        st.messages_delivered += 1
+        st.bytes_delivered += msg.size_bytes
+        st.flits_delivered += max(1, -(-msg.size_bytes // FLIT_BYTES_EQUIV))
+        st.latency.record(msg.id, msg.latency)
+        st.hop_count.add(1)
+        self.bits_transmitted += msg.size_bytes * 8
+        if msg.on_delivery is not None:
+            msg.on_delivery(msg)
+        if self._delivery_handler is not None:
+            self._delivery_handler(msg)
+
+    # ------------------------------------------------------------ queries
+    def quiescent(self) -> bool:
+        return self.stats.in_flight() == 0 and all(
+            not ch.busy and not ch.queue for ch in self.channels
+        )

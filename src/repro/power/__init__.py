@@ -1,0 +1,22 @@
+"""Energy models: electrical (ORION-style coarse) and optical (loss-budget).
+
+Both produce an :class:`~repro.power.report.EnergyReport` so Table 4 can
+compare like for like: static power integrated over the run plus per-event
+dynamic energy.
+"""
+
+from repro.power.area import AreaConfig, AreaReport, electrical_area, optical_area
+from repro.power.electrical import ElectricalEnergyConfig, electrical_energy_report
+from repro.power.optical import optical_energy_report
+from repro.power.report import EnergyReport
+
+__all__ = [
+    "AreaConfig",
+    "AreaReport",
+    "ElectricalEnergyConfig",
+    "EnergyReport",
+    "electrical_area",
+    "electrical_energy_report",
+    "optical_area",
+    "optical_energy_report",
+]

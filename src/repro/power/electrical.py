@@ -1,0 +1,71 @@
+"""Coarse electrical NoC energy model (ORION-2 class).
+
+Per-flit event energies for a 16-byte flit in a ~45 nm process, the node the
+2012 baseline simulators modelled.  Values are deliberately round published
+ballparks — the reproduction compares *relative* energy between networks, so
+only the orders of magnitude matter (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.network import ElectricalNetwork
+from repro.power.report import EnergyReport
+
+
+@dataclass(frozen=True)
+class ElectricalEnergyConfig:
+    """Per-event energies (pJ per flit) and leakage (mW per unit)."""
+
+    buffer_write_pj: float = 0.3
+    buffer_read_pj: float = 0.3
+    crossbar_pj: float = 0.5
+    arbitration_pj: float = 0.05
+    link_pj: float = 1.0               # per flit per hop (~2 mm links)
+    router_leakage_mw: float = 0.5     # per router
+    link_leakage_mw: float = 0.1       # per directed link
+
+    def __post_init__(self) -> None:
+        for name in ("buffer_write_pj", "buffer_read_pj", "crossbar_pj",
+                     "arbitration_pj", "link_pj", "router_leakage_mw",
+                     "link_leakage_mw"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+def electrical_energy_report(
+    net: ElectricalNetwork,
+    duration_cycles: int,
+    energy_cfg: ElectricalEnergyConfig | None = None,
+) -> EnergyReport:
+    """Energy of one electrical-NoC run from its event counters.
+
+    Every switch traversal implies one buffer write + read + arbitration +
+    crossbar pass; link energy counts inter-router hops plus NI
+    injection/ejection crossings.
+    """
+    ecfg = energy_cfg or ElectricalEnergyConfig()
+    cfg = net.cfg
+    flits_routed = sum(r.flits_routed for r in net.routers)
+    link_hops = sum(net.link_flits.values())
+    ni_crossings = 2 * net.stats.flits_delivered   # inject + eject
+    num_links = sum(
+        1 for node in range(cfg.num_nodes)
+        for p in net.topo.output_ports(node)
+    )
+    return EnergyReport(
+        name=f"electrical_{cfg.topology}_{cfg.width}x{cfg.height}",
+        duration_cycles=duration_cycles,
+        clock_ghz=cfg.clock_ghz,
+        static_mw={
+            "router_leakage": ecfg.router_leakage_mw * cfg.num_nodes,
+            "link_leakage": ecfg.link_leakage_mw * num_links,
+        },
+        dynamic_pj={
+            "buffers": flits_routed * (ecfg.buffer_write_pj + ecfg.buffer_read_pj),
+            "crossbar": flits_routed * ecfg.crossbar_pj,
+            "arbitration": flits_routed * ecfg.arbitration_pj,
+            "links": (link_hops + ni_crossings) * ecfg.link_pj,
+        },
+    )

@@ -1,0 +1,93 @@
+"""Optical NoC energy model: laser + ring tuning + E/O-O/E conversion.
+
+Static power dominates ONOC budgets: the laser must light the worst-case
+loss path continuously, and every microring needs thermal tuning.  Dynamic
+energy is modulation/detection per transmitted bit, plus — for the
+circuit-switched mesh — the electrical control plane's setup flits.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.config import ONOC_CIRCUIT_MESH, ONOC_CROSSBAR, OnocConfig
+from repro.onoc.awgr import OpticalAwgr, awgr_ring_census
+from repro.onoc.circuit import CircuitSwitchedMesh
+from repro.onoc.crossbar import OpticalCrossbar
+from repro.onoc.devices import crossbar_ring_census, mesh_ring_census
+from repro.onoc.loss import LossBudget
+from repro.onoc.swmr import OpticalSwmrCrossbar, swmr_ring_census
+from repro.power.electrical import ElectricalEnergyConfig
+from repro.power.report import EnergyReport
+
+OpticalNet = Union[OpticalCrossbar, CircuitSwitchedMesh,
+                   OpticalSwmrCrossbar, OpticalAwgr]
+
+
+def optical_energy_report(
+    net: OpticalNet,
+    duration_cycles: int,
+    ctrl_energy_cfg: ElectricalEnergyConfig | None = None,
+) -> EnergyReport:
+    """Energy of one optical-network run from its counters and loss budget."""
+    cfg: OnocConfig = net.cfg
+    budget = LossBudget(cfg)
+    dev = cfg.devices
+
+    if isinstance(net, OpticalCrossbar):
+        census = crossbar_ring_census(cfg.num_nodes, cfg.num_wavelengths)
+        worst_db = budget.crossbar_worst_loss_db()
+        # One WDM home channel per reader node, all lit continuously.
+        laser_mw = budget.laser_wallplug_mw(
+            worst_db, cfg.num_wavelengths, num_channels=cfg.num_nodes
+        )
+        name = f"optical_crossbar_{cfg.num_nodes}n"
+        ctrl_pj = 0.0
+    elif isinstance(net, OpticalSwmrCrossbar):
+        census = swmr_ring_census(cfg.num_nodes, cfg.num_wavelengths)
+        worst_db = budget.swmr_worst_loss_db()
+        laser_mw = budget.laser_wallplug_mw(
+            worst_db, cfg.num_wavelengths, num_channels=cfg.num_nodes
+        )
+        name = f"optical_swmr_{cfg.num_nodes}n"
+        ctrl_pj = 0.0
+    elif isinstance(net, OpticalAwgr):
+        census = awgr_ring_census(cfg.num_nodes, cfg.num_wavelengths)
+        worst_db = budget.awgr_worst_loss_db()
+        laser_mw = budget.laser_wallplug_mw(
+            worst_db, cfg.num_wavelengths, num_channels=cfg.num_nodes
+        )
+        name = f"optical_awgr_{cfg.num_nodes}n"
+        ctrl_pj = 0.0
+    elif isinstance(net, CircuitSwitchedMesh):
+        census = mesh_ring_census(cfg.num_nodes, cfg.num_wavelengths)
+        worst_db = budget.mesh_worst_loss_db()
+        # A single shared WDM source feeding the switched fabric.
+        laser_mw = budget.laser_wallplug_mw(
+            worst_db, cfg.num_wavelengths, num_channels=1
+        )
+        name = f"optical_circuit_mesh_{cfg.num_nodes}n"
+        ecfg = ctrl_energy_cfg or ElectricalEnergyConfig()
+        per_setup_hop_pj = (
+            ecfg.buffer_write_pj + ecfg.buffer_read_pj + ecfg.crossbar_pj
+            + ecfg.arbitration_pj + ecfg.link_pj
+        )
+        ctrl_pj = net.setup_hops_total * per_setup_hop_pj
+    else:  # pragma: no cover - factory guarantees the union
+        raise TypeError(f"unknown optical network {type(net).__name__}")
+
+    bits = net.bits_transmitted
+    return EnergyReport(
+        name=name,
+        duration_cycles=duration_cycles,
+        clock_ghz=cfg.clock_ghz,
+        static_mw={
+            "laser": laser_mw,
+            "ring_tuning": census.total * dev.ring_tuning_uw * 1e-3,
+        },
+        dynamic_pj={
+            "modulation": bits * dev.modulation_pj_bit,
+            "detection": bits * dev.detection_pj_bit,
+            "control_plane": ctrl_pj,
+        },
+    )

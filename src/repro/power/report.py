@@ -1,0 +1,63 @@
+"""Common energy accounting container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EnergyReport:
+    """Static + dynamic energy of one network over one simulated run.
+
+    ``static_mw`` maps component -> continuous power draw (mW);
+    ``dynamic_pj`` maps event class -> total switching energy (pJ).
+    """
+
+    name: str
+    duration_cycles: int
+    clock_ghz: float
+    static_mw: dict[str, float] = field(default_factory=dict)
+    dynamic_pj: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration_cycles < 0:
+            raise ValueError(f"negative duration {self.duration_cycles}")
+        if self.clock_ghz <= 0:
+            raise ValueError(f"clock_ghz must be > 0, got {self.clock_ghz}")
+
+    @property
+    def duration_ns(self) -> float:
+        return self.duration_cycles / self.clock_ghz
+
+    @property
+    def total_static_mw(self) -> float:
+        return sum(self.static_mw.values())
+
+    @property
+    def total_dynamic_pj(self) -> float:
+        return sum(self.dynamic_pj.values())
+
+    @property
+    def static_energy_pj(self) -> float:
+        # mW * ns == pJ
+        return self.total_static_mw * self.duration_ns
+
+    @property
+    def total_energy_uj(self) -> float:
+        return (self.static_energy_pj + self.total_dynamic_pj) * 1e-6
+
+    @property
+    def avg_power_mw(self) -> float:
+        """Average power over the run (0 for a zero-length run)."""
+        if self.duration_ns == 0:
+            return 0.0
+        return (self.static_energy_pj + self.total_dynamic_pj) / self.duration_ns
+
+    def as_row(self) -> dict:
+        return {
+            "network": self.name,
+            "static_mw": round(self.total_static_mw, 3),
+            "dynamic_pj": round(self.total_dynamic_pj, 1),
+            "total_uj": round(self.total_energy_uj, 4),
+            "avg_mw": round(self.avg_power_mw, 3),
+        }

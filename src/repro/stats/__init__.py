@@ -1,0 +1,23 @@
+"""Online statistics, histograms, and accuracy/error metrics."""
+
+from repro.stats.error import (
+    ErrorReport,
+    mean_absolute_percentage_error,
+    percent_error,
+    signed_percent_error,
+)
+from repro.stats.histogram import Histogram
+from repro.stats.online import OnlineStats
+from repro.stats.summary import LatencyRecorder, NetworkStats, RunSummary
+
+__all__ = [
+    "ErrorReport",
+    "Histogram",
+    "LatencyRecorder",
+    "NetworkStats",
+    "OnlineStats",
+    "RunSummary",
+    "mean_absolute_percentage_error",
+    "percent_error",
+    "signed_percent_error",
+]

@@ -1,0 +1,99 @@
+"""Accuracy metrics used by the trace-model evaluation.
+
+These implement the definitions in DESIGN.md: per-run execution-time error
+and per-message latency MAPE between a trace-driven replay and the
+execution-driven reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def percent_error(measured: float, reference: float) -> float:
+    """``|measured - reference| / reference * 100``; reference must be > 0."""
+    if reference <= 0:
+        raise ValueError(f"reference must be > 0, got {reference}")
+    return abs(measured - reference) / reference * 100.0
+
+
+def signed_percent_error(measured: float, reference: float) -> float:
+    """``(measured - reference) / reference * 100`` (positive = overestimate)."""
+    if reference <= 0:
+        raise ValueError(f"reference must be > 0, got {reference}")
+    return (measured - reference) / reference * 100.0
+
+
+def mean_absolute_percentage_error(
+    measured: Sequence[float], reference: Sequence[float]
+) -> float:
+    """MAPE over paired samples; zero-reference samples are skipped.
+
+    Returns 0.0 when no valid pairs exist.
+    """
+    m = np.asarray(measured, dtype=np.float64)
+    r = np.asarray(reference, dtype=np.float64)
+    if m.shape != r.shape:
+        raise ValueError(f"shape mismatch: {m.shape} vs {r.shape}")
+    mask = r != 0
+    if not mask.any():
+        return 0.0
+    return float(np.mean(np.abs(m[mask] - r[mask]) / np.abs(r[mask])) * 100.0)
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Accuracy of one trace replay against the execution-driven reference.
+
+    ``mean_latency_error_pct`` compares the *average* network latency of the
+    matched messages (the metric 2012-era trace papers report); the
+    per-message MAPE is stricter — it is dominated by arbitration-order noise
+    on short control messages and is reported for completeness.
+    """
+
+    exec_time_error_pct: float
+    exec_time_signed_pct: float
+    mean_latency_error_pct: float
+    latency_mape_pct: float
+    matched_messages: int
+    unmatched_messages: int
+
+    @staticmethod
+    def compare(
+        replay_exec_time: int,
+        ref_exec_time: int,
+        replay_latencies: Mapping,
+        ref_latencies: Mapping,
+    ) -> "ErrorReport":
+        """Build a report from execution times and per-message latency maps
+        (keyed by any hashable message identity shared by both runs).
+
+        Messages present in only one run are counted as unmatched and excluded
+        from the latency metrics (they typically stem from protocol races
+        resolving differently or from dependency-edge ablation).
+        """
+        common = sorted(replay_latencies.keys() & ref_latencies.keys())
+        unmatched = (
+            len(replay_latencies) + len(ref_latencies) - 2 * len(common)
+        )
+        if common:
+            m = [float(replay_latencies[k]) for k in common]
+            r = [float(ref_latencies[k]) for k in common]
+            mape = mean_absolute_percentage_error(m, r)
+            mean_m = sum(m) / len(m)
+            mean_r = sum(r) / len(r)
+            mean_err = percent_error(mean_m, mean_r) if mean_r > 0 else 0.0
+        else:
+            mape = 0.0
+            mean_err = 0.0
+        return ErrorReport(
+            exec_time_error_pct=percent_error(replay_exec_time, ref_exec_time),
+            exec_time_signed_pct=signed_percent_error(replay_exec_time, ref_exec_time),
+            mean_latency_error_pct=mean_err,
+            latency_mape_pct=mape,
+            matched_messages=len(common),
+            unmatched_messages=unmatched,
+        )

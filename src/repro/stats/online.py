@@ -1,0 +1,90 @@
+"""Single-pass (Welford) summary statistics.
+
+Used everywhere a latency/occupancy distribution is accumulated without
+storing samples; numerically stable for the hundreds of millions of samples
+long simulations produce.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class OnlineStats:
+    """Count / mean / variance / min / max accumulated one sample at a time."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        """Accumulate one sample."""
+        self.count += 1
+        self.total += x
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another accumulator into this one (parallel merge formula)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.total = other.total
+            return
+        n1, n2 = self.count, other.count
+        delta = other._mean - self._mean
+        n = n1 + n2
+        self._mean += delta * n2 / n
+        self._m2 += other._m2 + delta * delta * n1 * n2 / n
+        self.count = n
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than 2 samples)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict snapshot for reports."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "total": self.total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"OnlineStats(n={self.count}, mean={self.mean:.3f}, "
+            f"std={self.std:.3f}, min={self.min}, max={self.max})"
+        )

@@ -1,0 +1,55 @@
+"""Centralised barrier coordinator (lives at node 0).
+
+Cores send BARRIER_ARRIVE; when the count reaches ``num_cores`` the
+coordinator broadcasts BARRIER_RELEASE.  The release's causal trigger is the
+*last* arrival — exactly the dependency a self-correcting trace needs to
+re-time barrier waits on a different network.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net import MSG_BARRIER_ARRIVE, MSG_BARRIER_RELEASE, Message
+from repro.system.protocol import ProtPayload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.cmp import FullSystem
+
+COORDINATOR_NODE = 0
+
+
+class BarrierCoordinator:
+    """Counts arrivals per barrier id and releases all cores."""
+
+    __slots__ = ("sys", "node", "_counts", "barriers_completed")
+
+    def __init__(self, system: "FullSystem") -> None:
+        self.sys = system
+        self.node = COORDINATOR_NODE
+        self._counts: dict[int, int] = {}
+        self.barriers_completed = 0
+
+    def handle(self, msg: Message) -> None:
+        if msg.kind != MSG_BARRIER_ARRIVE:
+            raise ValueError(f"barrier coordinator: unexpected kind {msg.kind!r}")
+        bid = msg.payload.aux
+        n = self._counts.get(bid, 0) + 1
+        self._counts[bid] = n
+        if n > self.sys.cfg.num_cores:
+            raise RuntimeError(f"barrier {bid}: more arrivals than cores")
+        if n == self.sys.cfg.num_cores:
+            del self._counts[bid]
+            self.barriers_completed += 1
+            for core in range(self.sys.cfg.num_cores):
+                self.sys.send_protocol(
+                    self.node,
+                    core,
+                    MSG_BARRIER_RELEASE,
+                    ProtPayload(line=-1, requester=core, aux=bid, cause=msg),
+                )
+
+    @property
+    def pending(self) -> dict[int, int]:
+        """Barrier id -> arrivals so far (inspection hook)."""
+        return dict(self._counts)

@@ -1,0 +1,120 @@
+"""In-order core: interprets a program of compute/load/store/barrier ops.
+
+The core is blocking — one outstanding memory operation — so its causal
+history is a chain: every network message it originates is triggered by the
+last network message that unblocked it (``last_cause``), with the elapsed
+compute/hit time as the recorded gap.  That chain is what the trace capture
+serialises.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.net import MSG_BARRIER_ARRIVE, MSG_BARRIER_RELEASE, Message
+from repro.system.barrier import COORDINATOR_NODE
+from repro.system.ops import OP_BARRIER, OP_COMPUTE, OP_LOAD, OP_STORE, Program
+from repro.system.protocol import ProtPayload, derive_cause, line_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.cmp import FullSystem
+
+
+class Core:
+    """One in-order core executing a fixed program."""
+
+    __slots__ = (
+        "node",
+        "sys",
+        "program",
+        "pc",
+        "last_cause",
+        "finish_time",
+        "_waiting_barrier",
+        "loads",
+        "stores",
+        "compute_cycles",
+    )
+
+    def __init__(self, node: int, system: "FullSystem", program: Program) -> None:
+        self.node = node
+        self.sys = system
+        self.program = program
+        self.pc = 0
+        # Last network message whose arrival unblocked this core (None until
+        # the first response/release arrives).
+        self.last_cause: Optional[Message] = None
+        self.finish_time: Optional[int] = None
+        self._waiting_barrier: Optional[int] = None
+        self.loads = 0
+        self.stores = 0
+        self.compute_cycles = 0
+
+    # ------------------------------------------------------------- control
+    def start(self) -> None:
+        self.sys.sim.schedule(self.sys.sim.now, self._step)
+
+    def _step(self) -> None:
+        """Execute ops until one blocks (or the program ends)."""
+        prog = self.program
+        while self.pc < len(prog):
+            code, arg = prog[self.pc]
+            self.pc += 1
+            if code == OP_COMPUTE:
+                if arg > 0:
+                    self.compute_cycles += arg
+                    self.sys.sim.schedule_after(arg, self._step)
+                    return
+                continue
+            if code == OP_LOAD or code == OP_STORE:
+                is_write = code == OP_STORE
+                if is_write:
+                    self.stores += 1
+                else:
+                    self.loads += 1
+                line = line_of(arg, self.sys.cfg.l1.line_bytes)
+                self.sys.l1s[self.node].access(
+                    line, is_write, self._mem_done, self.last_cause
+                )
+                return
+            # OP_BARRIER
+            self._waiting_barrier = arg
+            self.sys.send_protocol(
+                self.node,
+                COORDINATOR_NODE,
+                MSG_BARRIER_ARRIVE,
+                ProtPayload(line=-1, requester=self.node, aux=arg,
+                            cause=self.last_cause),
+            )
+            return
+        self.finish_time = self.sys.sim.now
+        self.sys.on_core_finished(self)
+
+    # ----------------------------------------------------------- callbacks
+    def _mem_done(self, completing: Optional[Message]) -> None:
+        """A load/store finished; ``completing`` is None on a pure L1 hit."""
+        cause = derive_cause(completing)
+        if cause is not None:
+            self.last_cause = cause
+        self._step()
+
+    def handle(self, msg: Message) -> None:
+        """Inbound BARRIER_RELEASE."""
+        if msg.kind != MSG_BARRIER_RELEASE:
+            raise ValueError(f"core {self.node}: unexpected kind {msg.kind!r}")
+        bid = msg.payload.aux
+        if self._waiting_barrier != bid:
+            raise RuntimeError(
+                f"core {self.node}: release for barrier {bid} while waiting "
+                f"for {self._waiting_barrier}"
+            )
+        self._waiting_barrier = None
+        cause = derive_cause(msg)
+        if cause is not None:
+            self.last_cause = cause
+        self._step()
+
+    # ------------------------------------------------------------- queries
+    @property
+    def finished(self) -> bool:
+        return self.finish_time is not None

@@ -1,0 +1,226 @@
+"""Private L1 cache controller (MSI, single outstanding miss per core).
+
+The controller sits between the in-order core and the network:
+
+* hits complete after ``l1.hit_latency`` cycles;
+* a load miss issues GETS, a store miss/upgrade issues GETX, both to the
+  line's *home* L2 slice (address-interleaved); the core blocks until
+  RESP_DATA returns;
+* evicting a MODIFIED victim emits a WRITEBACK to the victim's home;
+* inbound INV / FETCH / FETCH_INV are serviced even while a miss is pending
+  (stale fetches for absent lines are dropped — the crossing WRITEBACK
+  supplies the data at the home instead).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.net import (
+    MSG_INV,
+    MSG_INV_ACK,
+    MSG_REQ_READ,
+    MSG_REQ_WRITE,
+    MSG_RESP_DATA,
+    MSG_WRITEBACK,
+    Message,
+)
+from repro.system.cache import CacheArray, CacheLineState
+from repro.system.protocol import MSG_FETCH, MSG_FETCH_INV, ProtPayload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.cmp import FullSystem
+
+# Callback signature: the message whose arrival completed the access
+# (None for pure hits).
+DoneCb = Callable[[Optional[Message]], None]
+
+
+class L1Controller:
+    """One core's private L1 + its slice of the MSI state machine."""
+
+    __slots__ = ("node", "sys", "cache", "_pending_line", "_pending_write",
+                 "_pending_cb", "_deferred_fetch", "_deferred_inv_seq",
+                 "upgrades", "writebacks")
+
+    def __init__(self, node: int, system: "FullSystem") -> None:
+        self.node = node
+        self.sys = system
+        self.cache = CacheArray(system.cfg.l1)
+        self._pending_line: Optional[int] = None
+        self._pending_write = False
+        self._pending_cb: Optional[DoneCb] = None
+        # Race handling: a FETCH/INV for the pending line that belongs to a
+        # *later* home transaction than our outstanding one may overtake our
+        # RESP_DATA in the network; we park it here and order by seq once the
+        # response (which carries our transaction's seq) arrives.
+        self._deferred_fetch: Optional[Message] = None
+        self._deferred_inv_seq = -1
+        self.upgrades = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------ core API
+    def access(
+        self,
+        line: int,
+        is_write: bool,
+        done: DoneCb,
+        cause: Optional[Message],
+    ) -> None:
+        """Blocking access from the core; ``done`` fires when it completes."""
+        if self._pending_line is not None:
+            raise RuntimeError(
+                f"core {self.node}: second outstanding miss (in-order core "
+                "issues one at a time)"
+            )
+        state = self.cache.lookup(line)
+        hit = state == CacheLineState.MODIFIED or (
+            state == CacheLineState.SHARED and not is_write
+        )
+        if hit:
+            self.sys.sim.schedule_after(
+                self.sys.cfg.l1.hit_latency, done, (None,)
+            )
+            return
+        # Miss or upgrade: allocate room first, then request.
+        if state == CacheLineState.INVALID:
+            self._make_room(line, cause)
+        else:
+            self.upgrades += 1
+        self._pending_line = line
+        self._pending_write = is_write
+        self._pending_cb = done
+        kind = MSG_REQ_WRITE if is_write else MSG_REQ_READ
+        self.sys.send_protocol(
+            self.node,
+            self.sys.home_of(line),
+            kind,
+            ProtPayload(line=line, requester=self.node, cause=cause),
+        )
+
+    def _make_room(self, line: int, cause: Optional[Message]) -> None:
+        """Pre-evict so the response can install without a nested eviction."""
+        evicted = self.cache.install(line, CacheLineState.SHARED)
+        # Immediately mark the placeholder invalid again — install happens on
+        # response.  (Two-step keeps CacheArray simple and LRU honest.)
+        self.cache.set_state(line, CacheLineState.INVALID)
+        if evicted is not None:
+            victim_line, victim_state = evicted
+            if victim_state == CacheLineState.MODIFIED:
+                self.writebacks += 1
+                self.sys.send_protocol(
+                    self.node,
+                    self.sys.home_of(victim_line),
+                    MSG_WRITEBACK,
+                    ProtPayload(line=victim_line, requester=self.node,
+                                cause=cause),
+                )
+            # SHARED victims drop silently; the directory keeps a stale
+            # sharer bit and the eventual INV is acked without data.
+
+    # ------------------------------------------------------- network inbox
+    def handle(self, msg: Message) -> None:
+        """Dispatch an inbound protocol message addressed to this L1."""
+        kind = msg.kind
+        if kind == MSG_RESP_DATA:
+            self._on_response(msg)
+        elif kind == MSG_INV:
+            self._on_inv(msg)
+        elif kind in (MSG_FETCH, MSG_FETCH_INV):
+            self._on_fetch(msg, invalidate=(kind == MSG_FETCH_INV))
+        else:
+            raise ValueError(f"L1 {self.node}: unexpected message kind {kind!r}")
+
+    def _on_response(self, msg: Message) -> None:
+        payload: ProtPayload = msg.payload
+        line = payload.line
+        if line != self._pending_line:
+            raise RuntimeError(
+                f"core {self.node}: response for line {line} but pending "
+                f"{self._pending_line}"
+            )
+        state = (
+            CacheLineState.MODIFIED if self._pending_write else CacheLineState.SHARED
+        )
+        evicted = self.cache.install(line, state)
+        assert evicted is None, "room was reserved at miss time"
+        cb = self._pending_cb
+        self._pending_line = None
+        self._pending_write = False
+        self._pending_cb = None
+        self._service_deferred(line, msg, payload.seq)
+        assert cb is not None
+        # One cycle to move the critical word into the pipeline.
+        self.sys.sim.schedule_after(1, cb, (msg,))
+
+    def _service_deferred(self, line: int, resp: Message, resp_seq: int) -> None:
+        """Apply racing FETCH/INV messages that arrived before our response.
+
+        Only messages issued by a transaction *later* than ours (seq order)
+        act on the freshly installed copy; earlier ones were satisfied by a
+        crossing writeback or targeted our previous copy, and are dropped.
+        """
+        fetch = self._deferred_fetch
+        inv_seq = self._deferred_inv_seq
+        self._deferred_fetch = None
+        self._deferred_inv_seq = -1
+        if fetch is not None and fetch.payload.seq > resp_seq:
+            if self.cache.peek(line) != CacheLineState.MODIFIED:
+                raise RuntimeError(
+                    f"core {self.node}: deferred fetch for line {line} but "
+                    "installed copy is not MODIFIED"
+                )
+            self._on_fetch(fetch, invalidate=(fetch.kind == MSG_FETCH_INV))
+        elif inv_seq > resp_seq:
+            self.cache.invalidate(line)  # ack was already sent on arrival
+
+    def _on_inv(self, msg: Message) -> None:
+        payload: ProtPayload = msg.payload
+        self.cache.invalidate(payload.line)
+        if payload.line == self._pending_line:
+            # May target the copy our in-flight response is about to install;
+            # remember the issuing transaction's seq and re-check then.
+            self._deferred_inv_seq = max(self._deferred_inv_seq, payload.seq)
+        # Ack even when not resident (silent eviction races); the ack must
+        # not wait for our response or the home would deadlock.
+        self.sys.send_protocol(
+            self.node,
+            msg.src,
+            MSG_INV_ACK,
+            ProtPayload(line=payload.line, requester=payload.requester,
+                        seq=payload.seq, cause=msg),
+        )
+
+    def _on_fetch(self, msg: Message, invalidate: bool) -> None:
+        payload: ProtPayload = msg.payload
+        line = payload.line
+        if line == self._pending_line:
+            # Raced ahead of our RESP_DATA; park it (at most one live fetch
+            # can exist — the home serialises per-line transactions).
+            if (
+                self._deferred_fetch is None
+                or payload.seq > self._deferred_fetch.payload.seq
+            ):
+                self._deferred_fetch = msg
+            return
+        state = self.cache.peek(line)
+        if state != CacheLineState.MODIFIED:
+            # Stale fetch: our WRITEBACK is already in flight to the home,
+            # which will treat it as the data reply.  Nothing to send.
+            return
+        if invalidate:
+            self.cache.invalidate(line)
+        else:
+            self.cache.set_state(line, CacheLineState.SHARED)
+        self.sys.send_protocol(
+            self.node,
+            msg.src,
+            MSG_WRITEBACK,
+            ProtPayload(line=line, requester=payload.requester, cause=msg,
+                        aux=1),  # aux=1: fetch reply, not an eviction
+        )
+
+    # ------------------------------------------------------------- queries
+    @property
+    def busy(self) -> bool:
+        return self._pending_line is not None

@@ -1,0 +1,45 @@
+"""Memory controller: fixed-latency, fully pipelined DRAM model."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net import MSG_MEM_READ, MSG_MEM_RESP, Message
+from repro.system.protocol import ProtPayload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.cmp import FullSystem
+
+
+class MemController:
+    """Services MEM_READ requests after ``mem_latency`` cycles.
+
+    Fully pipelined (no bandwidth limit): the 2012-era trace-model papers
+    treat off-chip memory as a fixed-latency sink, and the experiments here
+    stress the *network*, not the DRAM scheduler.
+    """
+
+    __slots__ = ("node", "sys", "requests_served")
+
+    def __init__(self, node: int, system: "FullSystem") -> None:
+        self.node = node
+        self.sys = system
+        self.requests_served = 0
+
+    def handle(self, msg: Message) -> None:
+        if msg.kind != MSG_MEM_READ:
+            raise ValueError(f"memctrl {self.node}: unexpected kind {msg.kind!r}")
+        self.requests_served += 1
+        payload: ProtPayload = msg.payload
+        self.sys.sim.schedule_after(
+            self.sys.cfg.mem_latency, self._reply, (msg, payload)
+        )
+
+    def _reply(self, req: Message, payload: ProtPayload) -> None:
+        self.sys.send_protocol(
+            self.node,
+            req.src,
+            MSG_MEM_RESP,
+            ProtPayload(line=payload.line, requester=payload.requester,
+                        cause=req),
+        )

@@ -1,0 +1,76 @@
+"""Core operation encoding.
+
+Programs are flat lists of small tuples — the hot interpreter loop in
+:mod:`repro.system.core` indexes them millions of times, so plain tuples with
+an integer opcode beat dataclass instances by a wide margin (guide: avoid
+per-item object churn in hot paths).
+
+    (OP_COMPUTE, cycles)      spin the core for ``cycles``
+    (OP_LOAD, addr)           blocking load of byte address ``addr``
+    (OP_STORE, addr)          blocking store to byte address ``addr``
+    (OP_BARRIER, barrier_id)  global barrier; ids must be unique and issued
+                              in the same order by every core
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+OP_COMPUTE = 0
+OP_LOAD = 1
+OP_STORE = 2
+OP_BARRIER = 3
+
+_OP_NAMES = {OP_COMPUTE: "compute", OP_LOAD: "load", OP_STORE: "store",
+             OP_BARRIER: "barrier"}
+
+Op = tuple[int, int]
+Program = list[Op]
+
+
+def validate_program(program: Iterable[Op]) -> Program:
+    """Check opcode/operand sanity; returns the program as a list."""
+    out: Program = []
+    for i, op in enumerate(program):
+        if len(op) != 2:
+            raise ValueError(f"op {i}: expected (opcode, operand), got {op!r}")
+        code, arg = op
+        if code not in _OP_NAMES:
+            raise ValueError(f"op {i}: unknown opcode {code}")
+        if code == OP_COMPUTE and arg < 0:
+            raise ValueError(f"op {i}: negative compute cycles {arg}")
+        if code in (OP_LOAD, OP_STORE) and arg < 0:
+            raise ValueError(f"op {i}: negative address {arg}")
+        if code == OP_BARRIER and arg < 0:
+            raise ValueError(f"op {i}: negative barrier id {arg}")
+        out.append((code, arg))
+    return out
+
+
+def op_histogram(program: Iterable[Op]) -> dict[str, int]:
+    """Count ops by kind (workload characterisation helper)."""
+    counts = {name: 0 for name in _OP_NAMES.values()}
+    for code, _ in program:
+        counts[_OP_NAMES[code]] += 1
+    return counts
+
+
+def check_barrier_consistency(programs: list[Program]) -> list[int]:
+    """Verify all cores issue the same barrier sequence; returns it.
+
+    A mismatched barrier sequence would deadlock the simulated machine, so
+    workload generators call this before handing programs to the system.
+    """
+    sequences = [
+        [arg for code, arg in prog if code == OP_BARRIER] for prog in programs
+    ]
+    first = sequences[0]
+    for core, seq in enumerate(sequences[1:], start=1):
+        if seq != first:
+            raise ValueError(
+                f"core {core} barrier sequence {seq[:8]}... differs from "
+                f"core 0's {first[:8]}..."
+            )
+    if len(set(first)) != len(first):
+        raise ValueError(f"barrier ids must be unique, got {first}")
+    return first

@@ -1,0 +1,73 @@
+"""Synthetic application kernels — the "real workload" substitute.
+
+The paper ran real parallel applications on a commercial full-system host.
+Offline we substitute deterministic synthetic kernels whose communication
+*structure* matches the classic SPLASH-2-style programs the 2012 ONOC papers
+evaluated (see DESIGN.md, substitutions table): butterfly all-to-all (fft),
+pivot-owner hotspots (lu), scatter permutation (radix), nearest-neighbour
+ghost exchange (stencil), pairwise streaming (prodcons) and migratory random
+sharing (randshare).  Each generator is a pure function of
+``(num_cores, seed, scale)``, so the *same instruction streams* run on every
+interconnect — the invariant the trace methodology depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.system.ops import Program, check_barrier_consistency, validate_program
+from repro.system.workloads.barnes import generate_barnes
+from repro.system.workloads.cholesky import generate_cholesky
+from repro.system.workloads.fft import generate_fft
+from repro.system.workloads.lu import generate_lu
+from repro.system.workloads.prodcons import generate_prodcons
+from repro.system.workloads.radix import generate_radix
+from repro.system.workloads.randshare import generate_randshare
+from repro.system.workloads.stencil import generate_stencil
+
+WorkloadFn = Callable[[int, np.random.Generator, float], list[Program]]
+
+WORKLOADS: dict[str, WorkloadFn] = {
+    "barnes": generate_barnes,
+    "cholesky": generate_cholesky,
+    "fft": generate_fft,
+    "lu": generate_lu,
+    "radix": generate_radix,
+    "stencil": generate_stencil,
+    "prodcons": generate_prodcons,
+    "randshare": generate_randshare,
+}
+
+
+def build_workload(
+    name: str, num_cores: int, seed: int, scale: float = 1.0
+) -> list[Program]:
+    """Generate one core program per node for workload ``name``.
+
+    Deterministic in (name, num_cores, seed, scale); validated for opcode
+    sanity and barrier consistency before being returned.
+    """
+    try:
+        fn = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    if num_cores < 1:
+        raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    # crc32 (not hash()) so program generation is stable across processes.
+    import zlib
+
+    rng = np.random.default_rng(np.random.SeedSequence(
+        entropy=seed, spawn_key=(zlib.crc32(name.encode()),)
+    ))
+    programs = fn(num_cores, rng, scale)
+    if len(programs) != num_cores:
+        raise RuntimeError(f"workload {name} produced {len(programs)} programs")
+    programs = [validate_program(p) for p in programs]
+    check_barrier_consistency(programs)
+    return programs

@@ -1,0 +1,81 @@
+"""Barnes-Hut-like kernel: read-mostly tree walks + migratory cell updates.
+
+Per iteration core 0 rebuilds the shared octree (stores to the shared pool),
+a barrier publishes it, then every core walks pseudo-random root-to-leaf
+paths (read-only loads of shared tree lines — wide read sharing), computes
+forces, stores its own bodies (private), and occasionally read-modify-writes
+a shared accumulator cell (migratory ownership).  The irregular, read-heavy
+sharing is the classic contrast to the streaming kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system.ops import OP_BARRIER, Program
+from repro.system.workloads.base import (
+    BarrierIds,
+    jittered_compute,
+    load,
+    private_line,
+    scaled,
+    shared_line,
+    store,
+)
+
+TREE_LEVELS = 4
+TREE_FANOUT = 4
+
+
+def _tree_line(level: int, index: int) -> int:
+    """Shared-pool line of tree node ``index`` at ``level``."""
+    base = sum(TREE_FANOUT ** l for l in range(level))
+    return shared_line(1024 + base + index)
+
+
+def generate_barnes(
+    num_cores: int, rng: np.random.Generator, scale: float = 1.0
+) -> list[Program]:
+    """Tree-walk kernel; ``scale`` multiplies walks per core."""
+    iterations = 2
+    walks_per_core = scaled(12, scale)
+    bodies_per_core = 8
+    bids = BarrierIds()
+    programs: list[Program] = [[] for _ in range(num_cores)]
+    tree_size = [TREE_FANOUT ** l for l in range(TREE_LEVELS)]
+
+    for it in range(iterations):
+        built_bid = bids.next_id()
+        done_bid = bids.next_id()
+        # All random walk choices drawn up front — identical on any network.
+        paths = rng.integers(0, TREE_FANOUT,
+                             size=(num_cores, walks_per_core, TREE_LEVELS - 1))
+        touch_cell = rng.random(size=(num_cores, walks_per_core)) < 0.2
+        cells = rng.integers(0, 64, size=(num_cores, walks_per_core))
+        for core in range(num_cores):
+            prog = programs[core]
+            if core == 0:
+                # Rebuild the tree: store every node.
+                for level in range(TREE_LEVELS):
+                    for idx in range(tree_size[level]):
+                        prog.append(store(_tree_line(level, idx)))
+                prog.append(jittered_compute(rng, 30))
+            prog.append((OP_BARRIER, built_bid))
+            for w in range(walks_per_core):
+                idx = 0
+                prog.append(load(_tree_line(0, 0)))       # root
+                for level in range(1, TREE_LEVELS):
+                    idx = idx * TREE_FANOUT + int(paths[core, w, level - 1])
+                    prog.append(load(_tree_line(level, idx)))
+                    prog.append(jittered_compute(rng, 3))
+                # Update own body (private store).
+                prog.append(store(private_line(core, 3072 + w % bodies_per_core)))
+                if touch_cell[core, w]:
+                    # Migratory shared accumulator.
+                    cell = shared_line(2048 + int(cells[core, w]))
+                    prog.append(load(cell))
+                    prog.append(jittered_compute(rng, 2))
+                    prog.append(store(cell))
+                prog.append(jittered_compute(rng, 5))
+            prog.append((OP_BARRIER, done_bid))
+    return programs

@@ -1,0 +1,76 @@
+"""Shared helpers for workload generators."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.system.ops import (
+    OP_BARRIER,
+    OP_COMPUTE,
+    OP_LOAD,
+    OP_STORE,
+    Op,
+)
+
+LINE_BYTES = 64
+# Each core owns a disjoint region of this many lines; the S-NUCA home
+# interleaving still spreads these across every L2 slice.
+PRIVATE_REGION_LINES = 4096
+# Shared pool placed above all private regions (for randshare etc.).
+SHARED_POOL_BASE_CORE = 1 << 16
+
+
+def private_line(core: int, index: int) -> int:
+    """Line index ``index`` within ``core``'s private region."""
+    if index < 0 or index >= PRIVATE_REGION_LINES:
+        raise ValueError(f"private index {index} out of region")
+    return core * PRIVATE_REGION_LINES + index
+
+
+def shared_line(index: int) -> int:
+    """Line index ``index`` in the global shared pool."""
+    if index < 0:
+        raise ValueError(f"negative shared index {index}")
+    return SHARED_POOL_BASE_CORE * PRIVATE_REGION_LINES + index
+
+
+def addr(line: int) -> int:
+    """Line index -> byte address."""
+    return line * LINE_BYTES
+
+
+def load(line: int) -> Op:
+    return (OP_LOAD, addr(line))
+
+
+def store(line: int) -> Op:
+    return (OP_STORE, addr(line))
+
+
+def compute(cycles: int) -> Op:
+    return (OP_COMPUTE, int(cycles))
+
+
+class BarrierIds:
+    """Monotone barrier-id source shared by all cores of one workload."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def next_id(self) -> int:
+        return next(self._counter)
+
+
+def jittered_compute(rng: np.random.Generator, mean: int) -> Op:
+    """Compute op with +-50% uniform jitter (drawn once at generation time,
+    so the jitter is identical on every network)."""
+    lo = max(1, mean // 2)
+    hi = max(lo + 1, (3 * mean) // 2)
+    return compute(int(rng.integers(lo, hi)))
+
+
+def scaled(n: int, scale: float, minimum: int = 1) -> int:
+    """Scale a phase/iteration count, keeping at least ``minimum``."""
+    return max(minimum, int(round(n * scale)))

@@ -1,0 +1,68 @@
+"""Cholesky-like right-looking panel factorisation.
+
+Panel *k* is factored by its owner (round-robin), published through a
+barrier, and then every core updates its assigned trailing panels against
+it — and the trailing set *shrinks* as k advances, so the kernel has real
+load imbalance that grows over time.  Imbalance phases are where
+execution-time prediction is hardest for a trace model (idle cores wait on
+barriers whose release chains cross the machine), making this a deliberately
+adversarial addition to the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system.ops import OP_BARRIER, Program
+from repro.system.workloads.base import (
+    BarrierIds,
+    jittered_compute,
+    load,
+    private_line,
+    scaled,
+    store,
+)
+
+
+def generate_cholesky(
+    num_cores: int, rng: np.random.Generator, scale: float = 1.0
+) -> list[Program]:
+    """Right-looking factorisation; ``scale`` multiplies the panel count."""
+    # At least num_cores + 2 panels so every core owns a panel and has
+    # trailing updates (round-robin assignment covers all cores).
+    panels = scaled(num_cores + 2, scale, minimum=4)
+    panel_lines = 10
+    bids = BarrierIds()
+    programs: list[Program] = [[] for _ in range(num_cores)]
+
+    def panel_region(k: int) -> tuple[int, int]:
+        """(owner core, base line) of panel k."""
+        return k % num_cores, 1536 + (k * panel_lines) % 512
+
+    for k in range(panels):
+        owner, base = panel_region(k)
+        factored_bid = bids.next_id()
+        updated_bid = bids.next_id()
+        # Trailing panels k+1 .. panels-1, assigned round-robin.
+        trailing = list(range(k + 1, panels))
+        for core in range(num_cores):
+            prog = programs[core]
+            if core == owner:
+                prog.append(jittered_compute(rng, 60))  # factor the panel
+                for j in range(panel_lines):
+                    prog.append(store(private_line(owner, base + j)))
+                    prog.append(jittered_compute(rng, 2))
+            prog.append((OP_BARRIER, factored_bid))
+            my_trailing = [t for t in trailing if t % num_cores == core]
+            for t in my_trailing:
+                # Read the factored panel, update own trailing panel.
+                for j in range(panel_lines):
+                    prog.append(load(private_line(owner, base + j)))
+                t_owner, t_base = panel_region(t)
+                for j in range(panel_lines):
+                    prog.append(store(private_line(t_owner, t_base + j)))
+                    prog.append(jittered_compute(rng, 3))
+            if not my_trailing:
+                prog.append(jittered_compute(rng, 5))   # idle-ish tail cores
+            prog.append((OP_BARRIER, updated_bid))
+    return programs

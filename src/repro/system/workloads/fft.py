@@ -1,0 +1,65 @@
+"""FFT-like butterfly kernel.
+
+``log2(num_cores)`` phases; in phase *p* core *i* exchanges data with partner
+``i XOR 2^p``: it reads a slab of the partner's private region, computes the
+butterflies, and writes its own slab.  Barriers separate phases.  This
+produces the classic distance-doubling all-to-all pattern that saturates a
+mesh's bisection and that optical crossbars flatten.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system.ops import OP_BARRIER, Program
+from repro.system.workloads.base import (
+    BarrierIds,
+    jittered_compute,
+    load,
+    private_line,
+    scaled,
+    store,
+)
+
+
+def generate_fft(
+    num_cores: int, rng: np.random.Generator, scale: float = 1.0
+) -> list[Program]:
+    """Butterfly exchange; ``scale`` multiplies the slab size."""
+    phases = max(1, (num_cores - 1).bit_length())
+    slab = scaled(24, scale)            # lines exchanged per phase
+    bids = BarrierIds()
+    programs: list[Program] = [[] for _ in range(num_cores)]
+
+    # Double-buffered like real FFTs: phase p reads the buffer partners
+    # wrote in phase p-1 (stable across the barrier) and writes the other
+    # buffer, so no line is concurrently loaded and stored within a phase —
+    # the communication pattern is identical on every interconnect.
+    def write_base(p: int) -> int:
+        return (p % 2) * 512
+
+    # Initial touch: each core warms the buffer phase 0 will read.
+    for core in range(num_cores):
+        prog = programs[core]
+        for j in range(slab):
+            prog.append(store(private_line(core, write_base(-1) + j)))
+            prog.append(jittered_compute(rng, 4))
+    start_bid = bids.next_id()
+    for prog in programs:
+        prog.append((OP_BARRIER, start_bid))
+
+    for p in range(phases):
+        bid = bids.next_id()
+        read_base = write_base(p - 1)
+        for core in range(num_cores):
+            prog = programs[core]
+            partner = core ^ (1 << p)
+            if partner >= num_cores:
+                partner = core  # odd core counts: self-phase, local only
+            for j in range(slab):
+                if partner != core:
+                    prog.append(load(private_line(partner, read_base + j)))
+                prog.append(jittered_compute(rng, 6))
+                prog.append(store(private_line(core, write_base(p) + j)))
+            prog.append((OP_BARRIER, bid))
+    return programs

@@ -1,0 +1,59 @@
+"""LU-decomposition-like kernel with a rotating pivot owner.
+
+Iteration *k*: the owner core ``k % num_cores`` computes and publishes the
+pivot block; after a barrier every other core reads the pivot block (a burst
+of reads against one producer's freshly-written lines — invalidation-heavy,
+hotspot-shaped traffic), updates its trailing blocks, and barriers again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system.ops import OP_BARRIER, Program
+from repro.system.workloads.base import (
+    BarrierIds,
+    jittered_compute,
+    load,
+    private_line,
+    scaled,
+    store,
+)
+
+
+def generate_lu(
+    num_cores: int, rng: np.random.Generator, scale: float = 1.0
+) -> list[Program]:
+    """Pivot-owner broadcast pattern; ``scale`` multiplies iterations."""
+    iterations = scaled(8, scale)
+    pivot_lines = 12
+    trailing_lines = 8
+    bids = BarrierIds()
+    programs: list[Program] = [[] for _ in range(num_cores)]
+
+    for k in range(iterations):
+        owner = k % num_cores
+        publish_bid = bids.next_id()
+        done_bid = bids.next_id()
+        # Pivot region rotates within the owner's private space so that each
+        # iteration touches fresh lines.
+        pivot_base = (k * pivot_lines) % 512
+        for core in range(num_cores):
+            prog = programs[core]
+            if core == owner:
+                prog.append(jittered_compute(rng, 40))  # factor the pivot
+                for j in range(pivot_lines):
+                    prog.append(store(private_line(owner, pivot_base + j)))
+                    prog.append(jittered_compute(rng, 3))
+            prog.append((OP_BARRIER, publish_bid))
+            if core != owner:
+                for j in range(pivot_lines):
+                    prog.append(load(private_line(owner, pivot_base + j)))
+                    prog.append(jittered_compute(rng, 2))
+            # Trailing update on own blocks.
+            trail_base = 1024 + (k * trailing_lines) % 512
+            for j in range(trailing_lines):
+                prog.append(store(private_line(core, trail_base + j)))
+                prog.append(jittered_compute(rng, 4))
+            prog.append((OP_BARRIER, done_bid))
+    return programs

@@ -1,0 +1,58 @@
+"""Producer/consumer pipeline kernel.
+
+Cores pair up across the chip (core *i* with ``i + n/2``): producers write a
+buffer of lines, a barrier publishes it, consumers read it (every read is a
+remote fetch of a freshly-modified line: the pure producer->consumer sharing
+pattern).  Roles swap halfway so both directions are exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system.ops import OP_BARRIER, Program
+from repro.system.workloads.base import (
+    BarrierIds,
+    jittered_compute,
+    load,
+    private_line,
+    scaled,
+    store,
+)
+
+
+def generate_prodcons(
+    num_cores: int, rng: np.random.Generator, scale: float = 1.0
+) -> list[Program]:
+    """Paired streaming; ``scale`` multiplies rounds."""
+    rounds = scaled(6, scale)
+    buf_lines = 16
+    half = max(1, num_cores // 2)
+    bids = BarrierIds()
+    programs: list[Program] = [[] for _ in range(num_cores)]
+
+    for r in range(rounds):
+        produced_bid = bids.next_id()
+        consumed_bid = bids.next_id()
+        swap = r >= rounds // 2
+        base = (r * buf_lines) % 512
+        for core in range(num_cores):
+            prog = programs[core]
+            in_first_half = core < half
+            producing = in_first_half != swap
+            partner = core + half if in_first_half else core - half
+            if partner >= num_cores:          # odd core count: self-paired
+                partner = core
+            if producing:
+                for j in range(buf_lines):
+                    prog.append(store(private_line(core, base + j)))
+                    prog.append(jittered_compute(rng, 3))
+            else:
+                prog.append(jittered_compute(rng, 10))
+            prog.append((OP_BARRIER, produced_bid))
+            if not producing and partner != core:
+                for j in range(buf_lines):
+                    prog.append(load(private_line(partner, base + j)))
+                    prog.append(jittered_compute(rng, 3))
+            prog.append((OP_BARRIER, consumed_bid))
+    return programs

@@ -1,0 +1,55 @@
+"""Radix-sort-like kernel: local histogram, then scatter permutation.
+
+Per digit pass each core streams its own keys (local region, high L1 hit
+rate after the first pass), then scatters records to bucket owners chosen
+pseudo-randomly per key — a uniform-random store permutation that churns
+ownership (GETX + invalidations) across the whole machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system.ops import OP_BARRIER, Program
+from repro.system.workloads.base import (
+    BarrierIds,
+    jittered_compute,
+    load,
+    private_line,
+    scaled,
+    store,
+)
+
+
+def generate_radix(
+    num_cores: int, rng: np.random.Generator, scale: float = 1.0
+) -> list[Program]:
+    """Histogram + scatter passes; ``scale`` multiplies keys per core."""
+    digits = 3
+    keys_per_core = scaled(48, scale)
+    key_lines = 16                       # resident key working set (lines)
+    bids = BarrierIds()
+    programs: list[Program] = [[] for _ in range(num_cores)]
+
+    for d in range(digits):
+        hist_bid = bids.next_id()
+        scatter_bid = bids.next_id()
+        # Bucket assignment drawn once so all interconnects see the same
+        # permutation (base offset 2048 avoids the key region).
+        buckets = rng.integers(0, num_cores, size=(num_cores, keys_per_core))
+        slots = rng.integers(0, 256, size=(num_cores, keys_per_core))
+        for core in range(num_cores):
+            prog = programs[core]
+            # Histogram: stream local keys.
+            for j in range(keys_per_core):
+                prog.append(load(private_line(core, (d * key_lines + j) % key_lines)))
+                prog.append(jittered_compute(rng, 2))
+            prog.append((OP_BARRIER, hist_bid))
+            # Scatter: write each record to its bucket owner's region.
+            for j in range(keys_per_core):
+                owner = int(buckets[core, j])
+                slot = 2048 + int(slots[core, j])
+                prog.append(store(private_line(owner, slot)))
+                prog.append(jittered_compute(rng, 2))
+            prog.append((OP_BARRIER, scatter_bid))
+    return programs

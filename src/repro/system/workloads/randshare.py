@@ -1,0 +1,55 @@
+"""Migratory random-sharing kernel (unstructured irregular application).
+
+Each core interleaves local work with accesses to a global shared pool:
+load-then-store on the same pooled line (the migratory pattern — ownership
+hops core to core), with pseudo-random targets and compute gaps.  No global
+structure, few barriers: the stress case for a trace model because message
+timing is dominated by data-dependent coherence chains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system.ops import OP_BARRIER, Program
+from repro.system.workloads.base import (
+    BarrierIds,
+    jittered_compute,
+    load,
+    private_line,
+    scaled,
+    shared_line,
+    store,
+)
+
+
+def generate_randshare(
+    num_cores: int, rng: np.random.Generator, scale: float = 1.0
+) -> list[Program]:
+    """Irregular migratory sharing; ``scale`` multiplies op count."""
+    ops_per_core = scaled(120, scale)
+    pool_lines = max(num_cores * 8, 64)
+    phases = 3
+    bids = BarrierIds()
+    programs: list[Program] = [[] for _ in range(num_cores)]
+
+    per_phase = max(1, ops_per_core // phases)
+    for phase in range(phases):
+        bid = bids.next_id()
+        # All random choices drawn up front, identically for every network.
+        is_shared = rng.random(size=(num_cores, per_phase)) < 0.4
+        pool_idx = rng.integers(0, pool_lines, size=(num_cores, per_phase))
+        local_idx = rng.integers(0, 96, size=(num_cores, per_phase))
+        for core in range(num_cores):
+            prog = programs[core]
+            for j in range(per_phase):
+                if is_shared[core, j]:
+                    line = shared_line(int(pool_idx[core, j]))
+                    prog.append(load(line))
+                    prog.append(jittered_compute(rng, 4))
+                    prog.append(store(line))      # migratory: read-modify-write
+                else:
+                    prog.append(load(private_line(core, int(local_idx[core, j]))))
+                prog.append(jittered_compute(rng, 5))
+            prog.append((OP_BARRIER, bid))
+    return programs

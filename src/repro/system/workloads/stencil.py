@@ -1,0 +1,77 @@
+"""2-D Jacobi-stencil kernel: nearest-neighbour ghost-cell exchange.
+
+Cores tile a near-square grid.  Each iteration a core loads the boundary
+("ghost") lines of its four grid neighbours, computes, and stores its own
+interior — short-distance traffic an electrical mesh serves well, making
+this the workload where optical distance-independence matters least (a
+useful contrast point in the case study).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system.ops import OP_BARRIER, Program
+from repro.system.workloads.base import (
+    BarrierIds,
+    jittered_compute,
+    load,
+    private_line,
+    scaled,
+    store,
+)
+
+
+def _grid(num_cores: int) -> tuple[int, int]:
+    side = int(np.sqrt(num_cores))
+    while side > 1 and num_cores % side:
+        side -= 1
+    return side, num_cores // side
+
+
+def generate_stencil(
+    num_cores: int, rng: np.random.Generator, scale: float = 1.0
+) -> list[Program]:
+    """Ghost exchange over a factored core grid; ``scale`` -> iterations."""
+    width, height = _grid(num_cores)
+    iterations = scaled(6, scale)
+    ghost_lines = 6                     # boundary lines read per neighbour
+    interior_lines = 10
+    bids = BarrierIds()
+    programs: list[Program] = [[] for _ in range(num_cores)]
+
+    def neighbours(core: int) -> list[int]:
+        x, y = core % width, core // width
+        out = []
+        if x > 0:
+            out.append(core - 1)
+        if x < width - 1:
+            out.append(core + 1)
+        if y > 0:
+            out.append(core - width)
+        if y < height - 1:
+            out.append(core + width)
+        return out
+
+    # Double-buffered like real stencil codes: iteration `it` reads the
+    # buffer its neighbours wrote in iteration `it-1` (stable across the
+    # barrier) and writes the other buffer — no intra-phase read/write race,
+    # so the communication pattern is identical on every interconnect.
+    def write_base(it: int) -> int:
+        return ((it + 1) % 2) * 512 + (it * ghost_lines) % 256
+
+    for it in range(iterations):
+        bid = bids.next_id()
+        read_base = write_base(it - 1)
+        for core in range(num_cores):
+            prog = programs[core]
+            for nb in neighbours(core):
+                for j in range(ghost_lines):
+                    prog.append(load(private_line(nb, read_base + j)))
+                    prog.append(jittered_compute(rng, 2))
+            prog.append(jittered_compute(rng, 20))  # relax interior
+            for j in range(interior_lines):
+                prog.append(store(private_line(core, write_base(it) + j)))
+                prog.append(jittered_compute(rng, 2))
+            prog.append((OP_BARRIER, bid))
+    return programs

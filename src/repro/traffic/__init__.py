@@ -1,0 +1,27 @@
+"""Synthetic traffic generation for network characterisation (Fig. 3)."""
+
+from repro.traffic.patterns import (
+    PATTERNS,
+    bit_complement,
+    bit_reverse,
+    hotspot,
+    neighbor,
+    tornado,
+    transpose,
+    uniform_random,
+)
+from repro.traffic.generator import SyntheticTrafficGenerator, TrafficResult, run_synthetic
+
+__all__ = [
+    "PATTERNS",
+    "SyntheticTrafficGenerator",
+    "TrafficResult",
+    "bit_complement",
+    "bit_reverse",
+    "hotspot",
+    "neighbor",
+    "run_synthetic",
+    "tornado",
+    "transpose",
+    "uniform_random",
+]

@@ -1,0 +1,92 @@
+"""Destination-selection functions for the classic synthetic patterns.
+
+Each pattern maps ``(src, num_nodes, rng)`` to a destination node (which may
+equal ``src``; the generator skips self-sends).  Deterministic patterns
+ignore the rng.  Node layout for spatial patterns assumes the near-square
+grid used by the mesh topology (``side = isqrt(num_nodes)``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+PatternFn = Callable[[int, int, np.random.Generator], int]
+
+
+def _side(num_nodes: int) -> int:
+    side = math.isqrt(num_nodes)
+    if side * side != num_nodes:
+        raise ValueError(
+            f"spatial patterns need a square node count, got {num_nodes}"
+        )
+    return side
+
+
+def uniform_random(src: int, n: int, rng: np.random.Generator) -> int:
+    """Each message targets a uniformly random node."""
+    return int(rng.integers(0, n))
+
+
+def bit_complement(src: int, n: int, rng: np.random.Generator) -> int:
+    """dst = ~src; worst-case average distance on a mesh.
+
+    For non-power-of-two node counts this degrades to the mirror node
+    ``n - 1 - src`` (same long-haul character).
+    """
+    if n & (n - 1) == 0:
+        return (n - 1) ^ src
+    return n - 1 - src
+
+
+def bit_reverse(src: int, n: int, rng: np.random.Generator) -> int:
+    """dst = bit-reversed src (power-of-two node counts)."""
+    if n & (n - 1):
+        raise ValueError(f"bit_reverse needs a power-of-two node count, got {n}")
+    bits = n.bit_length() - 1
+    out = 0
+    s = src
+    for _ in range(bits):
+        out = (out << 1) | (s & 1)
+        s >>= 1
+    return out
+
+
+def transpose(src: int, n: int, rng: np.random.Generator) -> int:
+    """(x, y) -> (y, x) on the node grid; stresses one mesh diagonal."""
+    side = _side(n)
+    x, y = src % side, src // side
+    return x * side + y
+
+def neighbor(src: int, n: int, rng: np.random.Generator) -> int:
+    """dst = east neighbour (wrapping); best case for a mesh."""
+    side = _side(n)
+    x, y = src % side, src // side
+    return y * side + (x + 1) % side
+
+
+def tornado(src: int, n: int, rng: np.random.Generator) -> int:
+    """Half-way around each dimension; adversarial for rings/tori."""
+    side = _side(n)
+    x, y = src % side, src // side
+    return y * side + (x + side // 2) % side
+
+
+def hotspot(src: int, n: int, rng: np.random.Generator) -> int:
+    """10% of traffic to node 0, the rest uniform (memory-controller-like)."""
+    if rng.random() < 0.1:
+        return 0
+    return int(rng.integers(0, n))
+
+
+PATTERNS: dict[str, PatternFn] = {
+    "uniform": uniform_random,
+    "bit_complement": bit_complement,
+    "bit_reverse": bit_reverse,
+    "transpose": transpose,
+    "neighbor": neighbor,
+    "tornado": tornado,
+    "hotspot": hotspot,
+}

@@ -1,0 +1,68 @@
+"""Shared fixtures: small fast configs used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    ExperimentConfig,
+    NocConfig,
+    OnocConfig,
+    SystemConfig,
+)
+from repro.engine import Simulator
+from repro.noc import ElectricalNetwork
+from repro.onoc import build_optical_network
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def noc_cfg() -> NocConfig:
+    return NocConfig()           # 4x4 mesh defaults
+
+
+@pytest.fixture
+def onoc_cfg() -> OnocConfig:
+    return OnocConfig()          # 16-node crossbar defaults
+
+
+@pytest.fixture
+def small_system_cfg() -> SystemConfig:
+    """4-core system with tiny caches (fast, eviction-heavy)."""
+    return SystemConfig(
+        num_cores=4,
+        l1=CacheConfig(size_bytes=1024, assoc=2, line_bytes=64, hit_latency=1),
+        l2_slice=CacheConfig(size_bytes=4096, assoc=4, line_bytes=64,
+                             hit_latency=4),
+        mem_latency=30,
+        num_mem_ctrls=2,
+    )
+
+
+@pytest.fixture
+def small_exp_cfg(small_system_cfg: SystemConfig) -> ExperimentConfig:
+    return ExperimentConfig(
+        system=small_system_cfg,
+        noc=NocConfig(width=2, height=2),
+        onoc=OnocConfig(num_nodes=4, num_wavelengths=16),
+        seed=99,
+    )
+
+
+@pytest.fixture
+def exp_cfg() -> ExperimentConfig:
+    """Paper-style 16-core configuration."""
+    return ExperimentConfig(seed=7)
+
+
+def make_elec(sim: Simulator, cfg: NocConfig, **kw) -> ElectricalNetwork:
+    return ElectricalNetwork(sim, cfg, **kw)
+
+
+def make_opt(sim: Simulator, cfg: OnocConfig, **kw):
+    return build_optical_network(sim, cfg, **kw)

@@ -1,0 +1,102 @@
+"""CLI tests (direct main() invocation, captured stdout)."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import build_experiment, main, make_parser
+
+
+def run_cli(capsys, *argv: str) -> str:
+    rc = main(list(argv))
+    assert rc == 0
+    return capsys.readouterr().out
+
+
+SMALL = ("--cores", "4", "--seed", "3", "--wavelengths", "16",
+         "--scale", "0.5")
+
+
+def test_info(capsys):
+    out = run_cli(capsys, "info", *SMALL)
+    assert "4-node crossbar" in out
+    assert "2x2 mesh" in out
+
+
+def test_cores_must_be_square():
+    with pytest.raises(SystemExit):
+        main(["info", "--cores", "6"])
+
+
+def test_missing_subcommand_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_capture_writes_valid_trace(tmp_path, capsys):
+    out_file = tmp_path / "t.json"
+    out = run_cli(capsys, "capture", "--workload", "randshare",
+                  "--out", str(out_file), *SMALL)
+    assert "captured" in out
+    payload = json.loads(out_file.read_text())
+    assert payload["records"]
+    assert payload["meta"]["workload"] == "randshare"
+
+
+def test_replay_roundtrip(tmp_path, capsys):
+    out_file = tmp_path / "t.json"
+    run_cli(capsys, "capture", "--workload", "randshare",
+            "--out", str(out_file), *SMALL)
+    out = run_cli(capsys, "replay", "--trace", str(out_file),
+                  "--target", "crossbar", *SMALL)
+    assert "predicted exec time" in out
+    assert "0 unreplayed" in out
+
+
+def test_replay_naive_mode(tmp_path, capsys):
+    out_file = tmp_path / "t.json"
+    run_cli(capsys, "capture", "--workload", "randshare",
+            "--out", str(out_file), *SMALL)
+    out = run_cli(capsys, "replay", "--trace", str(out_file),
+                  "--mode", "naive", *SMALL)
+    assert "mode=naive" in out
+
+
+def test_accuracy_command(capsys):
+    out = run_cli(capsys, "accuracy", "--workload", "randshare", *SMALL)
+    assert "self_correcting" in out
+    assert "exec_err_%" in out
+
+
+def test_casestudy_command(capsys):
+    out = run_cli(capsys, "casestudy", "--workload", "prodcons", *SMALL)
+    assert "speedup_x" in out
+
+
+def test_sweep_command(capsys):
+    out = run_cli(capsys, "sweep", "--network", "crossbar",
+                  "--rates", "0.05", *SMALL)
+    assert "avg_latency" in out
+
+
+def test_analyze_command(tmp_path, capsys):
+    out_file = tmp_path / "t.json"
+    run_cli(capsys, "capture", "--workload", "randshare",
+            "--out", str(out_file), *SMALL)
+    out = run_cli(capsys, "analyze", "--trace", str(out_file))
+    assert "dependency depth" in out
+    assert "Line sharing" in out
+    assert "workload=randshare" in out
+
+
+def test_build_experiment_respects_flags():
+    args = make_parser().parse_args(
+        ["info", "--cores", "16", "--seed", "11", "--wavelengths", "32"])
+    exp = build_experiment(args)
+    assert exp.system.num_cores == 16
+    assert exp.noc.width == exp.noc.height == 4
+    assert exp.onoc.num_wavelengths == 32
+    assert exp.seed == 11

@@ -1,0 +1,187 @@
+"""Trace-compaction tests (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    ExperimentConfig,
+    NocConfig,
+    OnocConfig,
+    SystemConfig,
+    TraceConfig,
+)
+from repro.core import (
+    coalesce_leaves,
+    compare_to_reference,
+    filter_leaf_control,
+    leaf_records,
+    replay_trace,
+)
+from repro.harness import optical_factory, run_execution_driven
+from repro.system.protocol import CTRL_KINDS
+
+
+def small_exp(seed=5):
+    return ExperimentConfig(
+        system=SystemConfig(
+            num_cores=4,
+            l1=CacheConfig(size_bytes=1024, assoc=2, line_bytes=64, hit_latency=1),
+            l2_slice=CacheConfig(size_bytes=4096, assoc=4, line_bytes=64, hit_latency=4),
+            mem_latency=30, num_mem_ctrls=2,
+        ),
+        noc=NocConfig(width=2, height=2),
+        onoc=OnocConfig(num_nodes=4, num_wavelengths=16),
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def setting():
+    exp = small_exp()
+    _, trace, _ = run_execution_driven(exp, "randshare", "electrical")
+    _, ref_trace, _ = run_execution_driven(exp, "randshare", "optical")
+    return exp, trace, ref_trace
+
+
+def test_leaf_records_have_no_dependents(setting):
+    _, trace, _ = setting
+    leaves = leaf_records(trace)
+    assert leaves
+    leaf_ids = {r.msg_id for r in leaves}
+    for r in trace.records:
+        assert r.cause_id not in leaf_ids
+    for m in trace.end_markers:
+        assert m.cause_id not in leaf_ids
+
+
+def test_filter_leaf_control_is_valid_and_smaller(setting):
+    _, trace, _ = setting
+    compacted, stats = filter_leaf_control(trace)
+    compacted.validate()
+    assert stats.records_after < stats.records_before
+    assert stats.record_ratio < 1.0
+    assert compacted.exec_time == trace.exec_time
+
+
+def test_filter_keeps_data_leaves(setting):
+    _, trace, _ = setting
+    compacted, _ = filter_leaf_control(trace)
+    kept_ids = {r.msg_id for r in compacted.records}
+    for r in leaf_records(trace):
+        if r.kind not in CTRL_KINDS:
+            assert r.msg_id in kept_ids
+
+
+def test_coalesce_leaves_valid_and_byte_preserving(setting):
+    _, trace, _ = setting
+    compacted, stats = coalesce_leaves(trace, window=64)
+    compacted.validate()
+    assert stats.records_after <= stats.records_before
+    # Coalescing merges sizes, never drops bytes.
+    assert stats.bytes_after == stats.bytes_before
+
+
+def test_coalesce_window_zero_merges_only_simultaneous(setting):
+    _, trace, _ = setting
+    z, stats_z = coalesce_leaves(trace, window=0)
+    w, stats_w = coalesce_leaves(trace, window=256)
+    assert stats_w.records_after <= stats_z.records_after
+    with pytest.raises(ValueError):
+        coalesce_leaves(trace, window=-1)
+
+
+def test_compacted_trace_replays_accurately(setting):
+    exp, trace, ref_trace = setting
+    factory = optical_factory(exp.onoc, exp.seed)
+    base = compare_to_reference(replay_trace(trace, factory), ref_trace)
+    filt, fstats = filter_leaf_control(trace)
+    filt_rep = compare_to_reference(replay_trace(filt, factory), ref_trace)
+    # compaction costs little accuracy (few % absolute)
+    assert filt_rep.exec_time_error_pct < base.exec_time_error_pct + 5.0
+    # Coherence traffic is dependency-dense, so the leaf-safe compactions
+    # only shave a few percent — an honest property of the trace format.
+    assert fstats.record_ratio < 1.0
+
+
+def test_compaction_meta_tagged(setting):
+    _, trace, _ = setting
+    filt, _ = filter_leaf_control(trace)
+    assert filt.meta["compaction"] == "filter_leaf_control"
+    coal, _ = coalesce_leaves(trace, window=16)
+    assert "coalesce_leaves" in coal.meta["compaction"]
+
+
+def test_compaction_deterministic(setting):
+    _, trace, _ = setting
+    a, _ = coalesce_leaves(trace, window=32)
+    b, _ = coalesce_leaves(trace, window=32)
+    assert a.records == b.records
+
+
+# ---------------------------------------------------- hand-built coalescing
+def _leaf_burst_trace():
+    """Root request + three leaf writebacks on one flow: two within a
+    16-cycle window, one far away."""
+    from repro.core import EndMarker, Trace, TraceRecord
+
+    root = TraceRecord(
+        msg_id=0, key=(0, 1, "req_read", 5, 0), src=0, dst=1, size_bytes=8,
+        kind="req_read", t_inject=0, t_deliver=10, cause_id=-1, gap=0)
+    leaves = [
+        TraceRecord(
+            msg_id=i, key=(1, 2, "writeback", 5 + i, 0), src=1, dst=2,
+            size_bytes=72, kind="writeback", t_inject=t, t_deliver=t + 12,
+            cause_id=0, gap=t - 10)
+        for i, t in ((1, 20), (2, 25), (3, 300))
+    ]
+    marker = EndMarker(node=0, t_finish=400, cause_id=0, gap=390)
+    t = Trace(records=[root, *leaves], end_markers=[marker], exec_time=400)
+    t.validate()
+    return t
+
+
+def test_coalesce_merges_burst():
+    trace = _leaf_burst_trace()
+    compacted, stats = coalesce_leaves(trace, window=16)
+    compacted.validate()
+    assert stats.records_before == 4
+    assert stats.records_after == 3          # two leaves merged into one
+    assert stats.bytes_after == stats.bytes_before
+    merged = next(r for r in compacted.records if r.msg_id == 1)
+    assert merged.size_bytes == 144          # 72 + 72
+    assert merged.t_inject == 20             # first member's identity
+    assert merged.t_deliver == 37            # latest member's delivery
+    # the distant leaf survives untouched
+    assert any(r.msg_id == 3 and r.size_bytes == 72 for r in compacted.records)
+
+
+def test_coalesce_respects_window_boundary():
+    trace = _leaf_burst_trace()
+    wide, stats = coalesce_leaves(trace, window=500)
+    assert stats.records_after == 2          # all three leaves merged
+    narrow, stats = coalesce_leaves(trace, window=1)
+    assert stats.records_after == 4          # nothing merged
+
+
+def test_filter_drops_ctrl_leaf_only():
+    from repro.core import EndMarker, Trace, TraceRecord
+
+    root = TraceRecord(
+        msg_id=0, key=(0, 1, "req_read", 5, 0), src=0, dst=1, size_bytes=8,
+        kind="req_read", t_inject=0, t_deliver=10, cause_id=-1, gap=0)
+    ctrl_leaf = TraceRecord(
+        msg_id=1, key=(1, 0, "inv_ack", 5, 0), src=1, dst=0, size_bytes=8,
+        kind="inv_ack", t_inject=12, t_deliver=20, cause_id=0, gap=2)
+    data_leaf = TraceRecord(
+        msg_id=2, key=(1, 2, "writeback", 6, 0), src=1, dst=2, size_bytes=72,
+        kind="writeback", t_inject=14, t_deliver=25, cause_id=0, gap=4)
+    marker = EndMarker(node=0, t_finish=30, cause_id=0, gap=20)
+    trace = Trace(records=[root, ctrl_leaf, data_leaf],
+                  end_markers=[marker], exec_time=30)
+    trace.validate()
+    compacted, stats = filter_leaf_control(trace)
+    ids = {r.msg_id for r in compacted.records}
+    assert ids == {0, 2}                     # ctrl leaf dropped, data kept
+    assert stats.records_after == 2

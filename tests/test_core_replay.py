@@ -1,0 +1,183 @@
+"""Replayer tests: the heart of the reproduction.
+
+The decisive properties:
+
+* replaying a trace **on its capture network** reproduces the captured
+  execution time almost exactly (self-consistency);
+* on a *different* network the self-correcting replay tracks the
+  execution-driven reference closely while the naive replay does not;
+* dependency ablation degrades gracefully toward naive behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    ExperimentConfig,
+    NocConfig,
+    OnocConfig,
+    SystemConfig,
+    TraceConfig,
+)
+from repro.core import (
+    NaiveReplayer,
+    SelfCorrectingReplayer,
+    compare_to_reference,
+    replay_trace,
+)
+from repro.core.replay import FixedScheduleReplayer
+from repro.harness import electrical_factory, optical_factory, run_execution_driven
+
+
+def small_exp(seed=5):
+    return ExperimentConfig(
+        system=SystemConfig(
+            num_cores=4,
+            l1=CacheConfig(size_bytes=1024, assoc=2, line_bytes=64, hit_latency=1),
+            l2_slice=CacheConfig(size_bytes=4096, assoc=4, line_bytes=64, hit_latency=4),
+            mem_latency=30, num_mem_ctrls=2,
+        ),
+        noc=NocConfig(width=2, height=2),
+        onoc=OnocConfig(num_nodes=4, num_wavelengths=16),
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def setting():
+    exp = small_exp()
+    res_e, trace, _ = run_execution_driven(exp, "randshare", "electrical")
+    res_o, ref_trace, _ = run_execution_driven(exp, "randshare", "optical")
+    return exp, res_e, trace, res_o, ref_trace
+
+
+def test_all_messages_replayed_naive(setting):
+    exp, _, trace, _, _ = setting
+    r = replay_trace(trace, optical_factory(exp.onoc, exp.seed),
+                     TraceConfig(mode="naive"))
+    assert r.messages_replayed == len(trace)
+    assert r.messages_unreplayed == 0
+    assert len(r.deliveries) == len(trace)
+
+
+def test_all_messages_replayed_self_correcting(setting):
+    exp, _, trace, _, _ = setting
+    r = replay_trace(trace, optical_factory(exp.onoc, exp.seed))
+    assert r.messages_replayed == len(trace)
+    assert r.messages_unreplayed == 0
+
+
+def test_naive_replay_preserves_injection_times(setting):
+    exp, _, trace, _, _ = setting
+    r = replay_trace(trace, optical_factory(exp.onoc, exp.seed),
+                     TraceConfig(mode="naive"))
+    for rec in trace.records:
+        assert r.injections[rec.msg_id] == rec.t_inject
+
+
+def test_self_correcting_respects_causality(setting):
+    exp, _, trace, _, _ = setting
+    r = replay_trace(trace, optical_factory(exp.onoc, exp.seed))
+    for rec in trace.records:
+        if rec.cause_id != -1:
+            expected = r.deliveries[rec.cause_id] + rec.gap
+            if rec.bound_id != -1:
+                expected = max(expected,
+                               r.deliveries[rec.bound_id] + rec.bound_gap)
+            assert r.injections[rec.msg_id] == expected, (
+                f"record {rec.msg_id} not gap-aligned to its trigger edges"
+            )
+
+
+def test_self_consistency_on_capture_network(setting):
+    """Replaying on the capture network reproduces the captured timing."""
+    exp, res_e, trace, _, _ = setting
+    r = replay_trace(trace, electrical_factory(exp.noc, exp.seed))
+    err = abs(r.exec_time_estimate - res_e.exec_time_cycles) / res_e.exec_time_cycles
+    assert err < 0.03, f"self-consistency error {err:.2%}"
+
+
+def test_self_correcting_beats_naive_on_target(setting):
+    exp, _, trace, res_o, ref_trace = setting
+    factory = optical_factory(exp.onoc, exp.seed)
+    naive = compare_to_reference(
+        replay_trace(trace, factory, TraceConfig(mode="naive")), ref_trace)
+    sc = compare_to_reference(replay_trace(trace, factory), ref_trace)
+    assert sc.exec_time_error_pct < naive.exec_time_error_pct
+    assert sc.exec_time_error_pct < 6.0, "self-correction should be precise"
+
+
+def test_naive_estimate_biased_toward_capture_time(setting):
+    """Naive replay keeps the capture network's timeline, so its estimate
+    stays near the electrical execution time instead of the optical one."""
+    exp, res_e, trace, res_o, _ = setting
+    naive = replay_trace(trace, optical_factory(exp.onoc, exp.seed),
+                         TraceConfig(mode="naive"))
+    d_capture = abs(naive.exec_time_estimate - res_e.exec_time_cycles)
+    d_target = abs(naive.exec_time_estimate - res_o.exec_time_cycles)
+    assert d_capture < d_target
+
+
+def test_dep_ablation_degrades_gracefully(setting):
+    exp, _, trace, _, ref_trace = setting
+    factory = optical_factory(exp.onoc, exp.seed)
+    errs = []
+    for frac in (1.0, 0.5, 0.0):
+        r = replay_trace(trace, factory,
+                         TraceConfig(mode="self_correcting",
+                                     keep_dep_fraction=frac))
+        errs.append(compare_to_reference(r, ref_trace).exec_time_error_pct)
+    # full deps strictly better than none; zero == naive-like
+    assert errs[0] < errs[-1]
+
+
+def test_ablation_zero_fraction_counts_drops(setting):
+    exp, _, trace, _, _ = setting
+    from repro.engine import Simulator
+    from repro.onoc import build_optical_network
+
+    sim = Simulator(seed=1)
+    net = build_optical_network(sim, exp.onoc)
+    rep = SelfCorrectingReplayer(trace, sim, net, keep_dep_fraction=0.0)
+    assert rep.dropped_deps == len(trace) - len(trace.roots())
+
+
+def test_fixed_schedule_replayer_requires_complete_schedule(setting):
+    exp, _, trace, _, _ = setting
+    from repro.engine import Simulator
+    from repro.onoc import build_optical_network
+
+    sim = Simulator(seed=1)
+    net = build_optical_network(sim, exp.onoc)
+    with pytest.raises(ValueError, match="schedule missing"):
+        FixedScheduleReplayer(trace, sim, net, schedule={})
+
+
+def test_replay_network_too_small_rejected(setting):
+    _, _, trace, _, _ = setting
+    from repro.engine import Simulator
+    from repro.onoc import build_optical_network
+
+    sim = Simulator(seed=1)
+    net = build_optical_network(sim, OnocConfig(num_nodes=2, num_wavelengths=4))
+    with pytest.raises(ValueError, match="too small"):
+        NaiveReplayer(trace, sim, net)
+
+
+def test_replay_deterministic(setting):
+    exp, _, trace, _, _ = setting
+    factory = optical_factory(exp.onoc, exp.seed)
+    a = replay_trace(trace, factory)
+    b = replay_trace(trace, factory)
+    assert a.exec_time_estimate == b.exec_time_estimate
+    assert a.deliveries == b.deliveries
+
+
+def test_replay_result_latencies_match_deliveries(setting):
+    exp, _, trace, _, _ = setting
+    r = replay_trace(trace, optical_factory(exp.onoc, exp.seed))
+    key_of = {rec.msg_id: rec.key for rec in trace.records}
+    for mid, t in r.deliveries.items():
+        assert r.latencies_by_key[key_of[mid]] == t - r.injections[mid]

@@ -1,0 +1,108 @@
+"""Sharing-pattern classifier tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    ExperimentConfig,
+    NocConfig,
+    OnocConfig,
+    SystemConfig,
+)
+from repro.core import SharingClass, Trace, TraceRecord, classify_lines, sharing_summary
+from repro.harness import run_execution_driven
+
+
+def req(mid, src, line, write, t):
+    kind = "req_write" if write else "req_read"
+    home = line % 4
+    dst = home if home != src else (home + 1) % 4
+    return TraceRecord(
+        msg_id=mid, key=(src, dst, kind, line, mid), src=src, dst=dst,
+        size_bytes=8, kind=kind, t_inject=t, t_deliver=t + 10,
+        cause_id=-1, gap=t)
+
+
+def make_trace(records):
+    t = Trace(records=records, end_markers=[], exec_time=0)
+    t.validate()
+    return t
+
+
+def classify_one(records, line):
+    return classify_lines(make_trace(records))[line].sharing_class
+
+
+def test_private_line():
+    recs = [req(0, 1, 10, False, 0), req(1, 1, 10, True, 20)]
+    assert classify_one(recs, 10) == SharingClass.PRIVATE
+
+
+def test_read_only_line():
+    recs = [req(i, i, 10, False, i * 10) for i in range(3)]
+    assert classify_one(recs, 10) == SharingClass.READ_ONLY
+
+
+def test_single_core_write_and_read_is_private():
+    recs = [req(0, 2, 10, True, 0), req(1, 2, 10, False, 20)]
+    assert classify_one(recs, 10) == SharingClass.PRIVATE
+
+
+def test_producer_consumer():
+    recs = [req(0, 0, 10, True, 0),
+            req(1, 1, 10, False, 20),
+            req(2, 2, 10, False, 40),
+            req(3, 0, 10, True, 60)]
+    assert classify_one(recs, 10) == SharingClass.PRODUCER_CONSUMER
+
+
+def test_migratory():
+    recs = [req(i, i % 3, 10, True, i * 10) for i in range(6)]
+    assert classify_one(recs, 10) == SharingClass.MIGRATORY
+
+
+def test_lines_classified_independently():
+    recs = [req(0, 0, 10, True, 0), req(1, 1, 11, False, 5),
+            req(2, 2, 11, False, 15)]
+    out = classify_lines(make_trace(recs))
+    assert out[10].sharing_class == SharingClass.PRIVATE
+    assert out[11].sharing_class == SharingClass.READ_ONLY
+
+
+def test_counts_tracked():
+    recs = [req(0, 0, 10, True, 0), req(1, 1, 10, False, 20),
+            req(2, 1, 10, False, 40)]
+    info = classify_lines(make_trace(recs))[10]
+    assert info.reads == 2 and info.writes == 1
+    assert info.readers == frozenset({1})
+    assert info.writers == frozenset({0})
+
+
+def test_summary_shape():
+    recs = [req(0, 0, 10, True, 0), req(1, 1, 11, False, 5)]
+    summary = sharing_summary(make_trace(recs))
+    assert set(summary) == {c.value for c in SharingClass}
+    assert sum(summary.values()) == 2
+
+
+@pytest.mark.parametrize("workload,expected_class", [
+    ("prodcons", SharingClass.PRODUCER_CONSUMER),
+    ("randshare", SharingClass.MIGRATORY),
+])
+def test_real_workloads_show_expected_patterns(workload, expected_class):
+    exp = ExperimentConfig(
+        system=SystemConfig(
+            num_cores=4,
+            l1=CacheConfig(size_bytes=1024, assoc=2, line_bytes=64, hit_latency=1),
+            l2_slice=CacheConfig(size_bytes=4096, assoc=4, line_bytes=64, hit_latency=4),
+            mem_latency=30, num_mem_ctrls=2,
+        ),
+        noc=NocConfig(width=2, height=2),
+        onoc=OnocConfig(num_nodes=4, num_wavelengths=16),
+        seed=5,
+    )
+    _, trace, _ = run_execution_driven(exp, workload, "electrical")
+    summary = sharing_summary(trace)
+    assert summary[expected_class.value] > 0, summary

@@ -1,0 +1,126 @@
+"""Trace artifact tests: validation, queries, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EndMarker, Trace, TraceRecord
+from repro.core.trace import latencies_by_key
+
+
+def rec(msg_id, t_inject, t_deliver, cause_id=-1, gap=None, src=0, dst=1,
+        kind="req_read", size=8, occ=0):
+    if gap is None:
+        gap = t_inject if cause_id == -1 else 0
+    return TraceRecord(
+        msg_id=msg_id,
+        key=(src, dst, kind, msg_id, occ),
+        src=src, dst=dst, size_bytes=size, kind=kind,
+        t_inject=t_inject, t_deliver=t_deliver,
+        cause_id=cause_id, gap=gap,
+    )
+
+
+def chain_trace():
+    """r0 at t=5, delivered 15; r1 caused by r0, gap 3 -> inject 18."""
+    r0 = rec(0, 5, 15)
+    r1 = rec(1, 18, 30, cause_id=0, gap=3, src=1, dst=0)
+    m = EndMarker(node=0, t_finish=40, cause_id=1, gap=10)
+    return Trace(records=[r0, r1], end_markers=[m], exec_time=40)
+
+
+def test_valid_trace_passes():
+    chain_trace().validate()
+
+
+def test_record_field_validation():
+    with pytest.raises(ValueError):
+        rec(0, 10, 5)                      # delivered before injected
+    with pytest.raises(ValueError):
+        TraceRecord(0, (0, 0, "x", 0, 0), 0, 0, 8, "x", 0, 1, -1, 0)  # src==dst
+    with pytest.raises(ValueError):
+        rec(0, 5, 15, cause_id=3, gap=-1)  # negative gap
+
+
+def test_missing_cause_detected():
+    t = chain_trace()
+    t.records[1] = rec(1, 18, 30, cause_id=99, gap=3, src=1, dst=0)
+    with pytest.raises(ValueError, match="not in trace"):
+        t.validate()
+
+
+def test_causality_violation_detected():
+    r0 = rec(0, 5, 15)
+    bad = rec(1, 10, 30, cause_id=0, gap=0, src=1, dst=0)  # injected at 10 < 15
+    t = Trace([r0, bad], [], exec_time=0)
+    with pytest.raises(ValueError, match="before"):
+        t.validate()
+
+
+def test_gap_inconsistency_detected():
+    r0 = rec(0, 5, 15)
+    bad = rec(1, 20, 30, cause_id=0, gap=3, src=1, dst=0)  # 15+3 != 20
+    t = Trace([r0, bad], [], exec_time=0)
+    with pytest.raises(ValueError, match="gap"):
+        t.validate()
+
+
+def test_root_gap_must_equal_inject():
+    bad = rec(0, 5, 15)
+    object.__setattr__(bad, "gap", 4)
+    t = Trace([bad], [], exec_time=0)
+    with pytest.raises(ValueError, match="root"):
+        t.validate()
+
+
+def test_duplicate_ids_detected():
+    r = rec(0, 5, 15)
+    t = Trace([r, r], [], exec_time=0)
+    with pytest.raises(ValueError, match="duplicate msg_ids"):
+        t.validate()
+
+
+def test_exec_time_must_match_markers():
+    t = chain_trace()
+    t.exec_time = 99
+    with pytest.raises(ValueError, match="exec_time"):
+        t.validate()
+
+
+def test_roots_and_depth():
+    t = chain_trace()
+    assert [r.msg_id for r in t.roots()] == [0]
+    assert t.dependency_depth() == 2
+    assert len(t) == 2
+    assert t.bytes_total() == 16
+
+
+def test_json_roundtrip():
+    t = chain_trace()
+    t.meta = {"workload": "fft", "seed": 7}
+    again = Trace.from_json(t.to_json())
+    assert again.exec_time == t.exec_time
+    assert again.meta == t.meta
+    assert again.records == t.records
+    assert again.end_markers == t.end_markers
+
+
+def test_from_json_validates():
+    t = chain_trace()
+    text = t.to_json().replace('"exec_time": 40', '"exec_time": 77')
+    with pytest.raises(ValueError):
+        Trace.from_json(text)
+
+
+def test_latencies_by_key():
+    t = chain_trace()
+    lats = latencies_by_key(t.records)
+    assert lats[t.records[0].key] == 10
+    assert lats[t.records[1].key] == 12
+
+
+def test_end_marker_validation():
+    with pytest.raises(ValueError):
+        EndMarker(node=-1, t_finish=5, cause_id=-1, gap=5)
+    with pytest.raises(ValueError):
+        EndMarker(node=0, t_finish=5, cause_id=-1, gap=-2)

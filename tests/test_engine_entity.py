@@ -1,0 +1,40 @@
+"""Entity base-class tests."""
+
+from __future__ import annotations
+
+from repro.engine import Entity, Simulator
+
+
+class Ticker(Entity):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.log = []
+
+    def tick(self):
+        self.log.append(self.now)
+
+
+def test_entity_scheduling_sugar():
+    sim = Simulator(seed=1)
+    e = Ticker(sim, "t0")
+    e.schedule(5, e.tick)
+    e.schedule(2, e.tick)
+    sim.run()
+    assert e.log == [2, 5]
+    assert e.now == 5
+
+
+def test_entity_rng_is_named_stream():
+    sim = Simulator(seed=9)
+    a = Ticker(sim, "alpha").rng().random(4)
+    # Same name on a fresh sim with the same seed -> identical stream.
+    b = Ticker(Simulator(seed=9), "alpha").rng().random(4)
+    assert (a == b).all()
+    # Different name -> different stream.
+    c = Ticker(Simulator(seed=9), "beta").rng().random(4)
+    assert not (a == c).all()
+
+
+def test_entity_repr():
+    e = Ticker(Simulator(), "x")
+    assert "Ticker" in repr(e) and "x" in repr(e)

@@ -1,0 +1,119 @@
+"""Unit tests for the event queue: ordering, cancellation, tie-breaking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EventQueue
+
+
+def test_empty_queue():
+    q = EventQueue()
+    assert len(q) == 0
+    assert not q
+    assert q.pop() is None
+    assert q.peek_time() is None
+
+
+def test_pop_in_time_order():
+    q = EventQueue()
+    fired = []
+    for t in (30, 10, 20):
+        q.push(t, fired.append, (t,))
+    while (ev := q.pop()) is not None:
+        ev.fn(*ev.args)
+    assert fired == [10, 20, 30]
+
+
+def test_fifo_among_equal_timestamps():
+    q = EventQueue()
+    order = []
+    for tag in range(20):
+        q.push(5, order.append, (tag,))
+    while (ev := q.pop()) is not None:
+        ev.fn(*ev.args)
+    assert order == list(range(20))
+
+
+def test_priority_orders_within_same_time():
+    q = EventQueue()
+    order = []
+    q.push(5, order.append, ("low",), priority=10)
+    q.push(5, order.append, ("high",), priority=0)
+    q.push(5, order.append, ("mid",), priority=5)
+    while (ev := q.pop()) is not None:
+        ev.fn(*ev.args)
+    assert order == ["high", "mid", "low"]
+
+
+def test_cancel_skips_event():
+    q = EventQueue()
+    keep = q.push(1, lambda: None)
+    drop = q.push(0, lambda: None)
+    q.cancel(drop)
+    assert len(q) == 1
+    assert q.pop() is keep
+    assert q.pop() is None
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    ev = q.push(1, lambda: None)
+    q.cancel(ev)
+    q.cancel(ev)
+    assert len(q) == 0
+
+
+def test_peek_time_skips_cancelled_head():
+    q = EventQueue()
+    first = q.push(1, lambda: None)
+    q.push(2, lambda: None)
+    q.cancel(first)
+    assert q.peek_time() == 2
+
+
+def test_len_counts_only_live_events():
+    q = EventQueue()
+    evs = [q.push(i, lambda: None) for i in range(5)]
+    q.cancel(evs[0])
+    q.cancel(evs[3])
+    assert len(q) == 3
+
+
+def test_clear():
+    q = EventQueue()
+    for i in range(4):
+        q.push(i, lambda: None)
+    q.clear()
+    assert len(q) == 0
+    assert q.pop() is None
+
+
+def test_iter_pending_only_live():
+    q = EventQueue()
+    a = q.push(1, lambda: None)
+    b = q.push(2, lambda: None)
+    q.cancel(a)
+    pending = list(q.iter_pending())
+    assert pending == [b]
+
+
+def test_event_alive_transitions():
+    q = EventQueue()
+    ev = q.push(1, lambda: None)
+    assert ev.alive
+    popped = q.pop()
+    assert popped is ev
+    assert not ev.alive  # consumed
+
+
+def test_interleaved_push_pop():
+    q = EventQueue()
+    out = []
+    q.push(10, out.append, (10,))
+    ev = q.pop()
+    ev.fn(*ev.args)
+    q.push(5, out.append, (5,))   # earlier time pushed after a pop is fine
+    ev = q.pop()
+    ev.fn(*ev.args)
+    assert out == [10, 5]

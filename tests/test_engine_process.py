@@ -1,0 +1,196 @@
+"""Coroutine-process layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import SimulationError, Simulator
+from repro.engine.process import Process, Signal, spawn
+
+
+def test_sleep_yields_advance_time():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        log.append(sim.now)
+        yield 10
+        log.append(sim.now)
+        yield 5
+        log.append(sim.now)
+
+    spawn(sim, proc())
+    sim.run()
+    assert log == [0, 10, 15]
+
+
+def test_spawn_delay():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        log.append(sim.now)
+        yield 0
+
+    spawn(sim, proc(), delay=7)
+    sim.run()
+    assert log == [7]
+
+
+def test_signal_wakes_waiters_in_order():
+    sim = Simulator()
+    log = []
+    sig = Signal()
+
+    def waiter(tag):
+        yield sig
+        log.append((tag, sim.now))
+
+    def firer():
+        yield 20
+        sig.fire(sim)
+
+    spawn(sim, waiter("a"))
+    spawn(sim, waiter("b"))
+    spawn(sim, firer())
+    sim.run()
+    assert log == [("a", 20), ("b", 20)]
+    assert sig.fire_time == 20
+
+
+def test_wait_on_already_fired_signal():
+    sim = Simulator()
+    log = []
+    sig = Signal()
+    sig.fire()
+
+    def proc():
+        yield sig
+        log.append(sim.now)
+
+    spawn(sim, proc())
+    sim.run()
+    assert log == [0]
+
+
+def test_fire_is_idempotent():
+    sig = Signal()
+    sig.fire()
+    sig.fire()
+    assert sig.fired
+
+
+def test_wait_on_process_and_result():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield 12
+        return "payload"
+
+    def parent():
+        c = spawn(sim, child(), name="child")
+        yield c
+        log.append((sim.now, c.result))
+
+    spawn(sim, parent())
+    sim.run()
+    assert log == [(12, "payload")]
+
+
+def test_wait_on_finished_process():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield 1
+
+    def parent(c):
+        yield 50            # child finishes long before
+        yield c
+        log.append(sim.now)
+
+    c = spawn(sim, child())
+    spawn(sim, parent(c))
+    sim.run()
+    assert log == [50]
+
+
+def test_kill_stops_process():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield 10
+        log.append("should not happen")
+
+    p = spawn(sim, proc())
+    sim.schedule(5, p.kill)
+    sim.run()
+    assert log == []
+    assert p.done
+
+
+def test_kill_fires_done_signal():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield 100
+
+    def parent(c):
+        yield c
+        log.append(sim.now)
+
+    c = spawn(sim, child())
+    spawn(sim, parent(c))
+    sim.schedule(3, c.kill)
+    sim.run()
+    assert log == [3]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield -1
+
+    spawn(sim, proc())
+    with pytest.raises(SimulationError, match="negative delay"):
+        sim.run()
+
+
+def test_bad_yield_type_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield "nonsense"
+
+    spawn(sim, proc())
+    with pytest.raises(SimulationError, match="unsupported"):
+        sim.run()
+
+
+def test_producer_consumer_pipeline():
+    """Integration: two processes coordinating through signals."""
+    sim = Simulator()
+    produced, consumed = [], []
+    ready = [Signal() for _ in range(3)]
+
+    def producer():
+        for i, sig in enumerate(ready):
+            yield 10
+            produced.append((i, sim.now))
+            sig.fire(sim)
+
+    def consumer():
+        for i, sig in enumerate(ready):
+            yield sig
+            yield 2          # consume time
+            consumed.append((i, sim.now))
+
+    spawn(sim, producer())
+    spawn(sim, consumer())
+    sim.run()
+    assert produced == [(0, 10), (1, 20), (2, 30)]
+    assert consumed == [(0, 12), (1, 22), (2, 32)]

@@ -1,0 +1,155 @@
+"""Unit tests for the Simulator: clock semantics, scheduling rules, hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import SimulationError, Simulator
+
+
+def test_run_executes_in_time_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(10, out.append, (10,))
+    sim.schedule(5, out.append, (5,))
+    sim.schedule(7, out.append, (7,))
+    sim.run()
+    assert out == [5, 7, 10]
+    assert sim.now == 10
+
+
+def test_schedule_after_is_relative():
+    sim = Simulator()
+    out = []
+
+    def later():
+        sim.schedule_after(5, out.append, (sim.now + 5,))
+
+    sim.schedule(3, later)
+    sim.run()
+    assert out == [8]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(10, lambda: sim.schedule(5, lambda: None))
+    with pytest.raises(SimulationError, match="cannot schedule"):
+        sim.run()
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="negative delay"):
+        sim.schedule_after(-1, lambda: None)
+
+
+def test_run_until_is_inclusive():
+    sim = Simulator()
+    out = []
+    sim.schedule(5, out.append, (5,))
+    sim.schedule(6, out.append, (6,))
+    sim.run(until=5)
+    assert out == [5]
+    assert sim.now == 5
+    sim.run()
+    assert out == [5, 6]
+
+
+def test_run_until_leaves_clock_at_until_when_idle():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run(until=50)
+    assert sim.now == 50
+    assert sim.pending_events == 1
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    out = []
+    ev = sim.schedule(5, out.append, (5,))
+    sim.cancel(ev)
+    sim.run()
+    assert out == []
+
+
+def test_event_count_increments():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.event_count == 7
+
+
+def test_max_events_guard():
+    sim = Simulator(max_events=10)
+
+    def loop():
+        sim.schedule_after(1, loop)
+
+    sim.schedule(0, loop)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run()
+
+
+def test_end_hooks_fire_on_drain():
+    sim = Simulator()
+    out = []
+    sim.add_end_hook(lambda: out.append("end"))
+    sim.schedule(1, lambda: None)
+    sim.run()
+    assert out == ["end"]
+
+
+def test_end_hooks_not_fired_on_until_stop():
+    sim = Simulator()
+    out = []
+    sim.add_end_hook(lambda: out.append("end"))
+    sim.schedule(10, lambda: None)
+    sim.run(until=5)
+    assert out == []
+
+
+def test_step_single_event():
+    sim = Simulator()
+    out = []
+    sim.schedule(3, out.append, (3,))
+    sim.schedule(4, out.append, (4,))
+    assert sim.step()
+    assert out == [3]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_reset_clears_state():
+    sim = Simulator()
+    sim.schedule(5, lambda: None)
+    sim.run()
+    sim.reset()
+    assert sim.now == 0
+    assert sim.pending_events == 0
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+
+    sim.schedule(1, nested)
+    with pytest.raises(SimulationError, match="re-entrant"):
+        sim.run()
+
+
+def test_same_time_fifo_among_callbacks():
+    sim = Simulator()
+    out = []
+    for i in range(10):
+        sim.schedule(42, out.append, (i,))
+    sim.run()
+    assert out == list(range(10))
+
+
+def test_determinism_same_seed_same_rng():
+    a = Simulator(seed=5).rng.stream("x").random(4)
+    b = Simulator(seed=5).rng.stream("x").random(4)
+    assert (a == b).all()

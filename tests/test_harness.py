@@ -1,0 +1,137 @@
+"""Experiment-driver tests (small configs so the whole file stays fast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    ExperimentConfig,
+    NocConfig,
+    OnocConfig,
+    SystemConfig,
+)
+from repro.harness import (
+    ablation_dep_fraction,
+    ablation_network_mismatch,
+    accuracy_experiment,
+    case_study,
+    convergence_experiment,
+    format_table,
+    load_latency_sweep,
+    make_electrical,
+    make_optical,
+    power_experiment,
+    run_execution_driven,
+    simtime_experiment,
+)
+from repro.noc import ElectricalNetwork
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return ExperimentConfig(
+        system=SystemConfig(
+            num_cores=4,
+            l1=CacheConfig(size_bytes=1024, assoc=2, line_bytes=64, hit_latency=1),
+            l2_slice=CacheConfig(size_bytes=4096, assoc=4, line_bytes=64, hit_latency=4),
+            mem_latency=30, num_mem_ctrls=2,
+        ),
+        noc=NocConfig(width=2, height=2),
+        onoc=OnocConfig(num_nodes=4, num_wavelengths=16),
+        seed=5,
+    )
+
+
+def test_run_execution_driven_targets(exp):
+    res_e, trace_e, net_e = run_execution_driven(exp, "lu", "electrical")
+    res_o, trace_o, net_o = run_execution_driven(exp, "lu", "optical")
+    assert res_e.exec_time_cycles > 0 and res_o.exec_time_cycles > 0
+    assert trace_e is not None and trace_o is not None
+    with pytest.raises(ValueError, match="target"):
+        run_execution_driven(exp, "lu", "hybrid")
+
+
+def test_run_execution_driven_no_capture(exp):
+    _, trace, _ = run_execution_driven(exp, "lu", "electrical", capture=False)
+    assert trace is None
+
+
+def test_accuracy_experiment_shape(exp):
+    row = accuracy_experiment(exp, "randshare")
+    assert row.workload == "randshare"
+    assert row.ref_exec_time > 0
+    assert row.self_correcting.exec_time_error_pct <= row.naive.exec_time_error_pct
+    assert row.extra["trace_messages"] > 0
+
+
+def test_simtime_experiment_shape(exp):
+    row = simtime_experiment(exp, "stencil")
+    assert row.exec_driven_s > 0
+    assert row.naive_replay_s > 0
+    assert row.self_correcting_s > 0
+    assert row.replay_speedup > 0
+
+
+def test_case_study_shape(exp):
+    row = case_study(exp, "fft")
+    assert row.exec_electrical > 0 and row.exec_optical > 0
+    assert row.speedup == pytest.approx(row.exec_electrical / row.exec_optical)
+    assert row.messages > 0
+
+
+def test_power_experiment_shape(exp):
+    r_e, r_o = power_experiment(exp, "fft")
+    assert r_e.total_energy_uj > 0
+    assert r_o.total_energy_uj > 0
+    assert "laser" in r_o.static_mw
+
+
+def test_convergence_experiment(exp):
+    history, ref = convergence_experiment(exp, "randshare", max_iterations=4)
+    assert 1 <= len(history) <= 4
+    assert ref > 0
+
+
+def test_ablation_dep_fraction(exp):
+    rows = ablation_dep_fraction(exp, "randshare", fractions=[1.0, 0.0])
+    assert len(rows) == 2
+    full_err = rows[0][1].exec_time_error_pct
+    none_err = rows[1][1].exec_time_error_pct
+    assert full_err < none_err
+
+
+def test_ablation_network_mismatch(exp):
+    rows = ablation_network_mismatch(exp, "randshare",
+                                     wavelength_counts=[4, 64])
+    assert len(rows) == 2
+    for _, naive_rep, sc_rep in rows:
+        assert sc_rep.exec_time_error_pct <= naive_rep.exec_time_error_pct + 1.0
+
+
+def test_load_latency_sweep_stops_at_saturation(exp):
+    pts = load_latency_sweep(
+        lambda sim: ElectricalNetwork(sim, exp.noc),
+        "uniform", rates=[0.05, 0.9, 0.95],
+        warmup=200, measure=1000,
+    )
+    # must not continue past the first saturated point
+    assert all(not p.saturated for p in pts[:-1])
+    assert len(pts) <= 3
+
+
+def test_factories(exp):
+    sim, net = make_electrical(exp.noc, 1)
+    assert net.num_nodes == 4
+    sim, net = make_optical(exp.onoc, 1)
+    assert net.num_nodes == 4
+
+
+def test_format_table():
+    rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+    text = format_table(rows, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert len(lines) == 5
+    assert format_table([]) == "(empty)"

@@ -1,0 +1,77 @@
+"""Report-generator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    ExperimentConfig,
+    NocConfig,
+    OnocConfig,
+    SystemConfig,
+)
+from repro.harness import generate_report
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return ExperimentConfig(
+        system=SystemConfig(
+            num_cores=4,
+            l1=CacheConfig(size_bytes=1024, assoc=2, line_bytes=64, hit_latency=1),
+            l2_slice=CacheConfig(size_bytes=4096, assoc=4, line_bytes=64, hit_latency=4),
+            mem_latency=30, num_mem_ctrls=2,
+        ),
+        noc=NocConfig(width=2, height=2),
+        onoc=OnocConfig(num_nodes=4, num_wavelengths=16),
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def report_text(exp):
+    return generate_report(exp, ["randshare"], scale=0.5)
+
+
+def test_report_has_all_sections(report_text):
+    for heading in ("# Self-Correction Trace Model",
+                    "## Case study",
+                    "## Trace-model accuracy",
+                    "## Simulation wall-clock time",
+                    "## Energy",
+                    "## Area"):
+        assert heading in report_text
+
+
+def test_report_tables_are_markdown(report_text):
+    lines = report_text.splitlines()
+    headers = [l for l in lines if l.startswith("| workload")]
+    assert headers, "markdown table headers missing"
+    for h in headers:
+        idx = lines.index(h)
+        assert set(lines[idx + 1].replace("|", "").replace("-", "")) <= {""} or \
+            lines[idx + 1].startswith("|---")
+
+
+def test_report_mentions_configuration(report_text):
+    assert "4 cores" in report_text
+    assert "2x2 mesh" in report_text
+    assert "seed 5" in report_text
+
+
+def test_report_requires_workloads(exp):
+    with pytest.raises(ValueError, match="workload"):
+        generate_report(exp, [])
+
+
+def test_report_cli(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "r.md"
+    rc = main(["report", "--cores", "4", "--wavelengths", "16",
+               "--seed", "3", "--scale", "0.5",
+               "--workloads", "randshare", "--out", str(out)])
+    assert rc == 0
+    text = out.read_text()
+    assert "## Trace-model accuracy" in text

@@ -1,0 +1,66 @@
+"""Full-pipeline integration test at paper scale (16 cores).
+
+This is the reproduction's acceptance test: the complete methodology —
+capture on the electrical baseline, execution-driven reference on the ONOC,
+naive and self-correcting replays — must show the paper's qualitative
+result on the real configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TraceConfig, default_16core_config
+from repro.core import compare_to_reference, replay_trace
+from repro.harness import optical_factory, run_execution_driven
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    exp = default_16core_config().with_seed(7)
+    res_e, trace, _ = run_execution_driven(exp, "lu", "electrical")
+    res_o, ref_trace, _ = run_execution_driven(exp, "lu", "optical")
+    factory = optical_factory(exp.onoc, exp.seed)
+    naive = replay_trace(trace, factory, TraceConfig(mode="naive"))
+    sc = replay_trace(trace, factory, TraceConfig(mode="self_correcting"))
+    return exp, res_e, res_o, trace, ref_trace, naive, sc
+
+
+def test_optical_network_speeds_up_application(pipeline):
+    _, res_e, res_o, *_ = pipeline
+    assert res_o.exec_time_cycles < res_e.exec_time_cycles
+
+
+def test_trace_covers_all_traffic(pipeline):
+    _, res_e, _, trace, *_ = pipeline
+    assert len(trace) == res_e.messages
+    trace.validate()
+
+
+def test_self_correction_is_high_precision(pipeline):
+    """The abstract's claim: 'our simulation system achieves a high
+    precision' — self-correcting error must be small in absolute terms."""
+    *_, ref_trace, naive, sc = pipeline
+    rep = compare_to_reference(sc, ref_trace)
+    assert rep.exec_time_error_pct < 5.0
+    assert rep.mean_latency_error_pct < 15.0
+
+
+def test_self_correction_beats_naive_substantially(pipeline):
+    *_, ref_trace, naive, sc = pipeline
+    rep_n = compare_to_reference(naive, ref_trace)
+    rep_s = compare_to_reference(sc, ref_trace)
+    assert rep_s.exec_time_error_pct < rep_n.exec_time_error_pct / 2
+
+
+def test_replay_not_substantially_slower_than_exec(pipeline):
+    """The abstract's claim: 'while not substantially extend the total
+    simulation time' — replay must not cost more wall-clock than the
+    execution-driven reference run."""
+    _, _, res_o, _, _, _, sc = pipeline
+    assert sc.wall_clock_s < 2 * res_o.wall_clock_s
+
+
+def test_full_message_coverage_in_replay(pipeline):
+    *_, sc = pipeline
+    assert sc.messages_unreplayed == 0

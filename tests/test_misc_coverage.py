@@ -1,0 +1,110 @@
+"""Coverage for smaller surfaces: summaries, loss presets, factory errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NocConfig, OnocConfig
+from repro.engine import Simulator
+from repro.net import Message
+from repro.noc import ElectricalNetwork
+from repro.onoc import LossBudget, build_optical_network
+from repro.stats import NetworkStats, RunSummary
+
+
+# ------------------------------------------------------------- RunSummary
+def test_run_summary_row():
+    st = NetworkStats()
+    st.messages_delivered = 5
+    st.latency.record(1, 10)
+    s = RunSummary(label="x", exec_time_cycles=100, wall_clock_s=1.234,
+                   network=st, extra={"note": "y"})
+    row = s.as_row()
+    assert row["label"] == "x"
+    assert row["wall_clock_s"] == 1.234
+    assert row["messages"] == 5
+    assert row["avg_latency"] == 10.0
+    assert row["note"] == "y"
+
+
+# ------------------------------------------------------------ loss presets
+def test_swmr_loss_matches_mwsr_shape():
+    cfg = OnocConfig()
+    b = LossBudget(cfg)
+    # Same serpentine geometry and ring pass count in this model.
+    assert b.swmr_worst_loss_db() == pytest.approx(b.crossbar_worst_loss_db())
+
+
+def test_awgr_loss_includes_insertion():
+    cfg = OnocConfig(topology="awgr")
+    b = LossBudget(cfg)
+    assert b.awgr_worst_loss_db(awgr_insertion_db=0.0) < b.awgr_worst_loss_db()
+    with pytest.raises(ValueError):
+        b.awgr_worst_loss_db(awgr_insertion_db=-1.0)
+
+
+def test_awgr_loss_smaller_than_crossbar():
+    b = LossBudget(OnocConfig(topology="awgr"))
+    assert b.awgr_worst_loss_db() < b.crossbar_worst_loss_db()
+
+
+# ---------------------------------------------------------------- factory
+def test_optical_factory_rejects_unknown():
+    sim = Simulator(seed=1)
+    cfg = OnocConfig()
+    object.__setattr__(cfg, "topology", "freeform")  # bypass frozen validation
+    with pytest.raises(ValueError, match="unknown optical topology"):
+        build_optical_network(sim, cfg)
+
+
+# ------------------------------------------------------- network edge cases
+def test_message_to_adjacent_and_far_nodes_same_run():
+    sim = Simulator(seed=1)
+    net = ElectricalNetwork(sim, NocConfig())
+    lats = {}
+    for dst in (1, 15):
+        m = Message(0, dst, 16, payload=dst,
+                    on_delivery=lambda m: lats.__setitem__(m.payload, m.latency))
+        sim.schedule(0, net.send, (m,))
+    sim.run()
+    assert lats[15] > lats[1]
+
+
+def test_zero_payload_message_min_size():
+    sim = Simulator(seed=1)
+    net = ElectricalNetwork(sim, NocConfig())
+    done = []
+    net.set_delivery_handler(done.append)
+    sim.schedule(0, net.send, (Message(0, 1, 1),))  # 1 byte -> 1 flit
+    sim.run()
+    assert net.stats.flits_delivered == 1
+
+
+def test_parallel_flows_share_fairly():
+    """Two symmetric opposing flows finish within ~25% of each other
+    (round-robin arbitration fairness)."""
+    sim = Simulator(seed=1)
+    net = ElectricalNetwork(sim, NocConfig())
+    finish = {}
+    for k in range(10):
+        for src, dst in ((0, 3), (3, 0)):
+            m = Message(src, dst, 64, payload=(src, k),
+                        on_delivery=lambda m: finish.__setitem__(
+                            m.payload, m.deliver_time))
+            sim.schedule(0, net.send, (m,))
+    sim.run()
+    last_a = max(t for (s, _), t in finish.items() if s == 0)
+    last_b = max(t for (s, _), t in finish.items() if s == 3)
+    assert abs(last_a - last_b) <= 0.25 * max(last_a, last_b)
+
+
+def test_crossbar_queueing_delay_stat_records():
+    from repro.onoc import OpticalCrossbar
+
+    sim = Simulator(seed=1)
+    net = OpticalCrossbar(sim, OnocConfig())
+    for k in range(4):
+        sim.schedule(0, net.send, (Message(k, 9, 720),))
+    sim.run()
+    assert net.stats.queueing_delay.count == 4
+    assert net.stats.queueing_delay.max > 0

@@ -1,0 +1,76 @@
+"""Link-utilisation analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NocConfig
+from repro.engine import Simulator
+from repro.net import Message
+from repro.noc import ElectricalNetwork
+from repro.noc.metrics import analyze_links
+from repro.noc.topology import EAST
+
+
+def run_traffic(sends, cfg=None):
+    sim = Simulator(seed=1)
+    net = ElectricalNetwork(sim, cfg or NocConfig())
+    for t, s, d, size in sends:
+        sim.schedule(t, net.send, (Message(s, d, size),))
+    sim.run()
+    return net, sim.now
+
+
+def test_requires_positive_cycles():
+    net, _ = run_traffic([(0, 0, 1, 16)])
+    with pytest.raises(ValueError):
+        analyze_links(net, 0)
+
+
+def test_single_flow_counts():
+    net, t = run_traffic([(0, 0, 3, 64)])  # 4 flits, 3 east hops
+    rep = analyze_links(net, t)
+    assert sum(l.flits for l in rep.links) == 12
+    assert all(l.out_port == EAST for l in rep.links)
+    assert rep.max_utilization <= 1.0
+
+
+def test_hottest_links_sorted():
+    sends = [(i, 0, 3, 64) for i in range(0, 40, 4)] + [(0, 4, 5, 16)]
+    net, t = run_traffic(sends)
+    rep = analyze_links(net, t)
+    hot = rep.hottest(3)
+    assert hot[0].flits >= hot[1].flits >= hot[2].flits
+    assert hot[0].label().endswith("E")
+
+
+def test_imbalance_uniform_vs_hotspot():
+    uniform_sends = [(i, s, d, 32) for i, (s, d) in enumerate(
+        (s, d) for s in range(16) for d in range(16) if s != d)]
+    hotspot_sends = [(i, s, 0, 32) for i, s in enumerate(range(1, 16))] * 4
+    hotspot_sends = [(i, s, 0, 32) for i, (j, s, _, _) in enumerate(hotspot_sends)]
+    net_u, t_u = run_traffic(uniform_sends)
+    net_h, t_h = run_traffic([(i, s, 0, 32) for i, s in
+                              enumerate(list(range(1, 16)) * 4)])
+    rep_u = analyze_links(net_u, t_u)
+    rep_h = analyze_links(net_h, t_h)
+    assert rep_h.imbalance > rep_u.imbalance
+
+
+def test_bisection_counts_mid_cut_only():
+    # 0 -> 3 crosses the 4x4 vertical mid-cut once per flit (x=1 -> x=2).
+    net, t = run_traffic([(0, 0, 3, 64)])
+    rep = analyze_links(net, t)
+    assert rep.bisection_flits == 4
+    # 0 -> 1 never crosses it.
+    net2, t2 = run_traffic([(0, 0, 1, 64)])
+    assert analyze_links(net2, t2).bisection_flits == 0
+
+
+def test_empty_network_report():
+    sim = Simulator(seed=1)
+    net = ElectricalNetwork(sim, NocConfig())
+    rep = analyze_links(net, 100)
+    assert rep.links == []
+    assert rep.mean_utilization == 0.0
+    assert rep.imbalance == 0.0

@@ -1,0 +1,110 @@
+"""Circuit-switched optical mesh tests: setup, blocking, teardown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import OnocConfig
+from repro.engine import Simulator
+from repro.net import Message
+from repro.onoc import CircuitSwitchedMesh
+
+
+CFG = OnocConfig(topology="circuit_mesh", num_nodes=16)
+
+
+def run(sends, cfg=CFG, seed=1):
+    sim = Simulator(seed=seed)
+    net = CircuitSwitchedMesh(sim, cfg)
+    done = []
+    net.set_delivery_handler(done.append)
+    for t, s, d, size in sends:
+        sim.schedule(t, net.send, (Message(s, d, size),))
+    sim.run()
+    return net, done
+
+
+def test_single_circuit_latency_decomposition():
+    net, done = run([(0, 0, 1, 72)])
+    m = done[0]
+    hops = 1
+    setup = (hops + 1) * CFG.setup_router_latency + hops * CFG.setup_link_latency
+    ack = hops * CFG.setup_link_latency + 1
+    ser = CFG.serialization_cycles(72)
+    prop = CFG.propagation_cycles(hops * net.link_length_cm)
+    expected = setup + ack + 2 * CFG.conversion_cycles + ser + prop
+    assert m.latency == expected
+
+
+def test_latency_grows_with_hops():
+    _, near = run([(0, 0, 1, 72)])
+    _, far = run([(0, 0, 15, 72)])
+    assert far[0].latency > near[0].latency
+
+
+def test_blocking_on_shared_segment():
+    # Both circuits need link (0 -> 1): 0->3 and 0->2 share it under XY.
+    net, done = run([(0, 0, 3, 72), (0, 0, 2, 72)])
+    lats = sorted(m.latency for m in done)
+    assert lats[1] > lats[0]
+    assert net.stats.queueing_delay.max >= 0
+    assert net.quiescent()
+
+
+def test_disjoint_circuits_parallel():
+    _, alone = run([(0, 0, 1, 72)])
+    _, pair = run([(0, 0, 1, 72), (0, 14, 15, 72)])
+    lat_alone = alone[0].latency
+    lat_pair = next(m.latency for m in pair if m.src == 0)
+    assert lat_pair == lat_alone
+
+
+def test_teardown_releases_segments():
+    net, done = run([(0, 0, 15, 72), (500, 0, 15, 72)])
+    assert len(done) == 2
+    # Far apart in time: identical latency (no residual reservation).
+    assert done[0].latency == done[1].latency
+    assert all(seg.holder is None for seg in net.segments.values())
+
+
+def test_many_random_circuits_drain():
+    import numpy as np
+
+    rng = np.random.default_rng(2)
+    sends = []
+    for i in range(300):
+        s, d = int(rng.integers(0, 16)), int(rng.integers(0, 16))
+        if s != d:
+            sends.append((int(rng.integers(0, 400)), s, d, int(rng.integers(8, 256))))
+    net, done = run(sends)
+    assert len(done) == len(sends)
+    assert net.quiescent()
+    assert net.circuits_completed == len(sends)
+
+
+def test_setup_hops_counted():
+    net, _ = run([(0, 0, 5, 72)])  # 0 -> 1 -> 5 under XY: 2 hops
+    assert net.setup_hops_total == 2
+
+
+def test_hop_count_stat_matches_xy():
+    net, _ = run([(0, 0, 15, 72)])
+    assert net.stats.hop_count.mean == 6
+
+
+def test_self_send_rejected():
+    sim = Simulator()
+    net = CircuitSwitchedMesh(sim, CFG)
+    with pytest.raises(ValueError, match="self-send"):
+        net.send(Message(1, 1, 8))
+
+
+def test_opposing_flows_no_deadlock():
+    """Classic 4-flow ring pattern that deadlocks non-DOR reservation."""
+    sends = [
+        (0, 0, 3, 720), (0, 3, 15, 720), (0, 15, 12, 720), (0, 12, 0, 720),
+        (0, 3, 0, 720), (0, 15, 3, 720), (0, 12, 15, 720), (0, 0, 12, 720),
+    ]
+    net, done = run(sends)
+    assert len(done) == 8
+    assert net.quiescent()

@@ -1,0 +1,114 @@
+"""Path-adaptive hybrid-network tests (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NocConfig, OnocConfig, SystemConfig
+from repro.engine import Simulator
+from repro.net import Message
+from repro.onoc import HybridConfig, HybridNetwork
+from repro.system import FullSystem, build_workload
+
+
+def make(threshold=3, seed=1):
+    sim = Simulator(seed=seed)
+    cfg = HybridConfig(noc=NocConfig(), onoc=OnocConfig(),
+                       optical_threshold=threshold)
+    return sim, HybridNetwork(sim, cfg)
+
+
+def run(sends, threshold=3, seed=1):
+    sim, net = make(threshold, seed)
+    done = []
+    net.set_delivery_handler(done.append)
+    for t, s, d, size in sends:
+        sim.schedule(t, net.send, (Message(s, d, size),))
+    sim.run()
+    return net, done
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="mismatch"):
+        HybridConfig(noc=NocConfig(), onoc=OnocConfig(num_nodes=4))
+    with pytest.raises(ValueError, match="threshold"):
+        HybridConfig(noc=NocConfig(), onoc=OnocConfig(), optical_threshold=-1)
+
+
+def test_routing_decision_by_distance():
+    _, net = make(threshold=3)
+    assert not net.route_optical(0, 1)      # 1 hop
+    assert not net.route_optical(0, 5)      # 2 hops
+    assert net.route_optical(0, 15)         # 6 hops
+    assert net.route_optical(0, 3)          # 3 hops == threshold
+
+
+def test_threshold_zero_all_optical():
+    sends = [(0, s, d, 64) for s in range(16) for d in range(16) if s != d]
+    net, done = run(sends, threshold=0)
+    assert len(done) == len(sends)
+    assert net.sent_electrical == 0
+    assert net.optical_fraction == 1.0
+
+
+def test_threshold_above_diameter_all_electrical():
+    sends = [(0, s, d, 64) for s in range(16) for d in range(16) if s != d]
+    net, done = run(sends, threshold=7)
+    assert len(done) == len(sends)
+    assert net.sent_optical == 0
+    assert net.optical_fraction == 0.0
+
+
+def test_mixed_threshold_splits_traffic():
+    sends = [(0, s, d, 64) for s in range(16) for d in range(16) if s != d]
+    net, done = run(sends, threshold=3)
+    assert len(done) == len(sends)
+    assert net.sent_electrical > 0 and net.sent_optical > 0
+    assert net.sent_electrical + net.sent_optical == len(sends)
+    assert net.quiescent()
+
+
+def test_hybrid_stats_are_union_of_layers():
+    sends = [(0, 0, 1, 64), (0, 0, 15, 64)]
+    net, done = run(sends, threshold=3)
+    assert net.stats.messages_delivered == 2
+    assert (net.electrical.stats.messages_delivered
+            + net.optical.stats.messages_delivered) == 2
+
+
+def test_long_haul_faster_on_hybrid_than_pure_electrical():
+    # 6-hop message: hybrid sends it optically.
+    _, hybrid_done = run([(0, 0, 15, 64)], threshold=3)
+    from repro.noc import ElectricalNetwork
+
+    sim = Simulator(seed=1)
+    elec = ElectricalNetwork(sim, NocConfig())
+    done = []
+    elec.set_delivery_handler(done.append)
+    sim.schedule(0, elec.send, (Message(0, 15, 64),))
+    sim.run()
+    assert hybrid_done[0].latency < done[0].latency
+
+
+def test_per_message_callback_fires_once():
+    count = []
+    sim, net = make()
+    msg = Message(0, 15, 64, on_delivery=lambda m: count.append(m.id))
+    sim.schedule(0, net.send, (msg,))
+    sim.run()
+    assert len(count) == 1
+
+
+def test_full_system_runs_on_hybrid():
+    progs = build_workload("fft", 16, seed=7)
+    sim, net = make(threshold=3, seed=7)
+    system = FullSystem(sim, SystemConfig(), net, progs)
+    res = system.run(max_cycles=10_000_000)
+    assert res.exec_time_cycles > 0
+    assert net.sent_electrical > 0 and net.sent_optical > 0
+
+
+def test_self_send_rejected():
+    sim, net = make()
+    with pytest.raises(ValueError, match="self-send"):
+        net.send(Message(4, 4, 8))

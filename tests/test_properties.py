@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NocConfig
+from repro.engine import EventQueue, Simulator
+from repro.noc.routing import productive_ports, route_port
+from repro.noc.topology import LOCAL, Topology
+from repro.stats import Histogram, OnlineStats
+from repro.stats.error import mean_absolute_percentage_error
+
+
+# ------------------------------------------------------------- event queue
+@given(st.lists(st.tuples(st.integers(0, 10_000), st.integers(0, 5)),
+                max_size=200))
+def test_event_queue_pops_sorted(items):
+    q = EventQueue()
+    for t, prio in items:
+        q.push(t, lambda: None, priority=prio)
+    popped = []
+    while (ev := q.pop()) is not None:
+        popped.append((ev.time, ev.priority, ev.seq))
+    assert popped == sorted(popped)
+    assert len(popped) == len(items)
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=100),
+       st.data())
+def test_event_queue_cancellation_preserves_rest(times, data):
+    q = EventQueue()
+    evs = [q.push(t, lambda: None) for t in times]
+    to_cancel = data.draw(st.sets(st.integers(0, len(evs) - 1),
+                                  max_size=len(evs)))
+    for i in to_cancel:
+        q.cancel(evs[i])
+    popped = 0
+    while q.pop() is not None:
+        popped += 1
+    assert popped == len(evs) - len(to_cancel)
+
+
+# ------------------------------------------------------------ online stats
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1,
+                max_size=500))
+def test_online_stats_agrees_with_numpy(xs):
+    s = OnlineStats()
+    for x in xs:
+        s.add(x)
+    arr = np.asarray(xs)
+    assert s.mean == pytest.approx(arr.mean(), rel=1e-9, abs=1e-6)
+    if len(xs) > 1:
+        assert s.variance == pytest.approx(arr.var(ddof=1), rel=1e-6, abs=1e-4)
+    assert s.min == arr.min() and s.max == arr.max()
+
+
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), max_size=200),
+       st.lists(st.floats(-1e6, 1e6, allow_nan=False), max_size=200))
+def test_online_stats_merge_equals_concat(a_xs, b_xs):
+    a, b, whole = OnlineStats(), OnlineStats(), OnlineStats()
+    for x in a_xs:
+        a.add(x)
+        whole.add(x)
+    for x in b_xs:
+        b.add(x)
+        whole.add(x)
+    a.merge(b)
+    assert a.count == whole.count
+    assert a.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-6)
+    assert a.variance == pytest.approx(whole.variance, rel=1e-6, abs=1e-4)
+
+
+# -------------------------------------------------------------- histogram
+@given(st.lists(st.integers(0, 5000), max_size=300),
+       st.integers(1, 50), st.integers(1, 64))
+def test_histogram_conserves_mass(xs, bin_width, num_bins):
+    h = Histogram(bin_width=bin_width, num_bins=num_bins)
+    for x in xs:
+        h.add(x)
+    assert int(h.counts.sum()) + h.overflow == len(xs)
+
+
+@given(st.lists(st.integers(0, 200), min_size=1, max_size=300))
+def test_histogram_percentile_monotone(xs):
+    h = Histogram(bin_width=2, num_bins=128)
+    h.add_many(xs)
+    qs = [h.percentile(q) for q in (10, 50, 90, 99)]
+    assert qs == sorted(qs)
+
+
+# ------------------------------------------------------------ error metric
+@given(st.lists(st.floats(1, 1e6), min_size=1, max_size=100))
+def test_mape_zero_for_identical(xs):
+    assert mean_absolute_percentage_error(xs, xs) == pytest.approx(0.0)
+
+
+@given(st.lists(st.floats(1, 1e6), min_size=1, max_size=100),
+       st.floats(0.01, 3.0))
+def test_mape_of_uniform_scaling(xs, k):
+    scaled = [x * k for x in xs]
+    assert mean_absolute_percentage_error(scaled, xs) == pytest.approx(
+        abs(k - 1) * 100, rel=1e-6)
+
+
+# ----------------------------------------------------------------- routing
+@st.composite
+def topo_and_pair(draw):
+    kind = draw(st.sampled_from(["mesh", "torus", "ring"]))
+    if kind == "ring":
+        n = draw(st.integers(3, 12))
+        cfg = NocConfig(topology="ring", width=n, height=1)
+    else:
+        w = draw(st.integers(2, 6))
+        h = draw(st.integers(2, 6))
+        cfg = NocConfig(topology=kind, width=w, height=h)
+    t = Topology(cfg)
+    s = draw(st.integers(0, t.num_nodes - 1))
+    d = draw(st.integers(0, t.num_nodes - 1))
+    return t, s, d
+
+
+@given(topo_and_pair())
+@settings(max_examples=200)
+def test_route_walk_reaches_destination_minimally(args):
+    t, s, d = args
+    cur, hops = s, 0
+    while cur != d:
+        port = route_port(t, "xy", cur, d)
+        assert port != LOCAL
+        nb = t.neighbor(cur, port)
+        assert nb is not None
+        cur = nb[0]
+        hops += 1
+        assert hops <= t.num_nodes * 2, "routing loop"
+    assert hops == t.min_hops(s, d)
+
+
+@given(topo_and_pair())
+@settings(max_examples=200)
+def test_productive_ports_reduce_distance(args):
+    t, s, d = args
+    for p in productive_ports(t, s, d):
+        nb = t.neighbor(s, p)
+        assert nb is not None
+        assert t.min_hops(nb[0], d) == t.min_hops(s, d) - 1
+
+
+# -------------------------------------------------------------- simulator
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=100))
+def test_simulator_clock_monotone(times):
+    sim = Simulator()
+    seen = []
+    for t in times:
+        sim.schedule(t, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+    assert sim.now == max(times)

@@ -1,0 +1,104 @@
+"""Property-based fuzzing of the full coherence system.
+
+Hypothesis generates arbitrary small programs (random loads/stores/computes
+over a small line pool, with a consistent barrier skeleton) and the machine
+must always (a) run to completion — no protocol deadlock — and (b) end in a
+directory/L1-consistent state.  This is the test that hunts protocol races
+the hand-written scenarios didn't think of.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig, NocConfig, OnocConfig, SystemConfig
+from repro.engine import Simulator
+from repro.noc import ElectricalNetwork
+from repro.onoc import build_optical_network
+from repro.system import FullSystem
+from repro.system.ops import OP_BARRIER, OP_COMPUTE, OP_LOAD, OP_STORE
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from test_system_protocol import check_coherence_invariant  # noqa: E402
+
+CORES = 4
+LINE_POOL = 24   # few lines -> heavy sharing and eviction pressure
+LINE = 64
+
+
+def tiny_syscfg() -> SystemConfig:
+    return SystemConfig(
+        num_cores=CORES,
+        # Tiny L1: 2 sets x 2 ways -> constant evictions and writebacks.
+        l1=CacheConfig(size_bytes=256, assoc=2, line_bytes=64, hit_latency=1),
+        l2_slice=CacheConfig(size_bytes=1024, assoc=2, line_bytes=64,
+                             hit_latency=2),
+        mem_latency=20,
+        num_mem_ctrls=2,
+    )
+
+
+op_st = st.one_of(
+    st.tuples(st.just(OP_COMPUTE), st.integers(0, 15)),
+    st.tuples(st.just(OP_LOAD),
+              st.integers(0, LINE_POOL - 1).map(lambda l: l * LINE)),
+    st.tuples(st.just(OP_STORE),
+              st.integers(0, LINE_POOL - 1).map(lambda l: l * LINE)),
+)
+
+
+@st.composite
+def programs_strategy(draw):
+    """CORES programs with an identical barrier skeleton."""
+    n_barriers = draw(st.integers(0, 3))
+    progs = []
+    for _ in range(CORES):
+        chunks = [
+            draw(st.lists(op_st, max_size=12)) for _ in range(n_barriers + 1)
+        ]
+        prog = []
+        for b, chunk in enumerate(chunks):
+            prog.extend(chunk)
+            if b < n_barriers:
+                prog.append((OP_BARRIER, b))
+        progs.append(prog)
+    return progs
+
+
+def run_on(progs, make_net, seed):
+    sim = Simulator(seed=seed)
+    net = make_net(sim)
+    system = FullSystem(sim, tiny_syscfg(), net, progs)
+    res = system.run(max_cycles=3_000_000)
+    check_coherence_invariant(system)
+    return res
+
+
+@given(programs_strategy(), st.integers(0, 4))
+@settings(max_examples=50, deadline=None)
+def test_random_programs_complete_on_electrical(progs, seed):
+    res = run_on(progs, lambda sim: ElectricalNetwork(
+        sim, NocConfig(width=2, height=2)), seed)
+    assert len(res.per_core_finish) == CORES
+
+
+@given(programs_strategy(), st.integers(0, 4))
+@settings(max_examples=30, deadline=None)
+def test_random_programs_complete_on_optical(progs, seed):
+    res = run_on(progs, lambda sim: build_optical_network(
+        sim, OnocConfig(num_nodes=CORES, num_wavelengths=16)), seed)
+    assert len(res.per_core_finish) == CORES
+
+
+@given(programs_strategy())
+@settings(max_examples=20, deadline=None)
+def test_same_programs_deterministic(progs):
+    a = run_on(progs, lambda sim: ElectricalNetwork(
+        sim, NocConfig(width=2, height=2)), seed=1)
+    b = run_on(progs, lambda sim: ElectricalNetwork(
+        sim, NocConfig(width=2, height=2)), seed=1)
+    assert a.per_core_finish == b.per_core_finish
+    assert a.messages == b.messages

@@ -1,0 +1,128 @@
+"""Property-based tests of the trace model on *generated* dependency DAGs.
+
+Hypothesis builds random-but-valid traces (arbitrary fan-out DAGs with
+consistent gaps and latencies); the replayers must uphold their contracts on
+every one of them — full coverage, causal gap alignment, JSON round-trip,
+and profile consistency.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import OnocConfig
+from repro.core import (
+    NaiveReplayer,
+    SelfCorrectingReplayer,
+    Trace,
+    TraceRecord,
+    profile_trace,
+)
+from repro.engine import Simulator
+from repro.onoc import build_optical_network
+
+NODES = 8
+
+
+@st.composite
+def traces(draw) -> Trace:
+    """Random valid dependency-annotated trace on an 8-node machine."""
+    n = draw(st.integers(1, 40))
+    records: list[TraceRecord] = []
+    for i in range(n):
+        src = draw(st.integers(0, NODES - 1))
+        dst = draw(st.integers(0, NODES - 1))
+        if dst == src:
+            dst = (src + 1) % NODES
+        size = draw(st.integers(1, 256))
+        if records and draw(st.booleans()):
+            cause = records[draw(st.integers(0, len(records) - 1))]
+            gap = draw(st.integers(0, 50))
+            t_inject = cause.t_deliver + gap
+            cause_id = cause.msg_id
+        else:
+            t_inject = draw(st.integers(0, 200))
+            gap = t_inject
+            cause_id = -1
+        latency = draw(st.integers(1, 60))
+        records.append(TraceRecord(
+            msg_id=i, key=(src, dst, "synthetic", i, 0), src=src, dst=dst,
+            size_bytes=size, kind="synthetic", t_inject=t_inject,
+            t_deliver=t_inject + latency, cause_id=cause_id, gap=gap,
+        ))
+    exec_time = max(r.t_deliver for r in records)
+    trace = Trace(records=records, end_markers=[], exec_time=exec_time)
+    trace.validate()
+    return trace
+
+
+def _replay(trace: Trace, replayer_cls):
+    sim = Simulator(seed=1)
+    net = build_optical_network(
+        sim, OnocConfig(num_nodes=NODES, num_wavelengths=16))
+    return replayer_cls(trace, sim, net).run()
+
+
+@given(traces())
+@settings(max_examples=60, deadline=None)
+def test_naive_replays_every_record_at_its_timestamp(trace):
+    result = _replay(trace, NaiveReplayer)
+    assert result.messages_unreplayed == 0
+    for r in trace.records:
+        assert result.injections[r.msg_id] == r.t_inject
+        assert result.deliveries[r.msg_id] > result.injections[r.msg_id]
+
+
+@given(traces())
+@settings(max_examples=60, deadline=None)
+def test_self_correcting_gap_alignment_holds(trace):
+    result = _replay(trace, SelfCorrectingReplayer)
+    assert result.messages_unreplayed == 0
+    for r in trace.records:
+        if r.cause_id == -1:
+            assert result.injections[r.msg_id] == r.gap
+        else:
+            assert (result.injections[r.msg_id]
+                    == result.deliveries[r.cause_id] + r.gap)
+
+
+@given(traces())
+@settings(max_examples=60, deadline=None)
+def test_replay_deliveries_respect_causality(trace):
+    result = _replay(trace, SelfCorrectingReplayer)
+    for r in trace.records:
+        if r.cause_id != -1:
+            assert (result.deliveries[r.cause_id]
+                    <= result.injections[r.msg_id])
+
+
+@given(traces())
+@settings(max_examples=40, deadline=None)
+def test_json_roundtrip_random_traces(trace):
+    again = Trace.from_json(trace.to_json())
+    assert again.records == trace.records
+    assert again.exec_time == trace.exec_time
+
+
+@given(traces())
+@settings(max_examples=40, deadline=None)
+def test_profile_consistency_random_traces(trace):
+    prof = profile_trace(trace)
+    assert prof.messages == len(trace)
+    assert prof.roots == len(trace.roots())
+    assert 1 <= prof.dependency_depth <= len(trace)
+    assert prof.dependency_depth == trace.dependency_depth()
+    assert prof.bytes_total == trace.bytes_total()
+    assert prof.critical_gap_sum >= 0
+
+
+@given(traces(), st.floats(0.0, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_dep_ablation_always_total(trace, frac):
+    sim = Simulator(seed=1)
+    net = build_optical_network(
+        sim, OnocConfig(num_nodes=NODES, num_wavelengths=16))
+    result = SelfCorrectingReplayer(trace, sim, net,
+                                    keep_dep_fraction=frac).run()
+    assert result.messages_unreplayed == 0

@@ -1,0 +1,105 @@
+"""Op encoding and workload-generator structural tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.ops import (
+    OP_BARRIER,
+    OP_COMPUTE,
+    OP_LOAD,
+    OP_STORE,
+    check_barrier_consistency,
+    op_histogram,
+    validate_program,
+)
+from repro.system.workloads import WORKLOADS, build_workload
+
+
+def test_validate_program_accepts_good():
+    prog = [(OP_COMPUTE, 5), (OP_LOAD, 64), (OP_STORE, 128), (OP_BARRIER, 0)]
+    assert validate_program(prog) == prog
+
+
+@pytest.mark.parametrize("bad", [
+    [(99, 0)],
+    [(OP_COMPUTE, -1)],
+    [(OP_LOAD, -5)],
+    [(OP_BARRIER, -1)],
+    [(OP_LOAD,)],
+])
+def test_validate_program_rejects_bad(bad):
+    with pytest.raises(ValueError):
+        validate_program(bad)  # type: ignore[arg-type]
+
+
+def test_op_histogram():
+    prog = [(OP_COMPUTE, 5), (OP_LOAD, 0), (OP_LOAD, 64), (OP_BARRIER, 0)]
+    h = op_histogram(prog)
+    assert h == {"compute": 1, "load": 2, "store": 0, "barrier": 1}
+
+
+def test_barrier_consistency_ok():
+    progs = [[(OP_BARRIER, 0), (OP_BARRIER, 1)],
+             [(OP_COMPUTE, 3), (OP_BARRIER, 0), (OP_BARRIER, 1)]]
+    assert check_barrier_consistency(progs) == [0, 1]
+
+
+def test_barrier_mismatch_detected():
+    progs = [[(OP_BARRIER, 0)], [(OP_BARRIER, 1)]]
+    with pytest.raises(ValueError, match="differs"):
+        check_barrier_consistency(progs)
+
+
+def test_barrier_duplicate_ids_detected():
+    progs = [[(OP_BARRIER, 0), (OP_BARRIER, 0)]] * 2
+    with pytest.raises(ValueError, match="unique"):
+        check_barrier_consistency(progs)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workloads_generate_valid_programs(name):
+    progs = build_workload(name, 16, seed=3)
+    assert len(progs) == 16
+    assert all(len(p) > 0 for p in progs)
+    # every core does at least some memory traffic
+    for p in progs:
+        h = op_histogram(p)
+        assert h["load"] + h["store"] > 0
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workloads_deterministic(name):
+    a = build_workload(name, 8, seed=11)
+    b = build_workload(name, 8, seed=11)
+    assert a == b
+
+
+def test_workloads_differ_across_seeds():
+    a = build_workload("randshare", 8, seed=1)
+    b = build_workload("randshare", 8, seed=2)
+    assert a != b
+
+
+def test_workload_scale_grows_programs():
+    small = build_workload("fft", 8, seed=1, scale=0.5)
+    big = build_workload("fft", 8, seed=1, scale=2.0)
+    assert sum(map(len, big)) > sum(map(len, small))
+
+
+def test_workload_odd_core_counts():
+    for name in sorted(WORKLOADS):
+        progs = build_workload(name, 5, seed=4)
+        assert len(progs) == 5
+
+
+def test_unknown_workload():
+    with pytest.raises(ValueError, match="unknown workload"):
+        build_workload("linpack", 16, seed=0)
+
+
+def test_workload_bad_args():
+    with pytest.raises(ValueError):
+        build_workload("fft", 0, seed=0)
+    with pytest.raises(ValueError):
+        build_workload("fft", 4, seed=0, scale=0)

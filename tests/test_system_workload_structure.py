@@ -1,0 +1,135 @@
+"""Structural workload properties: race freedom, pattern shape.
+
+The trace methodology's accuracy depends on kernels whose *communication
+pattern* is network-invariant: within one barrier-delimited phase, no line
+written by one core may be touched by another (such races resolve
+differently on different networks and change the protocol message set).
+The double-buffered kernels must satisfy this exactly; the intentionally
+racy ones (radix scatter collisions, randshare/barnes migratory cells) are
+exempt and documented as such.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system import build_workload
+from repro.system.ops import OP_BARRIER, OP_LOAD, OP_STORE
+from repro.system.workloads.base import LINE_BYTES
+
+RACE_FREE = ("fft", "stencil", "lu", "prodcons", "cholesky")
+RACY = ("radix", "randshare", "barnes")
+
+
+def phase_races(programs) -> list[tuple[int, int]]:
+    """(phase, line) pairs where one core stores a line another touches."""
+    # Split each program into phases at barrier boundaries; barrier ids are
+    # globally ordered, so phase index == number of barriers passed.
+    per_phase_stores: dict[int, dict[int, set[int]]] = {}
+    per_phase_touch: dict[int, dict[int, set[int]]] = {}
+    for core, prog in enumerate(programs):
+        phase = 0
+        for code, arg in prog:
+            if code == OP_BARRIER:
+                phase += 1
+                continue
+            if code not in (OP_LOAD, OP_STORE):
+                continue
+            line = arg // LINE_BYTES
+            per_phase_touch.setdefault(phase, {}).setdefault(
+                line, set()).add(core)
+            if code == OP_STORE:
+                per_phase_stores.setdefault(phase, {}).setdefault(
+                    line, set()).add(core)
+    races = []
+    for phase, stores in per_phase_stores.items():
+        touches = per_phase_touch[phase]
+        for line, writers in stores.items():
+            others = touches[line] - writers
+            if others or len(writers) > 1:
+                races.append((phase, line))
+    return sorted(set(races))
+
+
+@pytest.mark.parametrize("name", RACE_FREE)
+@pytest.mark.parametrize("cores", [4, 16])
+def test_race_free_kernels_have_no_phase_races(name, cores):
+    programs = build_workload(name, cores, seed=7)
+    assert phase_races(programs) == [], name
+
+
+@pytest.mark.parametrize("name", RACY)
+def test_racy_kernels_are_actually_racy(name):
+    """The exemption list must stay honest: these kernels do race."""
+    programs = build_workload(name, 16, seed=7)
+    assert phase_races(programs) != [], name
+
+
+def test_fft_partner_symmetry():
+    """In each fft phase, if core i reads core j's slab, j reads i's."""
+    programs = build_workload("fft", 16, seed=7)
+    from repro.system.workloads.base import PRIVATE_REGION_LINES
+
+    reads_by_phase: dict[int, dict[int, set[int]]] = {}
+    for core, prog in enumerate(programs):
+        phase = 0
+        for code, arg in prog:
+            if code == OP_BARRIER:
+                phase += 1
+            elif code == OP_LOAD:
+                owner = (arg // LINE_BYTES) // PRIVATE_REGION_LINES
+                reads_by_phase.setdefault(phase, {}).setdefault(
+                    core, set()).add(owner)
+    for phase, reads in reads_by_phase.items():
+        for core, owners in reads.items():
+            for owner in owners:
+                if owner != core:
+                    assert core in reads.get(owner, set()), (
+                        f"phase {phase}: {core} reads {owner} but not vice versa"
+                    )
+
+
+def test_lu_owner_rotates():
+    programs = build_workload("lu", 8, seed=7)
+    from repro.system.workloads.base import PRIVATE_REGION_LINES
+
+    # Stores from distinct cores must cover several distinct pivot owners.
+    storing_cores = set()
+    for core, prog in enumerate(programs):
+        if any(code == OP_STORE for code, _ in prog):
+            storing_cores.add(core)
+    assert len(storing_cores) == 8
+
+
+def test_cholesky_every_core_participates():
+    programs = build_workload("cholesky", 16, seed=7)
+    for core, prog in enumerate(programs):
+        mem_ops = sum(1 for code, _ in prog if code in (OP_LOAD, OP_STORE))
+        assert mem_ops > 0, f"core {core} idle"
+
+
+def test_stencil_reads_previous_phase_writes():
+    """Double-buffering: what a phase reads equals what the previous phase
+    wrote (modulo core ownership)."""
+    programs = build_workload("stencil", 16, seed=7)
+    from repro.system.workloads.base import PRIVATE_REGION_LINES
+
+    writes_by_phase: dict[int, set[int]] = {}
+    reads_by_phase: dict[int, set[int]] = {}
+    for prog in programs:
+        phase = 0
+        for code, arg in prog:
+            if code == OP_BARRIER:
+                phase += 1
+            else:
+                line = arg // LINE_BYTES
+                offset = line % PRIVATE_REGION_LINES
+                if code == OP_STORE:
+                    writes_by_phase.setdefault(phase, set()).add(offset)
+                elif code == OP_LOAD:
+                    reads_by_phase.setdefault(phase, set()).add(offset)
+    for phase in sorted(reads_by_phase):
+        if phase == 0:
+            continue
+        prev_writes = writes_by_phase.get(phase - 1, set())
+        assert reads_by_phase[phase] <= prev_writes, f"phase {phase}"

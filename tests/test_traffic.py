@@ -1,0 +1,140 @@
+"""Synthetic traffic pattern and generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import NocConfig, OnocConfig
+from repro.engine import Simulator
+from repro.noc import ElectricalNetwork
+from repro.onoc import build_optical_network
+from repro.traffic import (
+    PATTERNS,
+    SyntheticTrafficGenerator,
+    bit_complement,
+    bit_reverse,
+    neighbor,
+    run_synthetic,
+    tornado,
+    transpose,
+)
+
+RNG = np.random.default_rng(0)
+
+
+# ---------------------------------------------------------------- patterns
+def test_transpose_is_involution():
+    for src in range(16):
+        assert transpose(transpose(src, 16, RNG), 16, RNG) == src
+
+
+def test_transpose_diagonal_fixed_points():
+    for k in range(4):
+        src = k * 4 + k
+        assert transpose(src, 16, RNG) == src
+
+
+def test_bit_complement_power_of_two():
+    assert bit_complement(0, 16, RNG) == 15
+    assert bit_complement(5, 16, RNG) == 10
+
+
+def test_bit_complement_non_power_of_two():
+    assert bit_complement(0, 12, RNG) == 11
+
+
+def test_bit_reverse():
+    assert bit_reverse(1, 16, RNG) == 8
+    assert bit_reverse(8, 16, RNG) == 1
+    assert bit_reverse(0, 16, RNG) == 0
+    with pytest.raises(ValueError):
+        bit_reverse(0, 12, RNG)
+
+
+def test_neighbor_wraps():
+    assert neighbor(3, 16, RNG) == 0    # x=3 -> x=0 same row
+    assert neighbor(0, 16, RNG) == 1
+
+
+def test_tornado_half_way():
+    assert tornado(0, 16, RNG) == 2
+    assert tornado(2, 16, RNG) == 0
+
+
+def test_all_patterns_in_range():
+    for name, fn in PATTERNS.items():
+        for src in range(16):
+            for _ in range(5):
+                dst = fn(src, 16, RNG)
+                assert 0 <= dst < 16, name
+
+
+def test_spatial_patterns_need_square():
+    with pytest.raises(ValueError):
+        transpose(0, 12, RNG)
+
+
+# --------------------------------------------------------------- generator
+def test_generator_validation():
+    sim = Simulator(seed=1)
+    net = ElectricalNetwork(sim, NocConfig())
+    with pytest.raises(ValueError, match="unknown pattern"):
+        SyntheticTrafficGenerator(sim, net, "spiral", 0.1)
+    with pytest.raises(ValueError, match="injection_rate"):
+        SyntheticTrafficGenerator(sim, net, "uniform", 0.0)
+    with pytest.raises(ValueError, match="injection_rate"):
+        SyntheticTrafficGenerator(sim, net, "uniform", 1.5)
+
+
+def test_low_load_delivers_everything():
+    res = run_synthetic(
+        lambda sim: ElectricalNetwork(sim, NocConfig()),
+        "uniform", 0.05, seed=2, warmup=200, measure=1500)
+    assert not res.saturated
+    assert res.delivered_messages >= 0.99 * res.offered_messages
+    assert res.avg_latency > 0
+
+
+def test_throughput_tracks_offered_load_below_saturation():
+    lo = run_synthetic(lambda sim: ElectricalNetwork(sim, NocConfig()),
+                       "uniform", 0.02, seed=2, warmup=200, measure=2000)
+    hi = run_synthetic(lambda sim: ElectricalNetwork(sim, NocConfig()),
+                       "uniform", 0.08, seed=2, warmup=200, measure=2000)
+    assert hi.throughput_flits_cycle > 2.5 * lo.throughput_flits_cycle
+
+
+def test_latency_rises_with_load():
+    lo = run_synthetic(lambda sim: ElectricalNetwork(sim, NocConfig()),
+                       "uniform", 0.02, seed=2, warmup=200, measure=2000)
+    hi = run_synthetic(lambda sim: ElectricalNetwork(sim, NocConfig()),
+                       "uniform", 0.25, seed=2, warmup=200, measure=2000)
+    assert hi.avg_latency > lo.avg_latency
+
+
+def test_saturation_detected_at_extreme_load():
+    res = run_synthetic(lambda sim: ElectricalNetwork(sim, NocConfig()),
+                        "transpose", 1.0, seed=2, warmup=200, measure=1500)
+    assert res.saturated
+
+
+def test_generator_on_optical_crossbar():
+    res = run_synthetic(lambda sim: build_optical_network(sim, OnocConfig()),
+                        "uniform", 0.1, seed=3, warmup=200, measure=1500)
+    assert not res.saturated
+    assert res.avg_latency > 0
+
+
+def test_p99_at_least_mean():
+    res = run_synthetic(lambda sim: ElectricalNetwork(sim, NocConfig()),
+                        "uniform", 0.1, seed=4, warmup=200, measure=1500)
+    assert res.p99_latency >= res.avg_latency
+
+
+def test_generator_deterministic():
+    a = run_synthetic(lambda sim: ElectricalNetwork(sim, NocConfig()),
+                      "uniform", 0.05, seed=9, warmup=100, measure=800)
+    b = run_synthetic(lambda sim: ElectricalNetwork(sim, NocConfig()),
+                      "uniform", 0.05, seed=9, warmup=100, measure=800)
+    assert a.avg_latency == b.avg_latency
+    assert a.offered_messages == b.offered_messages
