@@ -13,20 +13,24 @@ import statistics
 
 from conftest import save_and_print
 
-from repro.harness import accuracy_experiment, format_table
+from repro.harness import format_table, seed_accuracy_point
 
 SEEDS = (7, 11, 23)
 WORKLOADS = ("lu", "randshare")
 
 
-def run(exp):
+def run(runner, exp):
+    points = runner.map(seed_accuracy_point,
+                        [(exp, wl, seed) for wl in WORKLOADS
+                         for seed in SEEDS])
+    by_workload = {}
+    for r in points:
+        by_workload.setdefault(r.workload, []).append(r)
     rows = []
     for wl in WORKLOADS:
-        naive_errs, sc_errs = [], []
-        for seed in SEEDS:
-            r = accuracy_experiment(exp.with_seed(seed), wl)
-            naive_errs.append(r.naive.exec_time_error_pct)
-            sc_errs.append(r.self_correcting.exec_time_error_pct)
+        naive_errs = [r.naive.exec_time_error_pct for r in by_workload[wl]]
+        sc_errs = [r.self_correcting.exec_time_error_pct
+                   for r in by_workload[wl]]
         rows.append({
             "workload": wl,
             "seeds": len(SEEDS),
@@ -38,8 +42,10 @@ def run(exp):
     return rows
 
 
-def test_fig13_seed_sensitivity(benchmark, exp_cfg, results_dir):
-    rows = benchmark.pedantic(run, args=(exp_cfg,), rounds=1, iterations=1)
+def test_fig13_seed_sensitivity(benchmark, exp_cfg, results_dir,
+                                sweep_runner):
+    rows = benchmark.pedantic(run, args=(sweep_runner, exp_cfg), rounds=1,
+                              iterations=1)
     text = format_table(
         rows, title=f"Fig. 13: Accuracy across seeds {SEEDS}")
     save_and_print(results_dir, "fig13_seed_sensitivity", text)

@@ -11,23 +11,20 @@ from __future__ import annotations
 
 from conftest import save_and_print
 
-from repro.harness import format_table, load_latency_sweep
-from repro.noc import ElectricalNetwork
-from repro.onoc import build_optical_network
+from repro.harness import format_table, load_latency_sweep_parallel
 
 PATTERNS = ("uniform", "transpose", "hotspot")
 RATES = (0.02, 0.05, 0.1, 0.2, 0.3, 0.45)
+NETWORKS = (("electrical", "electrical"), ("optical", "crossbar"))
 
 
-def sweep_all(exp):
+def sweep_all(runner, exp):
     rows = []
     for pattern in PATTERNS:
-        for label, make in (
-            ("electrical", lambda sim: ElectricalNetwork(sim, exp.noc)),
-            ("optical", lambda sim: build_optical_network(sim, exp.onoc)),
-        ):
-            points = load_latency_sweep(make, pattern, RATES, seed=exp.seed,
-                                        warmup=300, measure=1500)
+        for label, network in NETWORKS:
+            points = load_latency_sweep_parallel(
+                runner, network, exp, pattern, RATES,
+                warmup=300, measure=1500)
             for p in points:
                 rows.append({
                     "pattern": pattern,
@@ -41,9 +38,9 @@ def sweep_all(exp):
     return rows
 
 
-def test_fig3_load_latency(benchmark, exp_cfg, results_dir):
-    rows = benchmark.pedantic(sweep_all, args=(exp_cfg,), rounds=1,
-                              iterations=1)
+def test_fig3_load_latency(benchmark, exp_cfg, results_dir, sweep_runner):
+    rows = benchmark.pedantic(sweep_all, args=(sweep_runner, exp_cfg),
+                              rounds=1, iterations=1)
     text = format_table(
         rows, title="Fig. 3: Load-latency, electrical mesh vs ONOC crossbar")
     save_and_print(results_dir, "fig3_load_latency", text)

@@ -12,16 +12,17 @@ from __future__ import annotations
 
 from conftest import ALL_WORKLOADS, save_and_print
 
-from repro.harness import accuracy_experiment, format_table
+from repro.harness import accuracy_rows_parallel, format_table
 
 
-def run_all(exp):
-    return [accuracy_experiment(exp, wl) for wl in ALL_WORKLOADS]
+def run_all(runner, exp):
+    return accuracy_rows_parallel(runner, exp, ALL_WORKLOADS)
 
 
-def test_fig4_exec_time_accuracy(benchmark, exp_cfg, results_dir):
-    rows_raw = benchmark.pedantic(run_all, args=(exp_cfg,), rounds=1,
-                                  iterations=1)
+def test_fig4_exec_time_accuracy(benchmark, exp_cfg, results_dir,
+                                 sweep_runner):
+    rows_raw = benchmark.pedantic(run_all, args=(sweep_runner, exp_cfg),
+                                  rounds=1, iterations=1)
     rows = [{
         "workload": r.workload,
         "ref_exec": r.ref_exec_time,

@@ -8,50 +8,26 @@ latency does not), and self-correction accuracy does not degrade with scale.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from conftest import save_and_print
 
-from repro.config import ExperimentConfig, NocConfig, OnocConfig, SystemConfig
-from repro.harness import accuracy_experiment, case_study, format_table
+from repro.harness import format_table, scalability_point, task
 
 CORE_COUNTS = (16, 36, 64)
 WORKLOAD = "fft"
 
 
-def scaled_exp(cores: int, seed: int) -> ExperimentConfig:
-    side = int(round(cores ** 0.5))
-    return ExperimentConfig(
-        system=SystemConfig(num_cores=cores, num_mem_ctrls=max(1, cores // 4)),
-        noc=NocConfig(width=side, height=side),
-        onoc=OnocConfig(num_nodes=cores),
-        seed=seed,
-    )
+def run_all(runner, seed: int):
+    # accuracy needs 4 extra runs per point; bound the wall clock at 64 cores
+    return runner.run([
+        task(scalability_point, cores, seed, WORKLOAD,
+             with_accuracy=cores <= 36)
+        for cores in CORE_COUNTS
+    ])
 
 
-def run_all(seed: int):
-    rows = []
-    for cores in CORE_COUNTS:
-        exp = scaled_exp(cores, seed)
-        cs = case_study(exp, WORKLOAD)
-        entry = {
-            "cores": cores,
-            "exec_electrical": cs.exec_electrical,
-            "exec_optical": cs.exec_optical,
-            "speedup_x": round(cs.speedup, 3),
-        }
-        if cores <= 36:   # accuracy needs 4 extra runs; bound the wall clock
-            acc = accuracy_experiment(exp, WORKLOAD)
-            entry["naive_err_%"] = round(acc.naive.exec_time_error_pct, 2)
-            entry["selfcorr_err_%"] = round(
-                acc.self_correcting.exec_time_error_pct, 2)
-        rows.append(entry)
-    return rows
-
-
-def test_fig9_scalability(benchmark, exp_cfg, results_dir):
-    rows = benchmark.pedantic(run_all, args=(exp_cfg.seed,), rounds=1,
-                              iterations=1)
+def test_fig9_scalability(benchmark, exp_cfg, results_dir, sweep_runner):
+    rows = benchmark.pedantic(run_all, args=(sweep_runner, exp_cfg.seed),
+                              rounds=1, iterations=1)
     text = format_table(rows, title=f"Fig. 9: Scalability ({WORKLOAD})")
     save_and_print(results_dir, "fig9_scalability", text)
 

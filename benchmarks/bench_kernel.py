@@ -1,0 +1,257 @@
+"""Event-kernel fast path: events/sec, before vs after.
+
+The "before" is a faithful embedded copy of the original kernel (Event
+objects on the heap, ordered via ``Event.__lt__``, ``peek_time``/``pop``
+run loop).  The "after" is the live :class:`repro.engine.Simulator` with
+its tuple-keyed heap, bulk ``schedule_many`` preload and hoisted run loop.
+Both execute identical workloads:
+
+* ``preload`` — the replayer shape: schedule the full event set up front
+  (one ``push`` per event before; one ``schedule_many`` batch after),
+  then drain.
+* ``churn`` — the execution-driven shape: a fixed set of actors that each
+  reschedule themselves from inside their callback until the budget is
+  spent.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py \
+        --events 400000 --repeat 5 --out benchmarks/results/BENCH_kernel.json
+
+Under pytest the same harness runs with a small event count as a smoke
+test (structure + sanity only; timing assertions on a shared CI box would
+be flaky).
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import pathlib
+import time
+from typing import Any, Callable, Optional
+
+from repro.engine import Simulator
+
+# --------------------------------------------------------------------------
+# The "before" kernel: verbatim behaviour of the seed implementation
+# (Event instances on the heap, compared via __lt__), trimmed to the
+# pieces the benchmark exercises.
+# --------------------------------------------------------------------------
+
+
+class _LegacyEvent:
+    __slots__ = ("time", "priority", "seq", "fn", "args", "_alive")
+
+    def __init__(self, time, priority, seq, fn, args):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self._alive = True
+
+    def __lt__(self, other):
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+
+class _LegacyQueue:
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self):
+        self._heap: list[_LegacyEvent] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self):
+        return self._live
+
+    def push(self, time, fn, args=(), priority=0):
+        ev = _LegacyEvent(time, priority, self._seq, fn, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self):
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if ev._alive:
+                ev._alive = False
+                self._live -= 1
+                return ev
+        return None
+
+    def peek_time(self):
+        heap = self._heap
+        while heap and not heap[0]._alive:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+
+class _LegacySimulator:
+    """The seed run loop: peek_time + pop + attribute-heavy hot path."""
+
+    __slots__ = ("_queue", "_now", "_event_count", "max_events")
+
+    def __init__(self, max_events: int = 2_000_000_000):
+        self._queue = _LegacyQueue()
+        self._now = 0
+        self._event_count = 0
+        self.max_events = max_events
+
+    @property
+    def now(self):
+        return self._now
+
+    def schedule(self, time, fn, args=(), priority=0):
+        return self._queue.push(time, fn, args, priority)
+
+    def schedule_after(self, delay, fn, args=(), priority=0):
+        return self._queue.push(self._now + delay, fn, args, priority)
+
+    def schedule_many(self, items, priority=0):
+        n = 0
+        for time, fn, args in items:
+            self._queue.push(time, fn, args, priority)
+            n += 1
+        return n
+
+    def run(self, until: Optional[int] = None) -> None:
+        queue = self._queue
+        while True:
+            next_t = queue.peek_time()
+            if next_t is None:
+                break
+            if until is not None and next_t > until:
+                self._now = until
+                return
+            ev = queue.pop()
+            assert ev is not None
+            self._now = ev.time
+            self._event_count += 1
+            if self._event_count > self.max_events:
+                raise RuntimeError("max_events")
+            ev.fn(*ev.args)
+
+
+# --------------------------------------------------------------------------
+# Workloads (identical code driven against either kernel)
+# --------------------------------------------------------------------------
+
+
+def workload_preload(sim, n: int) -> int:
+    """Replayer shape: bulk-load the whole schedule, then drain."""
+    hits = [0]
+
+    def cb(i):
+        hits[0] += 1
+
+    # Deterministic non-monotonic times with heavy timestamp collisions —
+    # the tie-break (priority, seq) does real work here.
+    sim.schedule_many(((i * 7919) % (n // 8 + 1), cb, (i,))
+                      for i in range(n))
+    sim.run()
+    assert hits[0] == n
+    return n
+
+
+def workload_churn(sim, n: int) -> int:
+    """Execution-driven shape: 64 actors self-rescheduling until done."""
+    actors = 64
+    budget = [n]
+
+    def tick(delay):
+        budget[0] -= 1
+        if budget[0] > 0:
+            sim.schedule_after(delay, tick, (delay,))
+
+    for a in range(actors):
+        sim.schedule(a % 5, tick, (1 + a % 7,))
+    sim.run()
+    assert budget[0] <= 0
+    return n
+
+
+WORKLOADS: dict[str, Callable[[Any, int], int]] = {
+    "preload": workload_preload,
+    "churn": workload_churn,
+}
+
+
+def _events_per_sec(make_sim, workload, n: int, repeat: int) -> float:
+    best = 0.0
+    for _ in range(repeat):
+        sim = make_sim()
+        t0 = time.perf_counter()
+        executed = workload(sim, n)
+        dt = time.perf_counter() - t0
+        best = max(best, executed / dt)
+    return best
+
+
+def run_bench(events: int, repeat: int) -> dict:
+    report: dict = {"events": events, "repeat": repeat, "workloads": {}}
+    speedups = []
+    for name, workload in WORKLOADS.items():
+        before = _events_per_sec(_LegacySimulator, workload, events, repeat)
+        after = _events_per_sec(Simulator, workload, events, repeat)
+        speedup = after / before
+        speedups.append(speedup)
+        report["workloads"][name] = {
+            "before_events_per_sec": round(before),
+            "after_events_per_sec": round(after),
+            "speedup": round(speedup, 3),
+        }
+    geo = 1.0
+    for s in speedups:
+        geo *= s
+    report["overall_speedup"] = round(geo ** (1 / len(speedups)), 3)
+    return report
+
+
+def write_report(report: dict, out: pathlib.Path) -> None:
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+
+# ------------------------------------------------------------- pytest smoke
+def test_kernel_fastpath_smoke(tmp_path):
+    """Small-count smoke: both kernels run the workloads and the report has
+    the right shape.  No timing assertion — CI boxes are too noisy; the
+    committed BENCH_kernel.json records the real measurement."""
+    report = run_bench(events=20_000, repeat=1)
+    out = tmp_path / "BENCH_kernel.json"
+    write_report(report, out)
+    data = json.loads(out.read_text())
+    assert set(data["workloads"]) == set(WORKLOADS)
+    for row in data["workloads"].values():
+        assert row["before_events_per_sec"] > 0
+        assert row["after_events_per_sec"] > 0
+    assert data["overall_speedup"] > 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--events", type=int, default=400_000,
+                    help="events per workload per trial")
+    ap.add_argument("--repeat", type=int, default=5,
+                    help="trials per kernel (best-of)")
+    ap.add_argument("--out",
+                    default=str(pathlib.Path(__file__).parent / "results"
+                                / "BENCH_kernel.json"))
+    args = ap.parse_args()
+    report = run_bench(args.events, args.repeat)
+    write_report(report, pathlib.Path(args.out))
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,11 +9,13 @@ EXPERIMENTS.md can reference the regenerated numbers.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.config import default_16core_config
+from repro.harness import SweepRunner
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -22,6 +24,22 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def exp_cfg():
     """The paper-style 16-core configuration used by every experiment."""
     return default_16core_config().with_seed(7)
+
+
+@pytest.fixture(scope="session")
+def sweep_runner() -> SweepRunner:
+    """Shared parallel sweep runner with the on-disk result cache.
+
+    Worker count comes from ``REPRO_BENCH_JOBS`` (default 1: serial, which
+    is usually right for these minutes-long single-machine runs; set it
+    higher on a multi-core box, or 0 for one worker per CPU).  Results are
+    cached under ``benchmarks/results/cache`` so a re-run after an
+    unrelated edit replays from disk — ``python -m repro cache --clear``
+    drops them.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return SweepRunner(workers=jobs if jobs != 0 else None,
+                       cache_dir=RESULTS_DIR / "cache")
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,13 @@ Subcommands::
     accuracy   capture + reference + both replay modes, print the report
     casestudy  execution-driven ONOC vs electrical comparison
     sweep      synthetic load-latency series for one network/pattern
+    cache      inspect or clear the sweep result cache
     info       print the resolved configuration (Table-1 style)
+
+Sweep-shaped subcommands (``sweep``, ``accuracy``) accept ``--jobs N`` to
+shard independent simulations across processes and ``--cache-dir DIR`` (or
+``--cache`` for the default location) to reuse previously computed points —
+see :mod:`repro.harness.parallel`.
 
 Run ``python -m repro <subcommand> --help`` for flags.
 """
@@ -31,11 +37,15 @@ from repro.config import (
 )
 from repro.core import Trace, compare_to_reference, replay_trace
 from repro.harness import (
-    accuracy_experiment,
+    SweepRunner,
+    accuracy_rows_parallel,
+    cache_clear,
+    cache_info,
     case_study,
+    default_cache_dir,
     electrical_factory,
     format_table,
-    load_latency_sweep,
+    load_latency_sweep_parallel,
     make_electrical,
     make_optical,
     optical_factory,
@@ -72,6 +82,25 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="workload scale factor")
     p.add_argument("--wavelengths", type=int, default=64,
                    help="WDM wavelengths per optical channel")
+
+
+def _add_sweep_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for independent simulations "
+                        "(default 1 = serial; 0 = all cores)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache directory (content-addressed JSON)")
+    p.add_argument("--cache", action="store_true",
+                   help=f"cache results under the default location "
+                        f"({default_cache_dir()}) or $REPRO_CACHE_DIR")
+
+
+def _runner(args: argparse.Namespace) -> SweepRunner:
+    cache_dir = args.cache_dir
+    if cache_dir is None and getattr(args, "cache", False):
+        cache_dir = default_cache_dir()
+    workers = args.jobs if args.jobs != 0 else None
+    return SweepRunner(workers=workers, cache_dir=cache_dir)
 
 
 def cmd_capture(args: argparse.Namespace) -> int:
@@ -119,17 +148,23 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
 def cmd_accuracy(args: argparse.Namespace) -> int:
     exp = build_experiment(args)
-    row = accuracy_experiment(exp, args.workload, scale=args.scale)
-    rows = [
-        {"mode": "naive", "estimate": row.naive_estimate,
-         "exec_err_%": round(row.naive.exec_time_error_pct, 2),
-         "mean_lat_err_%": round(row.naive.mean_latency_error_pct, 2)},
-        {"mode": "self_correcting", "estimate": row.self_correcting_estimate,
-         "exec_err_%": round(row.self_correcting.exec_time_error_pct, 2),
-         "mean_lat_err_%": round(row.self_correcting.mean_latency_error_pct, 2)},
-    ]
-    print(format_table(
-        rows, title=f"{args.workload}: reference exec {row.ref_exec_time} cycles"))
+    workloads = [w for w in args.workload.split(",") if w]
+    acc_rows = accuracy_rows_parallel(_runner(args), exp, workloads,
+                                      scale=args.scale)
+    for row in acc_rows:
+        rows = [
+            {"mode": "naive", "estimate": row.naive_estimate,
+             "exec_err_%": round(row.naive.exec_time_error_pct, 2),
+             "mean_lat_err_%": round(row.naive.mean_latency_error_pct, 2)},
+            {"mode": "self_correcting",
+             "estimate": row.self_correcting_estimate,
+             "exec_err_%": round(row.self_correcting.exec_time_error_pct, 2),
+             "mean_lat_err_%": round(
+                 row.self_correcting.mean_latency_error_pct, 2)},
+        ]
+        print(format_table(
+            rows,
+            title=f"{row.workload}: reference exec {row.ref_exec_time} cycles"))
     return 0
 
 
@@ -149,21 +184,8 @@ def cmd_casestudy(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     exp = build_experiment(args)
     rates = [float(r) for r in args.rates.split(",")]
-    if args.network == "electrical":
-        from repro.noc import ElectricalNetwork
-
-        def make(sim):
-            return ElectricalNetwork(sim, exp.noc)
-    else:
-        from repro.onoc import build_optical_network
-
-        topology = (ONOC_CIRCUIT_MESH if args.network == "circuit_mesh"
-                    else ONOC_CROSSBAR)
-        onoc = replace(exp.onoc, topology=topology)
-
-        def make(sim):
-            return build_optical_network(sim, onoc)
-    points = load_latency_sweep(make, args.pattern, rates, seed=exp.seed)
+    points = load_latency_sweep_parallel(
+        _runner(args), args.network, exp, args.pattern, rates)
     rows = [{
         "rate": p.injection_rate,
         "avg_latency": round(p.avg_latency, 1),
@@ -200,6 +222,21 @@ def cmd_report(args: argparse.Namespace) -> int:
     out = pathlib.Path(args.out)
     out.write_text(text)
     print(f"wrote {out} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache_dir = args.dir or default_cache_dir()
+    if args.clear:
+        removed = cache_clear(cache_dir)
+        print(f"cleared {removed} cached results from {cache_dir}")
+        return 0
+    info = cache_info(cache_dir)
+    print(format_table([
+        {"property": "directory", "value": info["dir"]},
+        {"property": "entries", "value": info["entries"]},
+        {"property": "size_kib", "value": info["bytes"] // 1024},
+    ], title="Sweep result cache"))
     return 0
 
 
@@ -247,7 +284,9 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("accuracy", help="full accuracy experiment")
     _add_common(p)
-    p.add_argument("--workload", required=True)
+    _add_sweep_flags(p)
+    p.add_argument("--workload", required=True,
+                   help="kernel name, or comma-separated list")
     p.set_defaults(fn=cmd_accuracy)
 
     p = sub.add_parser("casestudy", help="ONOC vs electrical case study")
@@ -257,12 +296,19 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="synthetic load-latency sweep")
     _add_common(p)
+    _add_sweep_flags(p)
     p.add_argument("--pattern", choices=sorted(PATTERNS), default="uniform")
     p.add_argument("--network",
                    choices=("electrical", "crossbar", "circuit_mesh"),
                    default="electrical")
     p.add_argument("--rates", default="0.02,0.05,0.1,0.2,0.3")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("cache", help="inspect or clear the sweep result cache")
+    p.add_argument("--dir", default=None,
+                   help="cache directory (default: the standard location)")
+    p.add_argument("--clear", action="store_true", help="delete all entries")
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("info", help="print the resolved configuration")
     _add_common(p)

@@ -124,8 +124,8 @@ class NaiveReplayer(_ReplayerBase):
 
     def run(self) -> ReplayResult:
         t0 = _walltime.perf_counter()
-        for r in self.trace.records:
-            self.sim.schedule(r.t_inject, self._send, (r,))
+        self.sim.schedule_many(
+            (r.t_inject, self._send, (r,)) for r in self.trace.records)
         self.sim.run()
         return self._result(_walltime.perf_counter() - t0)
 
@@ -146,8 +146,9 @@ class FixedScheduleReplayer(_ReplayerBase):
 
     def run(self) -> ReplayResult:
         t0 = _walltime.perf_counter()
-        for r in self.trace.records:
-            self.sim.schedule(self.schedule[r.msg_id], self._send, (r,))
+        self.sim.schedule_many(
+            (self.schedule[r.msg_id], self._send, (r,))
+            for r in self.trace.records)
         self.sim.run()
         return self._result(_walltime.perf_counter() - t0)
 
@@ -201,17 +202,50 @@ class SelfCorrectingReplayer(_ReplayerBase):
 
     def run(self) -> ReplayResult:
         t0 = _walltime.perf_counter()
-        for r in self._roots:
-            # True roots re-fire at their captured offset; ablated records
-            # fall back to their absolute captured timestamp (same value —
-            # gap == t_inject only for true roots, so distinguish).
-            at = r.gap if r.cause_id == -1 else r.t_inject
-            self.sim.schedule(at, self._send, (r,))
+        # True roots re-fire at their captured offset; ablated records
+        # fall back to their absolute captured timestamp (same value —
+        # gap == t_inject only for true roots, so distinguish).
+        self.sim.schedule_many(
+            ((r.gap if r.cause_id == -1 else r.t_inject), self._send, (r,))
+            for r in self._roots)
         self.sim.run()
-        return self._result(
-            _walltime.perf_counter() - t0,
-            extra={"dropped_deps": self.dropped_deps},
+        extra: dict = {"dropped_deps": self.dropped_deps}
+        extra.update(self._stall_diagnostics())
+        return self._result(_walltime.perf_counter() - t0, extra=extra)
+
+    # Cap on per-message stall detail so a badly broken dependency graph
+    # cannot blow up the result object.
+    _STALL_DETAIL_CAP = 50
+
+    def _stall_diagnostics(self) -> dict:
+        """Post-mortem for records whose prerequisites never delivered.
+
+        A dependent record is *stalled* when the queue drained while it was
+        still waiting on one or more trigger edges — its cause (or bound)
+        message was never delivered, usually because the dependency graph
+        references msg_ids missing from the trace or itself stalled
+        upstream.  Without this, such records only surface as an opaque
+        ``messages_unreplayed`` count.
+        """
+        stalled = sorted(
+            mid for mid, left in self._prereqs_left.items() if left > 0
         )
+        if not stalled:
+            return {}
+        by_id = {r.msg_id: r for r in self.trace.records}
+        detail: dict[int, list[int]] = {}
+        for mid in stalled[: self._STALL_DETAIL_CAP]:
+            r = by_id[mid]
+            detail[mid] = [
+                trigger
+                for trigger in (r.cause_id, r.bound_id)
+                if trigger != -1 and trigger not in self.deliveries
+            ]
+        return {
+            "stalled_count": len(stalled),
+            "stalled_msg_ids": stalled[: self._STALL_DETAIL_CAP],
+            "stalled_on": detail,
+        }
 
     def _on_deliver(self, msg: Message) -> None:
         super()._on_deliver(msg)

@@ -29,9 +29,19 @@ class Entity:
         fn: Callable[..., None],
         args: tuple[Any, ...] = (),
         priority: int = 0,
+    ) -> None:
+        """Schedule ``fn(*args)`` ``delay`` cycles from now (fast path)."""
+        self.sim.schedule_after(delay, fn, args, priority)
+
+    def schedule_cancellable(
+        self,
+        delay: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        priority: int = 0,
     ) -> Event:
-        """Schedule ``fn(*args)`` ``delay`` cycles from now."""
-        return self.sim.schedule_after(delay, fn, args, priority)
+        """Schedule ``fn(*args)`` ``delay`` cycles from now; cancellable."""
+        return self.sim.schedule_after_cancellable(delay, fn, args, priority)
 
     @property
     def now(self) -> int:

@@ -6,26 +6,52 @@ scheduling time; it guarantees a *stable* order among events that share a
 timestamp and priority, which in turn guarantees deterministic simulations —
 a hard requirement for the trace self-correction experiments, where two runs
 of the same configuration must produce identical message timings.
+
+Fast path
+---------
+Heap entries are plain tuples, not :class:`Event` objects:
+
+* ``(time, priority, seq, fn, args)`` — the common, non-cancellable case;
+* ``(time, priority, seq, fn, args, event)`` — only when the caller asked
+  for a cancellable handle via :meth:`EventQueue.push_cancellable`.
+
+Tuple comparison happens entirely in C and, because ``seq`` is unique, never
+reaches the ``fn``/``args`` slots — so ordering is exactly the old
+``(time, priority, seq)`` rule with none of the per-comparison Python-level
+``__lt__`` dispatch the previous :class:`Event`-on-heap design paid.  The
+two entry shapes share indices 0–4, so consumers read ``entry[0]`` (time),
+``entry[3]`` (fn) and ``entry[4]`` (args) without caring which kind they
+got; ``len(entry) == 6`` identifies a cancellable entry.
+
+:meth:`EventQueue.push_many` bulk-loads a whole schedule (the trace
+replayers' startup pattern) by appending raw entries and heapifying once —
+O(n) instead of n heap-pushes from a Python loop.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional, Tuple
+
+#: A heap entry: ``(time, priority, seq, fn, args[, event])``.
+Entry = Tuple[Any, ...]
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellable handle to a scheduled callback.
 
-    Events are created through :meth:`repro.engine.simulator.Simulator.schedule`
-    rather than directly.  An event may be *cancelled*, which leaves it in the
-    heap but marks it dead; the queue skips dead events on pop.  This is the
-    classic "lazy deletion" scheme — O(1) cancel at the cost of transient heap
-    garbage, which profiling showed is much cheaper than heap re-siftings for
-    NoC workloads where timeouts are frequently cancelled.
+    Only created for callers that explicitly request cancellation rights
+    (:meth:`EventQueue.push_cancellable` /
+    :meth:`repro.engine.simulator.Simulator.schedule_cancellable`); the fast
+    scheduling path allocates no handle at all.  An event may be
+    *cancelled*, which leaves its entry in the heap but marks it dead; the
+    queue skips dead entries on pop.  This is the classic "lazy deletion"
+    scheme — O(1) cancel at the cost of transient heap garbage, which is
+    much cheaper than heap re-siftings for NoC workloads where timeouts are
+    frequently cancelled.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "_alive")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "_alive", "_queue")
 
     def __init__(
         self,
@@ -34,6 +60,7 @@ class Event:
         seq: int,
         fn: Callable[..., None],
         args: tuple[Any, ...],
+        queue: Optional["EventQueue"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -41,6 +68,7 @@ class Event:
         self.fn = fn
         self.args = args
         self._alive = True
+        self._queue = queue
 
     @property
     def alive(self) -> bool:
@@ -49,14 +77,12 @@ class Event:
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped."""
-        self._alive = False
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        if self.priority != other.priority:
-            return self.priority < other.priority
-        return self.seq < other.seq
+        if self._alive:
+            self._alive = False
+            q = self._queue
+            if q is not None:
+                q._live -= 1
+                self._queue = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self._alive else "dead"
@@ -70,13 +96,14 @@ class EventQueue:
     """Binary-heap event queue with deterministic tie-breaking.
 
     Not thread-safe; the simulation kernel is single-threaded by design
-    (parallel experiments shard whole simulations, never one event loop).
+    (parallel experiments shard whole simulations — see
+    :mod:`repro.harness.parallel` — never one event loop).
     """
 
     __slots__ = ("_heap", "_seq", "_live")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[Entry] = []
         self._seq = 0
         self._live = 0
 
@@ -87,7 +114,20 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    # -------------------------------------------------------------- pushing
     def push(
+        self,
+        time: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> None:
+        """Schedule ``fn(*args)`` at ``time`` (fast path, no handle)."""
+        heapq.heappush(self._heap, (time, priority, self._seq, fn, args))
+        self._seq += 1
+        self._live += 1
+
+    def push_cancellable(
         self,
         time: int,
         fn: Callable[..., None],
@@ -95,44 +135,86 @@ class EventQueue:
         priority: int = 0,
     ) -> Event:
         """Schedule ``fn(*args)`` at ``time``; returns a cancellable handle."""
-        ev = Event(time, priority, self._seq, fn, args)
+        ev = Event(time, priority, self._seq, fn, args, self)
+        heapq.heappush(self._heap,
+                       (time, priority, self._seq, fn, args, ev))
         self._seq += 1
         self._live += 1
-        heapq.heappush(self._heap, ev)
         return ev
 
+    def push_many(
+        self,
+        items: Iterable[tuple[int, Callable[..., None], tuple[Any, ...]]],
+        priority: int = 0,
+    ) -> int:
+        """Bulk-schedule ``(time, fn, args)`` triples; returns the count.
+
+        Entries get consecutive sequence numbers in iteration order, so the
+        deterministic tie-break is identical to pushing them one by one.
+        The heap is rebuilt with a single O(n) ``heapify`` instead of n
+        sift-ups, which is the dominant cost when a replayer preloads an
+        entire trace schedule.
+        """
+        heap = self._heap
+        seq = self._seq
+        start = seq
+        for time, fn, args in items:
+            heap.append((time, priority, seq, fn, args))
+            seq += 1
+        n = seq - start
+        if n:
+            self._seq = seq
+            self._live += n
+            heapq.heapify(heap)
+        return n
+
+    # ------------------------------------------------------------ consuming
     def cancel(self, ev: Event) -> None:
         """Cancel a pending event (no-op if already dead)."""
-        if ev._alive:
-            ev._alive = False
-            self._live -= 1
+        ev.cancel()
 
-    def pop(self) -> Optional[Event]:
-        """Remove and return the next live event, or ``None`` if empty.
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the next live entry, or ``None`` if empty.
 
-        Dead (cancelled) events are discarded transparently.
+        The entry is a ``(time, priority, seq, fn, args[, event])`` tuple;
+        dead (cancelled) entries are discarded transparently.
         """
         heap = self._heap
         while heap:
-            ev = heapq.heappop(heap)
-            if ev._alive:
+            entry = heapq.heappop(heap)
+            if len(entry) == 6:
+                ev = entry[5]
+                if not ev._alive:
+                    continue
                 ev._alive = False  # consumed
-                self._live -= 1
-                return ev
+                ev._queue = None
+            self._live -= 1
+            return entry
         return None
 
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next live event without popping it."""
         heap = self._heap
-        while heap and not heap[0]._alive:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        while heap:
+            head = heap[0]
+            if len(head) == 6 and not head[5]._alive:
+                heapq.heappop(heap)
+                continue
+            return head[0]
+        return None
 
     def clear(self) -> None:
         """Drop all pending events."""
+        for entry in self._heap:
+            if len(entry) == 6:
+                entry[5]._alive = False
+                entry[5]._queue = None
         self._heap.clear()
         self._live = 0
 
-    def iter_pending(self) -> Iterator[Event]:
-        """Iterate live events in arbitrary (heap) order — for inspection."""
-        return (ev for ev in self._heap if ev._alive)
+    def iter_pending(self) -> Iterator[Entry]:
+        """Iterate live entries in arbitrary (heap) order — for inspection."""
+        return (
+            entry for entry in self._heap
+            if len(entry) != 6 or entry[5]._alive
+        )

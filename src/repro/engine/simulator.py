@@ -5,11 +5,20 @@ Time is an integer number of *cycles* of the fastest clock in the system
 hundreds of millions of events and makes event ordering exact; components
 with slower clocks (e.g. a 2 GHz core on a 5 GHz network clock) schedule at
 multiples of their period.
+
+The run loop is the hottest code in the repository — every simulated cycle
+of every experiment goes through it — so it trades a little readability for
+speed: it operates directly on the queue's heap with hoisted locals instead
+of going through ``EventQueue.peek_time``/``pop`` (one heap access per
+event instead of two, no attribute lookups per iteration).  The observable
+semantics are identical to the method-call formulation and are pinned by
+the golden determinism tests in ``tests/test_engine_golden.py``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from heapq import heappop
+from typing import Any, Callable, Iterable, Optional
 
 from repro.engine.events import Event, EventQueue
 from repro.engine.rng import RngFactory
@@ -37,8 +46,8 @@ class Simulator:
     --------
     >>> sim = Simulator(seed=1)
     >>> fired = []
-    >>> _ = sim.schedule(10, fired.append, (10,))
-    >>> _ = sim.schedule(5, fired.append, (5,))
+    >>> sim.schedule(10, fired.append, (10,))
+    >>> sim.schedule(5, fired.append, (5,))
     >>> sim.run()
     >>> fired
     [5, 10]
@@ -88,14 +97,33 @@ class Simulator:
         fn: Callable[..., None],
         args: tuple[Any, ...] = (),
         priority: int = 0,
-    ) -> Event:
-        """Schedule ``fn(*args)`` at absolute ``time`` (>= now)."""
+    ) -> None:
+        """Schedule ``fn(*args)`` at absolute ``time`` (>= now).
+
+        Fast path: no handle is allocated.  Use
+        :meth:`schedule_cancellable` when the caller may need to cancel.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} < now={self._now} "
                 f"(fn={getattr(fn, '__qualname__', fn)!r})"
             )
-        return self._queue.push(time, fn, args, priority)
+        self._queue.push(time, fn, args, priority)
+
+    def schedule_cancellable(
+        self,
+        time: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at ``time``; returns a cancellable handle."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} < now={self._now} "
+                f"(fn={getattr(fn, '__qualname__', fn)!r})"
+            )
+        return self._queue.push_cancellable(time, fn, args, priority)
 
     def schedule_after(
         self,
@@ -103,15 +131,52 @@ class Simulator:
         fn: Callable[..., None],
         args: tuple[Any, ...] = (),
         priority: int = 0,
-    ) -> Event:
+    ) -> None:
         """Schedule ``fn(*args)`` ``delay`` cycles from now (delay >= 0)."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self._queue.push(self._now + delay, fn, args, priority)
+        self._queue.push(self._now + delay, fn, args, priority)
+
+    def schedule_after_cancellable(
+        self,
+        delay: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> Event:
+        """Like :meth:`schedule_after` but returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._queue.push_cancellable(self._now + delay, fn, args,
+                                            priority)
+
+    def schedule_many(
+        self,
+        items: Iterable[tuple[int, Callable[..., None], tuple[Any, ...]]],
+        priority: int = 0,
+    ) -> int:
+        """Bulk-schedule ``(time, fn, args)`` triples; returns the count.
+
+        Equivalent to calling :meth:`schedule` once per item (same
+        deterministic ordering) but heapifies the whole batch in one pass —
+        the trace replayers use this to preload an entire schedule.
+        """
+        now = self._now
+
+        def _checked() -> Iterable[tuple[int, Callable[..., None], tuple]]:
+            for time, fn, args in items:
+                if time < now:
+                    raise SimulationError(
+                        f"cannot schedule at t={time} < now={now} "
+                        f"(fn={getattr(fn, '__qualname__', fn)!r})"
+                    )
+                yield time, fn, args
+
+        return self._queue.push_many(_checked(), priority)
 
     def cancel(self, ev: Event) -> None:
-        """Cancel a previously scheduled event."""
-        self._queue.cancel(ev)
+        """Cancel a previously scheduled (cancellable) event."""
+        ev.cancel()
 
     def add_end_hook(self, fn: Callable[[], None]) -> None:
         """Register a callback invoked once when :meth:`run` drains the queue."""
@@ -130,36 +195,59 @@ class Simulator:
             raise SimulationError("re-entrant Simulator.run() call")
         self._running = True
         queue = self._queue
+        heap = queue._heap
+        pop = heappop
+        max_events = self.max_events
         try:
-            while True:
-                next_t = queue.peek_time()
-                if next_t is None:
-                    break
-                if until is not None and next_t > until:
+            while heap:
+                entry = heap[0]
+                if len(entry) == 6 and not entry[5]._alive:
+                    pop(heap)       # discard dead (cancelled) entry
+                    continue
+                t = entry[0]
+                if until is not None and t > until:
                     self._now = until
                     return
-                ev = queue.pop()
-                assert ev is not None
-                self._now = ev.time
-                self._event_count += 1
-                if self._event_count > self.max_events:
+                pop(heap)
+                queue._live -= 1
+                if len(entry) == 6:
+                    ev = entry[5]
+                    ev._alive = False   # consumed
+                    ev._queue = None
+                self._now = t
+                count = self._event_count + 1
+                self._event_count = count
+                if count > max_events:
                     raise SimulationError(
-                        f"exceeded max_events={self.max_events} at t={self._now}"
+                        f"exceeded max_events={max_events} at t={t}"
                     )
-                ev.fn(*ev.args)
+                entry[3](*entry[4])
             for hook in self._end_hooks:
                 hook()
         finally:
             self._running = False
 
     def step(self) -> bool:
-        """Execute exactly one event; return False if the queue was empty."""
-        ev = self._queue.pop()
-        if ev is None:
+        """Execute exactly one event; return False if the queue was empty.
+
+        Semantics match :meth:`run` one event at a time: the ``max_events``
+        guard applies, and the end hooks fire when the step that consumed
+        the last event drains the queue.
+        """
+        entry = self._queue.pop()
+        if entry is None:
             return False
-        self._now = ev.time
-        self._event_count += 1
-        ev.fn(*ev.args)
+        self._now = entry[0]
+        count = self._event_count + 1
+        self._event_count = count
+        if count > self.max_events:
+            raise SimulationError(
+                f"exceeded max_events={self.max_events} at t={self._now}"
+            )
+        entry[3](*entry[4])
+        if not self._queue:
+            for hook in self._end_hooks:
+                hook()
         return True
 
     def reset(self) -> None:

@@ -7,6 +7,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.config import (
     ExperimentConfig,
+    NocConfig,
     OnocConfig,
     TRACE_NAIVE,
     TRACE_SELF_CORRECTING,
@@ -101,6 +102,118 @@ def accuracy_experiment(
         self_correcting_estimate=sc.exec_time_estimate,
         extra={"trace_messages": len(trace)},
     )
+
+
+# ------------------------------------------------- parallel sweep points
+#
+# Module-level, fully-picklable task functions: one simulation per call,
+# every argument a config dataclass or primitive, so they can be shipped to
+# SweepRunner workers and content-hashed into the result cache.
+
+def load_latency_point(
+    network: str,
+    exp: ExperimentConfig,
+    pattern: str,
+    rate: float,
+    message_bytes: int = 64,
+    warmup: int = 500,
+    measure: int = 3000,
+) -> TrafficResult:
+    """One (network, pattern, rate) load-latency simulation.
+
+    ``network`` is ``"electrical"`` or an optical topology name
+    (``crossbar``, ``circuit_mesh``, ``swmr_crossbar``, ``awgr``).
+    """
+    if network == "electrical":
+        sim, net = make_electrical(exp.noc, exp.seed)
+    else:
+        onoc = (exp.onoc if network == exp.onoc.topology
+                else replace(exp.onoc, topology=network))
+        sim, net = make_optical(onoc, exp.seed)
+    gen = SyntheticTrafficGenerator(sim, net, pattern, rate,
+                                   message_bytes=message_bytes)
+    return gen.run(warmup=warmup, measure=measure)
+
+
+def load_latency_sweep_parallel(
+    runner,
+    network: str,
+    exp: ExperimentConfig,
+    pattern: str,
+    rates: Sequence[float],
+    message_bytes: int = 64,
+    warmup: int = 500,
+    measure: int = 3000,
+) -> list[TrafficResult]:
+    """Parallel/cached version of :func:`load_latency_sweep`.
+
+    All rate points run concurrently; the returned series is then truncated
+    just past the first saturated point, matching the serial driver's
+    early-stop output exactly.
+    """
+    from repro.harness.parallel import SweepTask
+
+    results = runner.run([
+        SweepTask.make(load_latency_point, network, exp, pattern, rate,
+                       message_bytes=message_bytes, warmup=warmup,
+                       measure=measure)
+        for rate in rates
+    ])
+    out: list[TrafficResult] = []
+    for res in results:
+        out.append(res)
+        if res.saturated:
+            break
+    return out
+
+
+def accuracy_rows_parallel(
+    runner, exp: ExperimentConfig, workloads: Sequence[str],
+    scale: float = 1.0,
+) -> list[AccuracyRow]:
+    """One :func:`accuracy_experiment` per workload, sharded across workers."""
+    return runner.map(accuracy_experiment, [(exp, wl) for wl in workloads],
+                      scale=scale)
+
+
+def scaled_experiment(cores: int, seed: int) -> ExperimentConfig:
+    """A square-mesh experiment config scaled to ``cores`` cores."""
+    from repro.config import SystemConfig
+
+    side = int(round(cores ** 0.5))
+    return ExperimentConfig(
+        system=SystemConfig(num_cores=cores, num_mem_ctrls=max(1, cores // 4)),
+        noc=NocConfig(width=side, height=side),
+        onoc=OnocConfig(num_nodes=cores),
+        seed=seed,
+    )
+
+
+def scalability_point(
+    cores: int, seed: int, workload: str, with_accuracy: bool = True
+) -> dict:
+    """One core-count point of the Fig. 9 scalability sweep."""
+    exp = scaled_experiment(cores, seed)
+    cs = case_study(exp, workload)
+    entry: dict = {
+        "cores": cores,
+        "exec_electrical": cs.exec_electrical,
+        "exec_optical": cs.exec_optical,
+        "speedup_x": round(cs.speedup, 3),
+    }
+    if with_accuracy:
+        acc = accuracy_experiment(exp, workload)
+        entry["naive_err_%"] = round(acc.naive.exec_time_error_pct, 2)
+        entry["selfcorr_err_%"] = round(
+            acc.self_correcting.exec_time_error_pct, 2)
+    return entry
+
+
+def seed_accuracy_point(
+    exp: ExperimentConfig, workload: str, seed: int
+) -> AccuracyRow:
+    """One (workload, seed) accuracy run of the Fig. 13 robustness sweep."""
+    return accuracy_experiment(exp.with_seed(seed), workload)
 
 
 # ---------------------------------------------------------------- Fig. 6

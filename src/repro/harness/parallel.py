@@ -1,0 +1,384 @@
+"""Parallel sweep runner with an on-disk content-addressed result cache.
+
+Every table/figure in the evaluation is a *sweep*: a list of completely
+independent (config, seed, workload) simulations whose results are then
+tabulated together.  The kernel is single-threaded by design (see
+:class:`repro.engine.events.EventQueue`), so the parallelism lever is to
+shard whole simulations across worker processes — this module provides
+that, plus a persistent result cache so re-running a benchmark suite only
+simulates points it has never seen.
+
+Three pieces:
+
+* :func:`encode_value` / :func:`decode_value` — a JSON codec for result
+  objects (dataclasses, tuples, non-string dict keys, numpy scalars) that
+  round-trips every result type the experiment drivers produce.
+* :class:`SweepTask` — one unit of work: a *module-level* callable plus
+  arguments.  The callable is shipped to workers by dotted reference
+  (``"module:qualname"``), never pickled, which also makes it part of the
+  cache key.
+* :class:`SweepRunner` — executes a batch of tasks serially or on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, returns results in
+  deterministic submission order, and memoises each task under
+  ``sha256(fn + args + kwargs + salt)`` as a JSON file.
+
+Cache invalidation: the key includes :data:`CACHE_SALT`, a code-version
+salt bumped whenever simulation semantics change, plus any user salt passed
+to the runner.  Clearing is just deleting the directory (or
+``python -m repro cache --clear``).
+
+Because simulations are bit-deterministic in (config, seed), a cached
+result is indistinguishable from a fresh one, and serial and parallel
+execution of the same task list produce identical result lists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import numbers
+import os
+import tempfile
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, fields, is_dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+#: Bump when simulator semantics change so stale cached results are never
+#: returned for the new code.  (PR 1: tuple-keyed event kernel.)
+CACHE_SALT = "repro-kernel-v2"
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache location used by the benchmark suite and the CLI.
+DEFAULT_CACHE_DIR = Path("benchmarks") / "results" / "cache"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory: ``$REPRO_CACHE_DIR`` or the repo-local
+    ``benchmarks/results/cache``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    return Path(env) if env else DEFAULT_CACHE_DIR
+
+
+# ---------------------------------------------------------------------------
+# Result codec: JSON with type tags for everything JSON cannot express.
+# ---------------------------------------------------------------------------
+#
+# Encoding rules (decode inverts each):
+#   primitives (None/bool/int/float/str)  -> themselves
+#   list                                  -> JSON array of encoded items
+#   tuple                                 -> {"$": "tuple", "v": [...]}
+#   dict (str keys, none named "$")       -> JSON object of encoded values
+#   dict (other keys)                     -> {"$": "dict", "v": [[k, v], ...]}
+#   dataclass instance                    -> {"$": "dc", "t": "mod:Qual",
+#                                             "v": {field: encoded}}
+#   numpy scalar                          -> plain int/float
+#
+# The "$" tag namespace is reserved; a plain dict containing a "$" key is
+# encoded through the tagged-dict form so it survives unambiguously.
+
+_TAG = "$"
+
+
+class CodecError(TypeError):
+    """Raised when a value cannot be round-tripped through the cache."""
+
+
+def encode_value(obj: Any) -> Any:
+    """Encode ``obj`` into a JSON-serialisable structure (see module doc)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, numbers.Integral):        # numpy ints
+        return int(obj)
+    if isinstance(obj, numbers.Real):            # numpy floats
+        return float(obj)
+    if isinstance(obj, list):
+        return [encode_value(x) for x in obj]
+    if isinstance(obj, tuple):
+        return {_TAG: "tuple", "v": [encode_value(x) for x in obj]}
+    if is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        return {
+            _TAG: "dc",
+            "t": f"{cls.__module__}:{cls.__qualname__}",
+            "v": {f.name: encode_value(getattr(obj, f.name))
+                  for f in fields(obj)},
+        }
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj) and _TAG not in obj:
+            return {k: encode_value(v) for k, v in obj.items()}
+        return {_TAG: "dict",
+                "v": [[encode_value(k), encode_value(v)]
+                      for k, v in obj.items()]}
+    raise CodecError(
+        f"cannot encode {type(obj).__qualname__!r} for the result cache "
+        f"(value: {obj!r})"
+    )
+
+
+def decode_value(obj: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(obj, list):
+        return [decode_value(x) for x in obj]
+    if isinstance(obj, dict):
+        tag = obj.get(_TAG)
+        if tag is None:
+            return {k: decode_value(v) for k, v in obj.items()}
+        if tag == "tuple":
+            return tuple(decode_value(x) for x in obj["v"])
+        if tag == "dict":
+            return {decode_value(k): decode_value(v) for k, v in obj["v"]}
+        if tag == "dc":
+            cls = resolve_callable(obj["t"])
+            kwargs = {k: decode_value(v) for k, v in obj["v"].items()}
+            return cls(**kwargs)
+        raise CodecError(f"unknown codec tag {tag!r}")
+    return obj
+
+
+def resolve_callable(ref: str) -> Any:
+    """Import ``"module:qualname"`` and return the attribute."""
+    mod_name, _, qualname = ref.partition(":")
+    if not mod_name or not qualname:
+        raise ValueError(f"bad callable reference {ref!r}; "
+                         "expected 'module:qualname'")
+    obj: Any = importlib.import_module(mod_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def callable_ref(fn: Union[str, Callable]) -> str:
+    """Dotted ``"module:qualname"`` reference for a module-level callable."""
+    if isinstance(fn, str):
+        return fn
+    qualname = getattr(fn, "__qualname__", None)
+    module = getattr(fn, "__module__", None)
+    if not module or not qualname or "<" in qualname:
+        raise ValueError(
+            f"sweep tasks need module-level callables, got {fn!r} "
+            "(lambdas and closures cannot be shipped to workers or hashed "
+            "into cache keys)"
+        )
+    return f"{module}:{qualname}"
+
+
+# ---------------------------------------------------------------------------
+# Tasks
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent simulation: ``fn(*args, **kwargs)``.
+
+    ``fn`` must be addressable as ``module:qualname`` (a top-level function
+    or classmethod) and its arguments must survive the result codec —
+    config dataclasses, strings, numbers and containers thereof all do.
+    """
+
+    fn: str
+    args: Any            # encoded tuple
+    kwargs: Any          # encoded dict
+
+    @staticmethod
+    def make(fn: Union[str, Callable], *args: Any, **kwargs: Any) -> "SweepTask":
+        return SweepTask(
+            fn=callable_ref(fn),
+            args=encode_value(tuple(args)),
+            kwargs=encode_value(dict(kwargs)),
+        )
+
+    def cache_key(self, salt: str = "") -> str:
+        material = json.dumps(
+            {"fn": self.fn, "args": self.args, "kwargs": self.kwargs,
+             "salt": CACHE_SALT + salt},
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+
+def task(fn: Union[str, Callable], *args: Any, **kwargs: Any) -> SweepTask:
+    """Sugar: ``task(accuracy_experiment, exp, "fft")``."""
+    return SweepTask.make(fn, *args, **kwargs)
+
+
+def _execute_encoded(fn_ref: str, enc_args: Any, enc_kwargs: Any) -> Any:
+    """Worker entry point: decode → run → encode.
+
+    Results cross the process boundary in encoded form, so the serial and
+    parallel paths return byte-identical structures.
+    """
+    fn = resolve_callable(fn_ref)
+    args = decode_value(enc_args)
+    kwargs = decode_value(enc_kwargs)
+    return encode_value(fn(*args, **kwargs))
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SweepStats:
+    """Execution accounting for one :meth:`SweepRunner.run` call."""
+
+    executed: int = 0
+    cached: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cached
+
+
+class SweepRunner:
+    """Shards independent simulations across processes, with memoisation.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``0`` or ``1`` runs in-process (serial); ``None``
+        uses ``os.cpu_count()``.  Results are returned in submission order
+        either way, and — because simulations are deterministic — are
+        bit-identical across worker counts.
+    cache_dir:
+        Directory for the content-addressed result cache; ``None`` disables
+        caching.
+    salt:
+        Extra cache-key salt on top of :data:`CACHE_SALT` (e.g. a bench
+        suite revision).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        cache_dir: Union[None, str, Path] = None,
+        salt: str = "",
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.salt = salt
+        self.last_stats = SweepStats()
+
+    # ------------------------------------------------------------- caching
+    def _cache_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
+    def _cache_load(self, key: str) -> Optional[Any]:
+        path = self._cache_path(key)
+        if path is None or not path.is_file():
+            return None
+        try:
+            blob = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None         # corrupt entry: recompute and overwrite
+        if blob.get("key") != key:
+            return None
+        return blob
+
+    def _cache_store(self, key: str, t: SweepTask, encoded_result: Any) -> None:
+        path = self._cache_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(
+            {"key": key, "fn": t.fn, "args": t.args, "kwargs": t.kwargs,
+             "salt": CACHE_SALT + self.salt, "result": encoded_result},
+            sort_keys=True,
+        )
+        # Atomic publish so concurrent sweeps never see a torn file.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------- running
+    def run(self, tasks: Sequence[SweepTask]) -> list[Any]:
+        """Execute (or recall) every task; results in submission order."""
+        tasks = list(tasks)
+        keys = [t.cache_key(self.salt) for t in tasks]
+        results: list[Any] = [None] * len(tasks)
+        encoded: dict[int, Any] = {}
+        misses: list[int] = []
+        stats = SweepStats()
+
+        for i, key in enumerate(keys):
+            blob = self._cache_load(key)
+            if blob is not None:
+                encoded[i] = blob["result"]
+                stats.cached += 1
+            else:
+                misses.append(i)
+
+        if misses:
+            stats.executed = len(misses)
+            if self.workers <= 1 or len(misses) == 1:
+                for i in misses:
+                    t = tasks[i]
+                    encoded[i] = _execute_encoded(t.fn, t.args, t.kwargs)
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(misses))
+                ) as pool:
+                    futs: list[tuple[int, Future]] = [
+                        (i, pool.submit(_execute_encoded, tasks[i].fn,
+                                        tasks[i].args, tasks[i].kwargs))
+                        for i in misses
+                    ]
+                    for i, fut in futs:
+                        encoded[i] = fut.result()
+            for i in misses:
+                self._cache_store(keys[i], tasks[i], encoded[i])
+
+        for i in range(len(tasks)):
+            results[i] = decode_value(encoded[i])
+        self.last_stats = stats
+        return results
+
+    def map(self, fn: Union[str, Callable], argtuples: Iterable[tuple],
+            **common_kwargs: Any) -> list[Any]:
+        """``run`` over ``fn(*argtuple, **common_kwargs)`` for each tuple."""
+        return self.run([SweepTask.make(fn, *a, **common_kwargs)
+                         for a in argtuples])
+
+
+# ---------------------------------------------------------------------------
+# Cache maintenance (used by the CLI and tests)
+# ---------------------------------------------------------------------------
+
+def cache_info(cache_dir: Union[str, Path]) -> dict:
+    """Entry count and total size of a cache directory."""
+    d = Path(cache_dir)
+    files = sorted(d.glob("*.json")) if d.is_dir() else []
+    return {
+        "dir": str(d),
+        "entries": len(files),
+        "bytes": sum(f.stat().st_size for f in files),
+    }
+
+
+def cache_clear(cache_dir: Union[str, Path]) -> int:
+    """Delete every cache entry; returns the number removed."""
+    d = Path(cache_dir)
+    if not d.is_dir():
+        return 0
+    removed = 0
+    for f in d.glob("*.json"):
+        f.unlink()
+        removed += 1
+    return removed

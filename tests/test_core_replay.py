@@ -181,3 +181,48 @@ def test_replay_result_latencies_match_deliveries(setting):
     key_of = {rec.msg_id: rec.key for rec in trace.records}
     for mid, t in r.deliveries.items():
         assert r.latencies_by_key[key_of[mid]] == t - r.injections[mid]
+
+
+# ----------------------------------------------------- stall diagnostics
+def _orphan_trace():
+    """A trace whose record 2 depends on msg_id 99 that never delivers
+    (and record 3 depends on the stalled record 2 — a stall chain).
+    Built directly, skipping Trace.validate(), to model a buggy or
+    truncated dependency graph reaching the replayer."""
+    from repro.core.trace import Trace, TraceRecord
+
+    def rec(msg_id, cause_id, t_inject, gap, bound_id=-1, bound_gap=0):
+        return TraceRecord(
+            msg_id=msg_id, key=(0, 1, "data", msg_id, 0), src=0, dst=1,
+            size_bytes=64, kind="data", t_inject=t_inject,
+            t_deliver=t_inject + 10, cause_id=cause_id, gap=gap,
+            bound_id=bound_id, bound_gap=bound_gap)
+
+    records = [
+        rec(0, -1, 0, 0),
+        rec(1, 0, 15, 5),
+        rec(2, 99, 30, 5),           # cause 99 does not exist
+        rec(3, 2, 45, 5),            # stalls transitively behind 2
+    ]
+    return Trace(records=records, end_markers=[], exec_time=55, meta={})
+
+
+def test_stalled_dependents_are_diagnosed(setting):
+    exp, *_ = setting
+    trace = _orphan_trace()
+    sim, net = optical_factory(exp.onoc, exp.seed)()
+    r = SelfCorrectingReplayer(trace, sim, net).run()
+    assert r.messages_replayed == 2
+    assert r.messages_unreplayed == 2
+    assert r.extra["stalled_count"] == 2
+    assert r.extra["stalled_msg_ids"] == [2, 3]
+    # Record 2 names its missing trigger; record 3 names its stalled cause.
+    assert r.extra["stalled_on"] == {2: [99], 3: [2]}
+
+
+def test_no_stall_keys_on_clean_replay(setting):
+    exp, _, trace, _, _ = setting
+    r = replay_trace(trace, optical_factory(exp.onoc, exp.seed))
+    assert r.messages_unreplayed == 0
+    assert "stalled_count" not in r.extra
+    assert "stalled_msg_ids" not in r.extra

@@ -66,10 +66,62 @@ def test_run_until_leaves_clock_at_until_when_idle():
 def test_cancel_prevents_execution():
     sim = Simulator()
     out = []
-    ev = sim.schedule(5, out.append, (5,))
+    ev = sim.schedule_cancellable(5, out.append, (5,))
     sim.cancel(ev)
     sim.run()
     assert out == []
+
+
+def test_schedule_cancellable_fires_when_not_cancelled():
+    sim = Simulator()
+    out = []
+    ev = sim.schedule_cancellable(5, out.append, (5,))
+    assert ev.alive
+    sim.run()
+    assert out == [5]
+    assert not ev.alive
+
+
+def test_schedule_after_cancellable():
+    sim = Simulator()
+    out = []
+
+    def arm():
+        ev = sim.schedule_after_cancellable(10, out.append, ("timeout",))
+        sim.schedule_after(5, sim.cancel, (ev,))
+
+    sim.schedule(3, arm)
+    sim.run()
+    assert out == []
+    assert sim.now == 8     # the cancel itself was the last event
+
+
+def test_schedule_cancellable_in_past_raises():
+    sim = Simulator()
+    sim.schedule(10, lambda: sim.schedule_cancellable(5, lambda: None))
+    with pytest.raises(SimulationError, match="cannot schedule"):
+        sim.run()
+
+
+def test_schedule_many_matches_individual_schedules():
+    a, b = Simulator(), Simulator()
+    outa, outb = [], []
+    times = [9, 3, 3, 7, 3]
+    for i, t in enumerate(times):
+        a.schedule(t, outa.append, (i,))
+    b.schedule_many((t, outb.append, (i,)) for i, t in enumerate(times))
+    a.run()
+    b.run()
+    assert outa == outb
+    assert a.event_count == b.event_count == len(times)
+
+
+def test_schedule_many_in_past_raises():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError, match="cannot schedule"):
+        sim.schedule_many([(20, lambda: None, ()), (5, lambda: None, ())])
 
 
 def test_event_count_increments():
@@ -118,6 +170,41 @@ def test_step_single_event():
     assert out == [3]
     assert sim.step()
     assert not sim.step()
+
+
+def test_step_enforces_max_events():
+    sim = Simulator(max_events=2)
+    for i in range(3):
+        sim.schedule(i, lambda: None)
+    assert sim.step()
+    assert sim.step()
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.step()
+
+
+def test_step_fires_end_hooks_on_drain():
+    sim = Simulator()
+    out = []
+    sim.add_end_hook(lambda: out.append("end"))
+    sim.schedule(1, out.append, ("a",))
+    sim.schedule(2, out.append, ("b",))
+    sim.step()
+    assert out == ["a"]          # queue not drained yet: no hook
+    sim.step()
+    assert out == ["a", "b", "end"]
+    assert not sim.step()
+    assert out == ["a", "b", "end"]   # empty-queue step does not re-fire
+
+
+def test_step_no_hooks_when_callback_reschedules():
+    sim = Simulator()
+    out = []
+    sim.add_end_hook(lambda: out.append("end"))
+    sim.schedule(1, lambda: sim.schedule(2, out.append, ("later",)))
+    sim.step()
+    assert out == []             # refilled by the callback: not drained
+    sim.step()
+    assert out == ["later", "end"]
 
 
 def test_reset_clears_state():

@@ -22,8 +22,8 @@ def test_event_queue_pops_sorted(items):
     for t, prio in items:
         q.push(t, lambda: None, priority=prio)
     popped = []
-    while (ev := q.pop()) is not None:
-        popped.append((ev.time, ev.priority, ev.seq))
+    while (entry := q.pop()) is not None:
+        popped.append(entry[:3])        # (time, priority, seq)
     assert popped == sorted(popped)
     assert len(popped) == len(items)
 
@@ -32,7 +32,7 @@ def test_event_queue_pops_sorted(items):
        st.data())
 def test_event_queue_cancellation_preserves_rest(times, data):
     q = EventQueue()
-    evs = [q.push(t, lambda: None) for t in times]
+    evs = [q.push_cancellable(t, lambda: None) for t in times]
     to_cancel = data.draw(st.sets(st.integers(0, len(evs) - 1),
                                   max_size=len(evs)))
     for i in to_cancel:
@@ -41,6 +41,20 @@ def test_event_queue_cancellation_preserves_rest(times, data):
     while q.pop() is not None:
         popped += 1
     assert popped == len(evs) - len(to_cancel)
+
+
+@given(st.lists(st.tuples(st.integers(0, 10_000), st.integers(0, 5)),
+                max_size=200))
+def test_event_queue_push_many_matches_push(items):
+    """Bulk scheduling orders identically to one-by-one scheduling."""
+    bulk = EventQueue()
+    bulk.push_many(((t, (lambda: None), ()) for t, _ in items), priority=0)
+    flat = EventQueue()
+    for t, _ in items:
+        flat.push(t, lambda: None, priority=0)
+    a = [e[:3] for e in iter(lambda: bulk.pop(), None)]
+    b = [e[:3] for e in iter(lambda: flat.pop(), None)]
+    assert a == b
 
 
 # ------------------------------------------------------------ online stats
