@@ -1,0 +1,128 @@
+"""Instrumentation overhead: events/sec with obs disabled vs enabled.
+
+The ``repro.obs`` contract is *zero cost when disabled*: a simulator with
+no probe attached runs the exact same hoisted loop it ran before the
+instrumentation layer existed (one ``is not None`` check per ``run()``
+call, not per event).  This benchmark pins that claim with numbers:
+
+* ``disabled``  — plain :class:`repro.engine.Simulator`, no probe.
+* ``enabled``   — the same workloads with a registry-backed
+  :class:`repro.obs.KernelProbe` attached (the instrumented run loop).
+
+The interesting figure is ``disabled_vs_baseline`` staying ~1.0 (the
+driver-level acceptance gate is <2% regression vs ``BENCH_kernel.json``);
+``enabled_overhead_pct`` documents the opt-in price of kernel metrics.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --events 400000 --repeat 5 --out benchmarks/results/BENCH_obs.json
+
+Under pytest this runs with a small event count as a structural smoke
+test only — timing assertions on shared CI boxes would be flaky.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro import obs
+from repro.engine import Simulator
+
+if __package__ in (None, ""):
+    # Standalone `python benchmarks/bench_obs_overhead.py` puts benchmarks/
+    # itself on sys.path; the namespace package needs the repo root there.
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_kernel import WORKLOADS
+
+
+def _events_per_sec(make_sim, workload, n: int, repeat: int) -> float:
+    best = 0.0
+    for _ in range(repeat):
+        sim = make_sim()
+        t0 = time.perf_counter()
+        executed = workload(sim, n)
+        dt = time.perf_counter() - t0
+        best = max(best, executed / dt)
+    return best
+
+
+def _instrumented_sim() -> Simulator:
+    sim = Simulator()
+    sim.attach_probe(obs.KernelProbe(obs.metrics("kernel")))
+    return sim
+
+
+def run_bench(events: int, repeat: int) -> dict:
+    report: dict = {"events": events, "repeat": repeat, "workloads": {}}
+    for name, workload in WORKLOADS.items():
+        disabled = _events_per_sec(Simulator, workload, events, repeat)
+        with obs.collecting():
+            enabled = _events_per_sec(_instrumented_sim, workload, events, repeat)
+        report["workloads"][name] = {
+            "disabled_events_per_sec": round(disabled),
+            "enabled_events_per_sec": round(enabled),
+            "enabled_overhead_pct": round((disabled / enabled - 1) * 100, 2),
+        }
+    return report
+
+
+# --------------------------------------------------------------------------
+# Pytest smoke: structure + semantics, no timing assertions.
+# --------------------------------------------------------------------------
+
+
+def test_disabled_path_is_uninstrumented():
+    """Without a probe the simulator keeps the PR-1 fast loop (probe check
+    happens once per run(), never per event)."""
+    sim = Simulator()
+    assert sim.probe is None
+    assert obs.attach_kernel_probe(sim) is None      # obs off -> no-op
+    assert sim.probe is None
+
+
+def test_enabled_and_disabled_agree_on_semantics():
+    """The instrumented loop fires the same events in the same order."""
+    for name, workload in WORKLOADS.items():
+        plain = Simulator()
+        workload(plain, 5000)
+        with obs.collecting() as reg:
+            probed = _instrumented_sim()
+            workload(probed, 5000)
+        assert probed.now == plain.now, name
+        assert probed.event_count == plain.event_count, name
+        snap = reg.snapshot()
+        assert snap["kernel.events_fired"]["value"] == plain.event_count
+        assert snap["kernel.heap_high_water"]["value"] > 0
+
+
+def test_bench_smoke():
+    report = run_bench(events=2000, repeat=1)
+    for name in WORKLOADS:
+        entry = report["workloads"][name]
+        assert entry["disabled_events_per_sec"] > 0
+        assert entry["enabled_events_per_sec"] > 0
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--events", type=int, default=400_000)
+    ap.add_argument("--repeat", type=int, default=5)
+    ap.add_argument("--out", type=pathlib.Path, default=None)
+    args = ap.parse_args()
+    report = run_bench(args.events, args.repeat)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+        print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

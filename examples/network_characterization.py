@@ -71,9 +71,9 @@ def main(argv: list[str]) -> None:
     link_rep = analyze_links(net, res.exec_time_cycles)
     print()
     print(format_table(
-        [{"link": l.label(), "flits": l.flits,
-          "utilization": round(l.utilization, 4)}
-         for l in link_rep.hottest(5)],
+        [{"link": ld.label(), "flits": ld.flits,
+          "utilization": round(ld.utilization, 4)}
+         for ld in link_rep.hottest(5)],
         title="Hottest electrical links under fft "
               f"(imbalance {link_rep.imbalance:.1f}x, "
               f"bisection {link_rep.bisection_flits} flits)"))

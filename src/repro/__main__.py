@@ -1,7 +1,15 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    rc = main()
+except BrokenPipeError:
+    # Piping into `head` and friends closes stdout early; exit quietly
+    # (dup2 to devnull so the interpreter's stdout flush doesn't re-raise).
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(1)
+sys.exit(rc)

@@ -8,12 +8,20 @@ Subcommands::
     casestudy  execution-driven ONOC vs electrical comparison
     sweep      synthetic load-latency series for one network/pattern
     cache      inspect or clear the sweep result cache
+    metrics    pretty-print a metrics JSON written with --metrics-out
     info       print the resolved configuration (Table-1 style)
 
 Sweep-shaped subcommands (``sweep``, ``accuracy``) accept ``--jobs N`` to
 shard independent simulations across processes and ``--cache-dir DIR`` (or
 ``--cache`` for the default location) to reuse previously computed points —
 see :mod:`repro.harness.parallel`.
+
+Every subcommand accepts the :mod:`repro.obs` instrumentation flags:
+``--metrics`` prints the merged counter/gauge/distribution registry after
+the command's own output, ``--metrics-out FILE`` dumps it as JSON (readable
+back via ``repro metrics FILE``), and ``--trace-out FILE`` records an event
+timeline and writes Chrome-trace JSON for ``chrome://tracing`` /
+https://ui.perfetto.dev — see ``docs/OBSERVABILITY.md``.
 
 Run ``python -m repro <subcommand> --help`` for flags.
 """
@@ -26,6 +34,7 @@ import pathlib
 import sys
 from dataclasses import replace
 
+from repro import obs
 from repro.config import (
     ExperimentConfig,
     NocConfig,
@@ -35,7 +44,7 @@ from repro.config import (
     SystemConfig,
     TraceConfig,
 )
-from repro.core import Trace, compare_to_reference, replay_trace
+from repro.core import Trace, replay_trace
 from repro.harness import (
     SweepRunner,
     accuracy_rows_parallel,
@@ -46,8 +55,6 @@ from repro.harness import (
     electrical_factory,
     format_table,
     load_latency_sweep_parallel,
-    make_electrical,
-    make_optical,
     optical_factory,
     run_execution_driven,
 )
@@ -82,6 +89,18 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="workload scale factor")
     p.add_argument("--wavelengths", type=int, default=64,
                    help="WDM wavelengths per optical channel")
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--metrics", action="store_true",
+                   help="collect repro.obs instrumentation and print the "
+                        "merged metrics registry after the command output")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the metrics registry as JSON (pretty-print "
+                        "it later with `repro metrics FILE`)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="record an event timeline and write Chrome-trace "
+                        "JSON (open in chrome://tracing or Perfetto)")
 
 
 def _add_sweep_flags(p: argparse.ArgumentParser) -> None:
@@ -240,6 +259,12 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    snap = obs.load_metrics(args.file)
+    print(obs.format_metrics(snap, title=f"metrics ({args.file})"))
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     exp = build_experiment(args)
     print(format_table([
@@ -265,6 +290,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("capture", help="capture a dependency-annotated trace")
     _add_common(p)
+    _add_obs_flags(p)
     p.add_argument("--workload", required=True)
     p.add_argument("--network", choices=("electrical", "optical"),
                    default="electrical")
@@ -273,6 +299,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("replay", help="replay a trace JSON on a target")
     _add_common(p)
+    _add_obs_flags(p)
     p.add_argument("--trace", required=True)
     p.add_argument("--target",
                    choices=("electrical", "crossbar", "circuit_mesh",
@@ -284,6 +311,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("accuracy", help="full accuracy experiment")
     _add_common(p)
+    _add_obs_flags(p)
     _add_sweep_flags(p)
     p.add_argument("--workload", required=True,
                    help="kernel name, or comma-separated list")
@@ -291,11 +319,13 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("casestudy", help="ONOC vs electrical case study")
     _add_common(p)
+    _add_obs_flags(p)
     p.add_argument("--workload", required=True)
     p.set_defaults(fn=cmd_casestudy)
 
     p = sub.add_parser("sweep", help="synthetic load-latency sweep")
     _add_common(p)
+    _add_obs_flags(p)
     _add_sweep_flags(p)
     p.add_argument("--pattern", choices=sorted(PATTERNS), default="uniform")
     p.add_argument("--network",
@@ -305,23 +335,33 @@ def make_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("cache", help="inspect or clear the sweep result cache")
+    _add_obs_flags(p)
     p.add_argument("--dir", default=None,
                    help="cache directory (default: the standard location)")
     p.add_argument("--clear", action="store_true", help="delete all entries")
     p.set_defaults(fn=cmd_cache)
 
+    p = sub.add_parser("metrics",
+                       help="pretty-print a metrics JSON dump "
+                            "(written with --metrics-out)")
+    p.add_argument("file", help="metrics JSON file")
+    p.set_defaults(fn=cmd_metrics)
+
     p = sub.add_parser("info", help="print the resolved configuration")
     _add_common(p)
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_info)
 
     p = sub.add_parser("analyze",
                        help="profile a captured trace (structure + sharing)")
+    _add_obs_flags(p)
     p.add_argument("--trace", required=True)
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("report",
                        help="run the evaluation and write a markdown report")
     _add_common(p)
+    _add_obs_flags(p)
     p.add_argument("--workloads", default="fft,lu,randshare",
                    help="comma-separated kernel list")
     p.add_argument("--out", default="report.md")
@@ -332,7 +372,35 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
-    return args.fn(args)
+    want_metrics = getattr(args, "metrics", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    if not (want_metrics or metrics_out or trace_out):
+        return args.fn(args)
+
+    # Instrumentation must be live before any simulator/network is built —
+    # components bind their probes at construction time (see repro.obs).
+    was_enabled = obs.enabled()
+    obs.reset()
+    obs.enable(True)
+    tl = obs.enable_timeline() if trace_out else None
+    try:
+        rc = args.fn(args)
+        snapshot = obs.registry().snapshot()
+        if want_metrics:
+            print()
+            print(obs.format_metrics(snapshot))
+        if metrics_out:
+            path = obs.dump_metrics(metrics_out, snapshot)
+            print(f"wrote metrics -> {path}")
+        if tl is not None:
+            path = tl.write_chrome_trace(trace_out)
+            print(f"wrote chrome trace -> {path} "
+                  f"({len(tl)} events, {tl.dropped} dropped)")
+        return rc
+    finally:
+        obs.disable_timeline()
+        obs.enable(was_enabled)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

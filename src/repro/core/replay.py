@@ -29,6 +29,7 @@ import numpy as np
 from repro.config import TRACE_NAIVE, TRACE_SELF_CORRECTING, TraceConfig
 from repro.engine import Simulator
 from repro.net import Message, NetworkAdapter
+from repro.obs.probes import replay_scope, timeline_or_none
 from repro.core.trace import SemanticKey, Trace, TraceRecord
 
 # A factory producing a fresh (simulator, network) pair per replay pass.
@@ -88,6 +89,8 @@ class _ReplayerBase:
         self.net = net
         self.deliveries: dict[int, int] = {}
         self.injections: dict[int, int] = {}
+        # repro.obs scope (None while instrumentation is disabled).
+        self._obs = replay_scope(self.mode)
         net.set_delivery_handler(self._on_deliver)
 
     def _send(self, r: TraceRecord) -> None:
@@ -103,7 +106,7 @@ class _ReplayerBase:
             key_of[mid]: t - self.injections[mid]
             for mid, t in self.deliveries.items()
         }
-        return ReplayResult(
+        result = ReplayResult(
             mode=self.mode,
             exec_time_estimate=_estimate_exec_time(self.trace, self.deliveries),
             latencies_by_key=lats,
@@ -115,6 +118,17 @@ class _ReplayerBase:
             sim_events=self.sim.event_count,
             extra=dict(extra or {}),
         )
+        if self._obs is not None:
+            self._publish_metrics(result)
+        return result
+
+    def _publish_metrics(self, result: ReplayResult) -> None:
+        """Promote replay counters into the ``replay.<mode>`` obs scope."""
+        scope = self._obs
+        scope.counter("messages_replayed").inc(result.messages_replayed)
+        scope.counter("messages_unreplayed").inc(result.messages_unreplayed)
+        scope.counter("sim_events").inc(result.sim_events)
+        scope.distribution("wall_clock_s").observe(result.wall_clock_s)
 
 
 class NaiveReplayer(_ReplayerBase):
@@ -199,6 +213,8 @@ class SelfCorrectingReplayer(_ReplayerBase):
                     dropped += 1
                 self._roots.append(r)
         self.dropped_deps = dropped
+        # Bound once: per-correction timeline tracing (opt-in, None normally).
+        self._tl = timeline_or_none()
 
     def run(self) -> ReplayResult:
         t0 = _walltime.perf_counter()
@@ -212,6 +228,27 @@ class SelfCorrectingReplayer(_ReplayerBase):
         extra: dict = {"dropped_deps": self.dropped_deps}
         extra.update(self._stall_diagnostics())
         return self._result(_walltime.perf_counter() - t0, extra=extra)
+
+    def _publish_metrics(self, result: ReplayResult) -> None:
+        """Base counters plus the self-correction diagnostics the paper's
+        accuracy argument rests on: how many injection times were re-derived
+        online, by how much they moved vs the captured timestamps, and how
+        many dependents stalled waiting on undelivered triggers."""
+        super()._publish_metrics(result)
+        scope = self._obs
+        stalled = {
+            mid for mid, left in self._prereqs_left.items() if left > 0
+        }
+        corrected = [
+            mid for mid in self._start_time if mid not in stalled
+        ]
+        scope.counter("corrections_applied").inc(len(corrected))
+        scope.counter("stalled").inc(len(stalled))
+        scope.counter("dropped_deps").inc(self.dropped_deps)
+        shift = scope.distribution("correction_shift_cycles")
+        captured = {r.msg_id: r.t_inject for r in self.trace.records}
+        for mid in corrected:
+            shift.observe(self._start_time[mid] - captured[mid])
 
     # Cap on per-message stall detail so a badly broken dependency graph
     # cannot blow up the result object.
@@ -260,8 +297,11 @@ class SelfCorrectingReplayer(_ReplayerBase):
             left = self._prereqs_left[dep.msg_id] - 1
             self._prereqs_left[dep.msg_id] = left
             if left == 0:
-                self.sim.schedule(self._start_time[dep.msg_id],
-                                  self._send, (dep,))
+                start = self._start_time[dep.msg_id]
+                if self._tl is not None:
+                    self._tl.record(start, f"node{dep.src}",
+                                    "replay.correction")
+                self.sim.schedule(start, self._send, (dep,))
 
 
 def replay_trace(

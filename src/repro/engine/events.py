@@ -82,6 +82,7 @@ class Event:
             q = self._queue
             if q is not None:
                 q._live -= 1
+                q._cancelled += 1
                 self._queue = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -100,16 +101,24 @@ class EventQueue:
     :mod:`repro.harness.parallel` — never one event loop).
     """
 
-    __slots__ = ("_heap", "_seq", "_live")
+    __slots__ = ("_heap", "_seq", "_live", "_cancelled")
 
     def __init__(self) -> None:
         self._heap: list[Entry] = []
         self._seq = 0
         self._live = 0
+        self._cancelled = 0
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) pending events."""
         return self._live
+
+    @property
+    def cancelled_total(self) -> int:
+        """Events explicitly cancelled over the queue's lifetime (a cheap
+        lifetime counter read by the kernel probe; ``clear`` is not a
+        cancellation)."""
+        return self._cancelled
 
     def __bool__(self) -> bool:
         return self._live > 0

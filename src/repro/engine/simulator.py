@@ -18,6 +18,7 @@ the golden determinism tests in ``tests/test_engine_golden.py``.
 from __future__ import annotations
 
 from heapq import heappop
+from time import perf_counter
 from typing import Any, Callable, Iterable, Optional
 
 from repro.engine.events import Event, EventQueue
@@ -63,6 +64,7 @@ class Simulator:
         "max_events",
         "rng",
         "_end_hooks",
+        "_probe",
     )
 
     def __init__(self, seed: int = 0, max_events: int = 2_000_000_000) -> None:
@@ -73,6 +75,7 @@ class Simulator:
         self.max_events = max_events
         self.rng = RngFactory(seed)
         self._end_hooks: list[Callable[[], None]] = []
+        self._probe = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -182,6 +185,28 @@ class Simulator:
         """Register a callback invoked once when :meth:`run` drains the queue."""
         self._end_hooks.append(fn)
 
+    # ---------------------------------------------------------- observability
+    @property
+    def probe(self):
+        """The attached kernel probe, or ``None`` (the zero-overhead default)."""
+        return self._probe
+
+    def attach_probe(self, probe) -> None:
+        """Attach a kernel probe (see :class:`repro.obs.KernelProbe`).
+
+        With a probe attached, :meth:`run` switches to an instrumented loop
+        that additionally tracks the heap high-water mark, events fired and
+        cancelled, and wall time, reporting them via ``probe.record_run``
+        after every run.  Without one (the default) the hot loop is
+        untouched — the disabled path costs a single ``is not None`` check
+        per ``run()`` call, not per event.
+        """
+        self._probe = probe
+
+    def detach_probe(self) -> None:
+        """Return to the uninstrumented run loop."""
+        self._probe = None
+
     # ------------------------------------------------------------- execution
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains or simulated time would exceed ``until``.
@@ -191,6 +216,8 @@ class Simulator:
         interval), matching the usual "run N cycles" semantics of cycle
         simulators.
         """
+        if self._probe is not None:
+            return self._run_instrumented(until)
         if self._running:
             raise SimulationError("re-entrant Simulator.run() call")
         self._running = True
@@ -226,6 +253,65 @@ class Simulator:
                 hook()
         finally:
             self._running = False
+
+    def _run_instrumented(self, until: Optional[int] = None) -> None:
+        """:meth:`run` with kernel statistics collection (probe attached).
+
+        Observable simulation semantics are identical to the fast loop —
+        same event order, same clock behaviour, pinned by running the
+        golden determinism tests under an attached probe — plus heap
+        high-water tracking per iteration and one ``probe.record_run`` call
+        per run (covering early ``until`` exits and exceptions alike).
+        """
+        if self._running:
+            raise SimulationError("re-entrant Simulator.run() call")
+        self._running = True
+        queue = self._queue
+        heap = queue._heap
+        pop = heappop
+        max_events = self.max_events
+        start_events = self._event_count
+        start_now = self._now
+        start_cancelled = queue._cancelled
+        high_water = len(heap)
+        wall_t0 = perf_counter()
+        try:
+            while heap:
+                if len(heap) > high_water:
+                    high_water = len(heap)
+                entry = heap[0]
+                if len(entry) == 6 and not entry[5]._alive:
+                    pop(heap)       # discard dead (cancelled) entry
+                    continue
+                t = entry[0]
+                if until is not None and t > until:
+                    self._now = until
+                    return
+                pop(heap)
+                queue._live -= 1
+                if len(entry) == 6:
+                    ev = entry[5]
+                    ev._alive = False   # consumed
+                    ev._queue = None
+                self._now = t
+                count = self._event_count + 1
+                self._event_count = count
+                if count > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={t}"
+                    )
+                entry[3](*entry[4])
+            for hook in self._end_hooks:
+                hook()
+        finally:
+            self._running = False
+            self._probe.record_run(
+                events=self._event_count - start_events,
+                cancelled=queue._cancelled - start_cancelled,
+                heap_high_water=high_water,
+                wall_s=perf_counter() - wall_t0,
+                cycles=self._now - start_now,
+            )
 
     def step(self) -> bool:
         """Execute exactly one event; return False if the queue was empty.

@@ -9,6 +9,7 @@ from repro.core import Trace, TraceCapture
 from repro.engine import Simulator
 from repro.net import NetworkAdapter
 from repro.noc import ElectricalNetwork
+from repro.obs.probes import attach_kernel_probe
 from repro.onoc import build_optical_network
 from repro.system import FullSystem, SystemResult, build_workload
 
@@ -23,6 +24,7 @@ def make_electrical(
     cfg: NocConfig, seed: int, keep_per_message_latency: bool = False
 ) -> tuple[Simulator, ElectricalNetwork]:
     sim = Simulator(seed=seed)
+    attach_kernel_probe(sim)        # no-op (and no run-loop cost) when obs is off
     return sim, ElectricalNetwork(sim, cfg, keep_per_message_latency)
 
 
@@ -30,6 +32,7 @@ def make_optical(
     cfg: OnocConfig, seed: int, keep_per_message_latency: bool = False
 ) -> tuple[Simulator, NetworkAdapter]:
     sim = Simulator(seed=seed)
+    attach_kernel_probe(sim)
     return sim, build_optical_network(sim, cfg, keep_per_message_latency)
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from repro.config import (
     ExperimentConfig,
@@ -20,7 +20,6 @@ from repro.core import (
     replay_trace,
 )
 from repro.harness.builders import (
-    electrical_factory,
     make_electrical,
     make_optical,
     optical_factory,

@@ -24,8 +24,18 @@ Three pieces:
 
 Cache invalidation: the key includes :data:`CACHE_SALT`, a code-version
 salt bumped whenever simulation semantics change, plus any user salt passed
-to the runner.  Clearing is just deleting the directory (or
-``python -m repro cache --clear``).
+to the runner, plus :func:`repro.obs.cache_token` — the instrumentation
+state.  The token is empty while metrics are disabled (old caches stay
+valid) and non-empty while enabled, so turning metrics on can never be
+answered from a stale, metrics-less cache entry.  Clearing is just deleting
+the directory (or ``python -m repro cache --clear``).
+
+Metrics: when :mod:`repro.obs` instrumentation is enabled, every task —
+serial, parallel, or recalled from cache — carries a private registry
+snapshot alongside its result.  The runner folds the snapshots together in
+submission order (never completion order) into :attr:`SweepRunner.last_metrics`
+and the ambient global registry, so ``--jobs 1`` and ``--jobs N`` produce
+identical merged counters.
 
 Because simulations are bit-deterministic in (config, seed), a cached
 result is indistinguishable from a fresh one, and serial and parallel
@@ -44,6 +54,8 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, fields, is_dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+from repro import obs
 
 #: Bump when simulator semantics change so stale cached results are never
 #: returned for the new code.  (PR 1: tuple-keyed event kernel.)
@@ -205,16 +217,31 @@ def task(fn: Union[str, Callable], *args: Any, **kwargs: Any) -> SweepTask:
     return SweepTask.make(fn, *args, **kwargs)
 
 
-def _execute_encoded(fn_ref: str, enc_args: Any, enc_kwargs: Any) -> Any:
+def _execute_encoded(
+    fn_ref: str, enc_args: Any, enc_kwargs: Any, with_obs: bool = False
+) -> Any:
     """Worker entry point: decode → run → encode.
 
     Results cross the process boundary in encoded form, so the serial and
-    parallel paths return byte-identical structures.
+    parallel paths return byte-identical structures.  With ``with_obs`` the
+    task runs under instrumentation on a *private* registry (isolated from
+    the caller's ambient metrics, whether this is a worker process or the
+    in-process serial path) and the return value is wrapped as
+    ``{"result": ..., "obs": <registry snapshot>}``.
     """
     fn = resolve_callable(fn_ref)
     args = decode_value(enc_args)
     kwargs = decode_value(enc_kwargs)
-    return encode_value(fn(*args, **kwargs))
+    if not with_obs:
+        return encode_value(fn(*args, **kwargs))
+    was_enabled = obs.enabled()
+    obs.enable(True)
+    try:
+        with obs.use_registry(obs.Registry()) as reg:
+            result = encode_value(fn(*args, **kwargs))
+            return {"result": result, "obs": reg.snapshot()}
+    finally:
+        obs.enable(was_enabled)
 
 
 # ---------------------------------------------------------------------------
@@ -265,6 +292,9 @@ class SweepRunner:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.salt = salt
         self.last_stats = SweepStats()
+        # Merged per-task registry snapshot of the last run() while
+        # instrumentation was enabled; None otherwise.
+        self.last_metrics: Optional[dict] = None
 
     # ------------------------------------------------------------- caching
     def _cache_path(self, key: str) -> Optional[Path]:
@@ -291,7 +321,8 @@ class SweepRunner:
         path.parent.mkdir(parents=True, exist_ok=True)
         blob = json.dumps(
             {"key": key, "fn": t.fn, "args": t.args, "kwargs": t.kwargs,
-             "salt": CACHE_SALT + self.salt, "result": encoded_result},
+             "salt": CACHE_SALT + self.salt + obs.cache_token(),
+             "result": encoded_result},
             sort_keys=True,
         )
         # Atomic publish so concurrent sweeps never see a torn file.
@@ -309,9 +340,18 @@ class SweepRunner:
 
     # ------------------------------------------------------------- running
     def run(self, tasks: Sequence[SweepTask]) -> list[Any]:
-        """Execute (or recall) every task; results in submission order."""
+        """Execute (or recall) every task; results in submission order.
+
+        While :mod:`repro.obs` instrumentation is enabled, each task's
+        registry snapshot travels with its result (including through the
+        cache) and the snapshots are merged in submission order into
+        :attr:`last_metrics` and the ambient global registry — identical
+        for any worker count and for cached vs fresh execution.
+        """
         tasks = list(tasks)
-        keys = [t.cache_key(self.salt) for t in tasks]
+        with_obs = obs.enabled()
+        salt = self.salt + obs.cache_token()
+        keys = [t.cache_key(salt) for t in tasks]
         results: list[Any] = [None] * len(tasks)
         encoded: dict[int, Any] = {}
         misses: list[int] = []
@@ -330,23 +370,37 @@ class SweepRunner:
             if self.workers <= 1 or len(misses) == 1:
                 for i in misses:
                     t = tasks[i]
-                    encoded[i] = _execute_encoded(t.fn, t.args, t.kwargs)
+                    encoded[i] = _execute_encoded(t.fn, t.args, t.kwargs,
+                                                  with_obs)
+                for i in misses:
+                    self._cache_store(keys[i], tasks[i], encoded[i])
             else:
                 with ProcessPoolExecutor(
                     max_workers=min(self.workers, len(misses))
                 ) as pool:
                     futs: list[tuple[int, Future]] = [
                         (i, pool.submit(_execute_encoded, tasks[i].fn,
-                                        tasks[i].args, tasks[i].kwargs))
+                                        tasks[i].args, tasks[i].kwargs,
+                                        with_obs))
                         for i in misses
                     ]
                     for i, fut in futs:
                         encoded[i] = fut.result()
-            for i in misses:
-                self._cache_store(keys[i], tasks[i], encoded[i])
+                for i in misses:
+                    self._cache_store(keys[i], tasks[i], encoded[i])
 
+        merged = obs.Registry() if with_obs else None
         for i in range(len(tasks)):
-            results[i] = decode_value(encoded[i])
+            enc = encoded[i]
+            if with_obs:
+                merged.merge_snapshot(enc["obs"])
+                enc = enc["result"]
+            results[i] = decode_value(enc)
+        if with_obs:
+            self.last_metrics = merged.snapshot()
+            obs.registry().merge_snapshot(self.last_metrics)
+        else:
+            self.last_metrics = None
         self.last_stats = stats
         return results
 

@@ -9,7 +9,6 @@ a user attaches to a design review.  Exposed as ``python -m repro report``.
 from __future__ import annotations
 
 import time
-from dataclasses import replace
 from typing import Sequence
 
 from repro.config import ExperimentConfig

@@ -44,7 +44,7 @@ class LinkReport:
     bisection_flits: int        # flits crossing the vertical mid-cut (mesh)
 
     def hottest(self, k: int = 5) -> list[LinkLoad]:
-        return sorted(self.links, key=lambda l: -l.flits)[:k]
+        return sorted(self.links, key=lambda ld: -ld.flits)[:k]
 
 
 def analyze_links(net: ElectricalNetwork, cycles: int) -> LinkReport:
@@ -61,7 +61,7 @@ def analyze_links(net: ElectricalNetwork, cycles: int) -> LinkReport:
                  utilization=flits / cycles)
         for (node, port), flits in sorted(net.link_flits.items())
     ]
-    utils = [l.utilization for l in loads]
+    utils = [ld.utilization for ld in loads]
     mean_u = sum(utils) / len(utils) if utils else 0.0
     max_u = max(utils, default=0.0)
 

@@ -19,6 +19,7 @@ from repro.noc.flit import Flit
 from repro.noc.interface import NetworkInterface
 from repro.noc.router import Router
 from repro.noc.topology import LOCAL, Topology
+from repro.obs.probes import net_probe
 from repro.stats import NetworkStats, LatencyRecorder
 
 # Event priorities: transfers land before the tick evaluates the cycle.
@@ -50,6 +51,8 @@ class ElectricalNetwork:
         self._in_tick = False
         # Per-directed-link flit counters for utilisation reports.
         self.link_flits: dict[tuple[int, int], int] = {}
+        # None unless repro.obs instrumentation was enabled at build time.
+        self._probe = net_probe("electrical")
 
     # ------------------------------------------------------ adapter API
     @property
@@ -65,6 +68,8 @@ class ElectricalNetwork:
             raise ValueError(f"self-send not routed through the network: {msg}")
         msg.inject_time = self.sim.now
         self.stats.messages_sent += 1
+        if self._probe is not None:
+            self._probe.on_inject(self.sim.now, msg)
         self.nis[msg.src].enqueue(msg)
 
     def set_delivery_handler(self, fn: Callable[[Message], None]) -> None:
@@ -177,6 +182,8 @@ class ElectricalNetwork:
         st.flits_delivered += self.cfg.flits_for_bytes(msg.size_bytes)
         st.latency.record(msg.id, msg.latency)
         st.hop_count.add(self.topo.min_hops(msg.src, msg.dst))
+        if self._probe is not None:
+            self._probe.on_deliver(self.sim.now, msg)
         if msg.on_delivery is not None:
             msg.on_delivery(msg)
         if self._delivery_handler is not None:

@@ -12,7 +12,7 @@ All algorithms are *minimal*.  Deadlock freedom:
 
 from __future__ import annotations
 
-from repro.config import MESH, RING, ROUTING_XY, ROUTING_YX, TORUS
+from repro.config import MESH, RING, ROUTING_YX, TORUS
 from repro.noc.topology import CCW, CW, EAST, LOCAL, NORTH, SOUTH, Topology, WEST
 
 

@@ -1,0 +1,52 @@
+"""Metrics rendering and (de)serialisation for the CLI and reports."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.obs.registry import format_value
+
+#: Format tag embedded in metric dump files.
+DUMP_FORMAT = "repro-metrics-v1"
+
+
+def format_metrics(snapshot: dict, title: str = "metrics") -> str:
+    """Render a registry snapshot as an aligned two-column text table.
+
+    Metric names are dotted paths; rows are grouped by sorted name so the
+    output is deterministic and diff-friendly.
+    """
+    names = sorted(snapshot)
+    if not names:
+        return f"== {title} ==\n(no metrics recorded)"
+    width = max(len(n) for n in names)
+    lines = [f"== {title} =="]
+    lines.extend(
+        f"{name:<{width}}  {format_value(snapshot[name])}" for name in names
+    )
+    return "\n".join(lines)
+
+
+def dump_metrics(path: Union[str, Path], snapshot: dict) -> Path:
+    """Write a snapshot as JSON; readable back via :func:`load_metrics`."""
+    out = Path(path)
+    out.write_text(
+        json.dumps(
+            {"format": DUMP_FORMAT, "metrics": snapshot},
+            sort_keys=True,
+            indent=2,
+        )
+    )
+    return out
+
+
+def load_metrics(path: Union[str, Path]) -> dict:
+    """Read a snapshot written by :func:`dump_metrics`."""
+    blob = json.loads(Path(path).read_text())
+    if blob.get("format") != DUMP_FORMAT:
+        raise ValueError(
+            f"{path}: not a repro metrics dump (format={blob.get('format')!r})"
+        )
+    return blob["metrics"]

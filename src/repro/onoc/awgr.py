@@ -22,6 +22,7 @@ from typing import Callable, Optional
 from repro.config import OnocConfig
 from repro.engine import Simulator
 from repro.net import Message
+from repro.obs.probes import net_probe
 from repro.onoc.devices import RingCensus, SerpentineLayout
 from repro.stats import LatencyRecorder, NetworkStats
 
@@ -74,6 +75,8 @@ class OpticalAwgr:
             latency=LatencyRecorder(keep_per_message=keep_per_message_latency)
         )
         self._delivery_handler: Optional[Callable[[Message], None]] = None
+        # None unless repro.obs instrumentation was enabled at build time.
+        self._probe = net_probe("awgr")
         self.bits_transmitted = 0
 
     # ------------------------------------------------------ adapter API
@@ -99,6 +102,8 @@ class OpticalAwgr:
             raise ValueError(f"self-send not routed through the network: {msg}")
         msg.inject_time = self.sim.now
         self.stats.messages_sent += 1
+        if self._probe is not None:
+            self._probe.on_inject(self.sim.now, msg)
         lane = self._lanes.setdefault((msg.src, msg.dst), _Lane())
         lane.queue.append(msg)
         if not lane.busy:
@@ -131,6 +136,8 @@ class OpticalAwgr:
         st.latency.record(msg.id, msg.latency)
         st.hop_count.add(1)
         self.bits_transmitted += msg.size_bytes * 8
+        if self._probe is not None:
+            self._probe.on_deliver(self.sim.now, msg)
         if msg.on_delivery is not None:
             msg.on_delivery(msg)
         if self._delivery_handler is not None:

@@ -18,6 +18,7 @@ from typing import Callable, Optional
 from repro.config import MESH, NocConfig, OnocConfig, ROUTING_XY
 from repro.engine import Simulator
 from repro.net import Message
+from repro.obs.probes import net_probe
 from repro.noc.routing import route_port
 from repro.noc.topology import Topology
 from repro.onoc.devices import mesh_link_length_cm
@@ -72,6 +73,8 @@ class CircuitSwitchedMesh:
             latency=LatencyRecorder(keep_per_message=keep_per_message_latency)
         )
         self._delivery_handler: Optional[Callable[[Message], None]] = None
+        # None unless repro.obs instrumentation was enabled at build time.
+        self._probe = net_probe("circuit_mesh")
         self._next_cid = 0
         # Power-model counters.
         self.bits_transmitted = 0
@@ -91,6 +94,8 @@ class CircuitSwitchedMesh:
             raise ValueError(f"self-send not routed through the network: {msg}")
         msg.inject_time = self.sim.now
         self.stats.messages_sent += 1
+        if self._probe is not None:
+            self._probe.on_inject(self.sim.now, msg)
         walker = _SetupWalker(self._next_cid, msg, self._xy_path(msg.src, msg.dst))
         self._next_cid += 1
         # First control-plane hop: the setup flit leaves the source NI.
@@ -184,6 +189,8 @@ class CircuitSwitchedMesh:
         st.latency.record(msg.id, msg.latency)
         st.hop_count.add(hops)
         self.bits_transmitted += msg.size_bytes * 8
+        if self._probe is not None:
+            self._probe.on_deliver(self.sim.now, msg)
         if msg.on_delivery is not None:
             msg.on_delivery(msg)
         if self._delivery_handler is not None:

@@ -23,6 +23,7 @@ from typing import Callable, Optional
 from repro.config import OnocConfig
 from repro.engine import Simulator
 from repro.net import Message
+from repro.obs.probes import net_probe
 from repro.onoc.devices import SerpentineLayout
 from repro.stats import LatencyRecorder, NetworkStats
 
@@ -62,6 +63,8 @@ class OpticalCrossbar:
             latency=LatencyRecorder(keep_per_message=keep_per_message_latency)
         )
         self._delivery_handler: Optional[Callable[[Message], None]] = None
+        # None unless repro.obs instrumentation was enabled at build time.
+        self._probe = net_probe("crossbar")
         # Power-model counters.
         self.bits_transmitted = 0
         self.token_travel_cycles = 0
@@ -79,6 +82,8 @@ class OpticalCrossbar:
             raise ValueError(f"self-send not routed through the network: {msg}")
         msg.inject_time = self.sim.now
         self.stats.messages_sent += 1
+        if self._probe is not None:
+            self._probe.on_inject(self.sim.now, msg)
         ch = self.channels[msg.dst]
         ch.queue.append(msg)
         if not ch.busy:
@@ -135,6 +140,8 @@ class OpticalCrossbar:
         st.latency.record(msg.id, msg.latency)
         st.hop_count.add(1)  # single optical hop by construction
         self.bits_transmitted += msg.size_bytes * 8
+        if self._probe is not None:
+            self._probe.on_deliver(self.sim.now, msg)
         if msg.on_delivery is not None:
             msg.on_delivery(msg)
         if self._delivery_handler is not None:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Union
 
-from repro.config import ONOC_CIRCUIT_MESH, ONOC_CROSSBAR, OnocConfig
+from repro.config import OnocConfig
 from repro.onoc.awgr import OpticalAwgr, awgr_ring_census
 from repro.onoc.circuit import CircuitSwitchedMesh
 from repro.onoc.crossbar import OpticalCrossbar

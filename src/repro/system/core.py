@@ -13,7 +13,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.net import MSG_BARRIER_ARRIVE, MSG_BARRIER_RELEASE, Message
 from repro.system.barrier import COORDINATOR_NODE
-from repro.system.ops import OP_BARRIER, OP_COMPUTE, OP_LOAD, OP_STORE, Program
+from repro.system.ops import OP_COMPUTE, OP_LOAD, OP_STORE, Program
 from repro.system.protocol import ProtPayload, derive_cause, line_of
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -20,7 +20,7 @@ Races handled (the classic MSI crossing cases):
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from repro.net import (
     MSG_INV,

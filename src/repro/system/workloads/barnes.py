@@ -29,7 +29,7 @@ TREE_FANOUT = 4
 
 def _tree_line(level: int, index: int) -> int:
     """Shared-pool line of tree node ``index`` at ``level``."""
-    base = sum(TREE_FANOUT ** l for l in range(level))
+    base = sum(TREE_FANOUT ** lvl for lvl in range(level))
     return shared_line(1024 + base + index)
 
 
@@ -42,7 +42,7 @@ def generate_barnes(
     bodies_per_core = 8
     bids = BarrierIds()
     programs: list[Program] = [[] for _ in range(num_cores)]
-    tree_size = [TREE_FANOUT ** l for l in range(TREE_LEVELS)]
+    tree_size = [TREE_FANOUT ** lvl for lvl in range(TREE_LEVELS)]
 
     for it in range(iterations):
         built_bid = bids.next_id()

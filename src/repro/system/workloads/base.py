@@ -7,7 +7,6 @@ import itertools
 import numpy as np
 
 from repro.system.ops import (
-    OP_BARRIER,
     OP_COMPUTE,
     OP_LOAD,
     OP_STORE,

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import json
-import pathlib
 
 import pytest
 
@@ -100,3 +99,39 @@ def test_build_experiment_respects_flags():
     assert exp.noc.width == exp.noc.height == 4
     assert exp.onoc.num_wavelengths == 32
     assert exp.seed == 11
+
+
+# ------------------------------------------------------------- observability
+def test_metrics_flag_prints_metrics_block(capsys):
+    out = run_cli(capsys, "sweep", "--network", "crossbar",
+                  "--rates", "0.05", "--metrics", *SMALL)
+    assert "== metrics ==" in out
+    assert "kernel.events_fired" in out
+    assert "net.crossbar.injected" in out
+    # The flag is per-invocation: instrumentation is off again afterwards.
+    from repro import obs
+    assert not obs.enabled()
+
+
+def test_metrics_out_roundtrips_through_metrics_command(tmp_path, capsys):
+    metrics_file = tmp_path / "m.json"
+    run_cli(capsys, "casestudy", "--workload", "prodcons", "--metrics",
+            "--metrics-out", str(metrics_file), *SMALL)
+    payload = json.loads(metrics_file.read_text())
+    assert payload["format"] == "repro-metrics-v1"
+    out = run_cli(capsys, "metrics", str(metrics_file))
+    assert "== metrics" in out
+    assert "kernel.events_fired" in out
+
+
+def test_trace_out_writes_chrome_trace(tmp_path, capsys):
+    trace_file = tmp_path / "trace.json"
+    out = run_cli(capsys, "casestudy", "--workload", "prodcons",
+                  "--trace-out", str(trace_file), *SMALL)
+    assert "wrote chrome trace" in out
+    doc = json.loads(trace_file.read_text())
+    events = doc["traceEvents"]
+    assert events
+    assert any(e.get("ph") == "i" for e in events)
+    from repro import obs
+    assert obs.timeline() is None          # tracer torn down after main()

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
@@ -14,7 +13,6 @@ from repro.config import (
     SystemConfig,
 )
 from repro.core import (
-    EndMarker,
     Trace,
     TraceRecord,
     critical_chain,

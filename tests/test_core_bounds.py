@@ -112,10 +112,11 @@ def test_bound_binding_edge_can_win():
 
 def test_iterative_refiner_honours_bounds():
     t = bounded_trace()
-    sim_factory = lambda: (
-        (lambda s: (s, build_optical_network(
-            s, OnocConfig(num_nodes=4, num_wavelengths=16))))(Simulator(seed=1))
-    )
+    def sim_factory():
+        s = Simulator(seed=1)
+        return s, build_optical_network(
+            s, OnocConfig(num_nodes=4, num_wavelengths=16))
+
     refiner = IterativeRefiner(t, sim_factory, max_iterations=3)
     result = refiner.run()
     assert result.messages_unreplayed == 0

@@ -6,11 +6,8 @@ import pytest
 
 from repro.config import ExperimentConfig, NocConfig, OnocConfig, SystemConfig, CacheConfig
 from repro.core import TraceCapture
-from repro.engine import Simulator
 from repro.harness import run_execution_driven
 from repro.net import Message
-from repro.noc import ElectricalNetwork
-from repro.system import FullSystem, build_workload
 
 
 def small_exp(seed=5):

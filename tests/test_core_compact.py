@@ -10,7 +10,6 @@ from repro.config import (
     NocConfig,
     OnocConfig,
     SystemConfig,
-    TraceConfig,
 )
 from repro.core import (
     coalesce_leaves,

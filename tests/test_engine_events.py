@@ -8,7 +8,6 @@ them (cancel-then-peek, ``_live`` accounting, bulk loading).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.engine import EventQueue
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.engine import SimulationError, Simulator
-from repro.engine.process import Process, Signal, spawn
+from repro.engine.process import Signal, spawn
 
 
 def test_sleep_yields_advance_time():

@@ -23,7 +23,6 @@ from repro.config import (
 )
 from repro.harness import (
     SweepRunner,
-    SweepTask,
     cache_clear,
     cache_info,
     decode_value,

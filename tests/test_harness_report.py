@@ -46,7 +46,7 @@ def test_report_has_all_sections(report_text):
 
 def test_report_tables_are_markdown(report_text):
     lines = report_text.splitlines()
-    headers = [l for l in lines if l.startswith("| workload")]
+    headers = [ln for ln in lines if ln.startswith("| workload")]
     assert headers, "markdown table headers missing"
     for h in headers:
         idx = lines.index(h)

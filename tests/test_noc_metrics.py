@@ -30,8 +30,8 @@ def test_requires_positive_cycles():
 def test_single_flow_counts():
     net, t = run_traffic([(0, 0, 3, 64)])  # 4 flits, 3 east hops
     rep = analyze_links(net, t)
-    assert sum(l.flits for l in rep.links) == 12
-    assert all(l.out_port == EAST for l in rep.links)
+    assert sum(ld.flits for ld in rep.links) == 12
+    assert all(ld.out_port == EAST for ld in rep.links)
     assert rep.max_utilization <= 1.0
 
 

@@ -7,7 +7,6 @@ test_noc_network.py.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.config import NocConfig
 from repro.engine import Simulator

@@ -6,7 +6,7 @@ import networkx as nx
 import pytest
 
 from repro.config import NocConfig
-from repro.noc.topology import CCW, CW, EAST, LOCAL, NORTH, SOUTH, Topology, WEST
+from repro.noc.topology import CCW, CW, EAST, NORTH, SOUTH, Topology, WEST
 
 
 def mesh(w=4, h=4):

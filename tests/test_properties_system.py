@@ -44,9 +44,9 @@ def tiny_syscfg() -> SystemConfig:
 op_st = st.one_of(
     st.tuples(st.just(OP_COMPUTE), st.integers(0, 15)),
     st.tuples(st.just(OP_LOAD),
-              st.integers(0, LINE_POOL - 1).map(lambda l: l * LINE)),
+              st.integers(0, LINE_POOL - 1).map(lambda k: k * LINE)),
     st.tuples(st.just(OP_STORE),
-              st.integers(0, LINE_POOL - 1).map(lambda l: l * LINE)),
+              st.integers(0, LINE_POOL - 1).map(lambda k: k * LINE)),
 )
 
 

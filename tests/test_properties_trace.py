@@ -8,7 +8,6 @@ and profile consistency.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import OnocConfig

@@ -9,7 +9,7 @@ from repro.system.cache import CacheArray, CacheLineState
 
 S = CacheLineState.SHARED
 M = CacheLineState.MODIFIED
-I = CacheLineState.INVALID
+INV = CacheLineState.INVALID
 
 
 def tiny(assoc=2, sets=2):
@@ -19,7 +19,7 @@ def tiny(assoc=2, sets=2):
 
 def test_miss_then_hit():
     c = tiny()
-    assert c.lookup(5) == I
+    assert c.lookup(5) == INV
     assert c.misses == 1
     c.install(5, S)
     assert c.lookup(5) == S
@@ -31,7 +31,7 @@ def test_peek_does_not_touch_counters():
     c.install(5, S)
     h, m = c.hits, c.misses
     assert c.peek(5) == S
-    assert c.peek(7) == I
+    assert c.peek(7) == INV
     assert (c.hits, c.misses) == (h, m)
 
 
@@ -49,7 +49,7 @@ def test_lru_eviction_order():
     c.lookup(0)                      # 0 is now MRU
     evicted = c.install(2, S)
     assert evicted == (1, S)         # LRU victim
-    assert c.peek(1) == I
+    assert c.peek(1) == INV
     assert c.evictions == 1
 
 
@@ -67,8 +67,8 @@ def test_set_state_and_invalidate():
     c.set_state(4, M)
     assert c.peek(4) == M
     assert c.invalidate(4) == M
-    assert c.peek(4) == I
-    assert c.invalidate(4) == I      # idempotent
+    assert c.peek(4) == INV
+    assert c.invalidate(4) == INV      # idempotent
     with pytest.raises(KeyError):
         c.set_state(4, S)
 
@@ -77,14 +77,14 @@ def test_set_state_invalid_drops_line():
     c = tiny()
     c.install(4, S)
     c.set_state(4, CacheLineState.INVALID)
-    assert c.peek(4) == I
+    assert c.peek(4) == INV
     assert c.occupancy == 0
 
 
 def test_install_invalid_state_rejected():
     c = tiny()
     with pytest.raises(ValueError):
-        c.install(1, I)
+        c.install(1, INV)
 
 
 def test_victim_veto_picks_other_way():

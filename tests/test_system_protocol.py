@@ -154,7 +154,7 @@ def test_writeback_on_l1_eviction():
     syscfg = small_cfg(l1_bytes=128)
     lines = [1, 5, 9]  # all map to the single set; homes 1, 1, 1
     programs = [
-        prog(*(store(l) for l in lines)),
+        prog(*(store(line) for line in lines)),
         prog((OP_COMPUTE, 1),), prog((OP_COMPUTE, 1),), prog((OP_COMPUTE, 1),),
     ]
     system, _ = run_system(programs, syscfg)
