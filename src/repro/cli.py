@@ -7,6 +7,7 @@ Subcommands::
     accuracy   capture + reference + both replay modes, print the report
     casestudy  execution-driven ONOC vs electrical comparison
     sweep      synthetic load-latency series for one network/pattern
+    validate   differential validation + invariant checks + golden corpus
     cache      inspect or clear the sweep result cache
     metrics    pretty-print a metrics JSON written with --metrics-out
     info       print the resolved configuration (Table-1 style)
@@ -244,6 +245,55 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro import validate as V
+
+    golden_dir = pathlib.Path(args.golden_dir)
+    if args.regen_golden:
+        written = V.regen_golden(golden_dir)
+        print(f"regenerated golden corpus: {len(written)} files in "
+              f"{golden_dir}")
+        for f in written:
+            print(f"  {f.name}")
+        return 0
+
+    if args.repro:
+        scenario = V.load_repro_scenario(pathlib.Path(args.repro))
+        outcome = V.run_scenario(scenario, deep=args.deep)
+        print(f"replayed repro {scenario.name}: "
+              f"{'PASS' if outcome.passed else 'FAIL'}")
+        for line in outcome.violations + outcome.envelope_breaches:
+            print(f"  {line}")
+        return 0 if outcome.passed else 1
+
+    if args.smoke:
+        scenarios = V.smoke_scenarios()
+    else:
+        scenarios = V.generate_scenarios(args.n, args.seed)
+    repro_dir = pathlib.Path(args.repro_dir)
+    report = V.run_differential(
+        scenarios, runner=_runner(args), deep=args.deep,
+        repro_dir=repro_dir, do_shrink=not args.no_shrink)
+    for line in report.summary_lines():
+        print(line)
+    if not report.passed:
+        print(f"repro files in {repro_dir}:")
+        for path in report.repro_paths:
+            print(f"  {path}")
+        return 1
+
+    if args.smoke or args.check_golden:
+        failures = V.check_golden(golden_dir)
+        if failures:
+            print(f"golden corpus FAILED ({len(failures)}):")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(f"golden corpus ok ({len(V.GOLDEN_SCENARIOS)} scenarios, "
+              f"{golden_dir})")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache_dir = args.dir or default_cache_dir()
     if args.clear:
@@ -333,6 +383,37 @@ def make_parser() -> argparse.ArgumentParser:
                    default="electrical")
     p.add_argument("--rates", default="0.02,0.05,0.1,0.2,0.3")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "validate",
+        help="differential validation: randomized scenarios, invariants, "
+             "golden corpus (see docs/VALIDATION.md)")
+    _add_obs_flags(p)
+    _add_sweep_flags(p)
+    p.add_argument("--smoke", action="store_true",
+                   help="fixed cheap scenario tier + golden corpus check "
+                        "(the CI gate)")
+    p.add_argument("--n", type=int, default=12,
+                   help="randomized scenario count (ignored with --smoke)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="scenario-generation seed (report is deterministic "
+                        "in it, for any --jobs)")
+    p.add_argument("--deep", action="store_true",
+                   help="add metamorphic checks (self-consistency + "
+                        "gap-scaling); ~4x replay cost")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without minimizing them")
+    p.add_argument("--repro-dir", default="validate-repros",
+                   help="where failing-scenario repro JSONs are written")
+    p.add_argument("--repro", default=None, metavar="FILE",
+                   help="re-run one repro JSON written by a previous failure")
+    p.add_argument("--golden-dir", default="tests/golden",
+                   help="golden corpus location")
+    p.add_argument("--check-golden", action="store_true",
+                   help="also verify the golden corpus (implied by --smoke)")
+    p.add_argument("--regen-golden", action="store_true",
+                   help="regenerate the golden corpus and exit")
+    p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser("cache", help="inspect or clear the sweep result cache")
     _add_obs_flags(p)

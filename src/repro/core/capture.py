@@ -112,6 +112,26 @@ class TraceCapture:
                 ))
         records.sort(key=lambda r: (r.t_inject, r.msg_id))
         markers.sort(key=lambda m: m.node)
+        # Canonicalise msg_ids to 0..n-1 in injection order.  Raw Message
+        # ids come from a process-global counter, so without this the same
+        # (config, seed) capture would serialize differently depending on
+        # what ran earlier in the process — breaking byte-identical golden
+        # traces and content-addressed caching.
+        remap = {r.msg_id: i for i, r in enumerate(records)}
+        remap[-1] = -1
+        records = [
+            TraceRecord(
+                msg_id=remap[r.msg_id], key=r.key, src=r.src, dst=r.dst,
+                size_bytes=r.size_bytes, kind=r.kind, t_inject=r.t_inject,
+                t_deliver=r.t_deliver, cause_id=remap[r.cause_id], gap=r.gap,
+                bound_id=remap[r.bound_id], bound_gap=r.bound_gap,
+            )
+            for r in records
+        ]
+        markers = [
+            EndMarker(m.node, m.t_finish, remap[m.cause_id], m.gap)
+            for m in markers
+        ]
         exec_time = max((m.t_finish for m in markers), default=0)
         trace = Trace(records=records, end_markers=markers,
                       exec_time=exec_time, meta=dict(meta or {}))

@@ -38,7 +38,24 @@ NetworkFactory = Callable[[], tuple[Simulator, NetworkAdapter]]
 
 @dataclass
 class ReplayResult:
-    """Outcome of one replay pass."""
+    """Outcome of one replay pass.
+
+    The self-correction diagnostics are first-class typed fields (they were
+    ad-hoc ``extra`` keys before the validation subsystem landed and started
+    asserting them — see :mod:`repro.validate.invariants`):
+
+    * ``dropped_deps`` — dependency edges discarded by ``keep_dep_fraction``
+      ablation (those records fall back to timestamp-driven roots);
+    * ``demoted_cyclic`` — records demoted to timestamp-driven roots because
+      their dependency edges formed a cycle (degenerate, unvalidated traces
+      only; a validated :class:`Trace` is guaranteed acyclic);
+    * ``stalled_count`` / ``stalled_msg_ids`` / ``stalled_on`` — records whose
+      trigger messages never delivered (msg-id lists are capped at
+      ``SelfCorrectingReplayer._STALL_DETAIL_CAP`` entries; the count is not).
+
+    ``extra`` remains for experiment-level annotations (e.g. the iterative
+    refiner's convergence history).
+    """
 
     mode: str
     exec_time_estimate: int
@@ -49,6 +66,11 @@ class ReplayResult:
     messages_unreplayed: int
     wall_clock_s: float
     sim_events: int
+    dropped_deps: int = 0
+    demoted_cyclic: int = 0
+    stalled_count: int = 0
+    stalled_msg_ids: list[int] = field(default_factory=list)
+    stalled_on: dict[int, list[int]] = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
 
@@ -100,7 +122,7 @@ class _ReplayerBase:
     def _on_deliver(self, msg: Message) -> None:
         self.deliveries[msg.id] = msg.deliver_time
 
-    def _result(self, wall: float, extra: Optional[dict] = None) -> ReplayResult:
+    def _result(self, wall: float, **diagnostics) -> ReplayResult:
         key_of = {r.msg_id: r.key for r in self.trace.records}
         lats = {
             key_of[mid]: t - self.injections[mid]
@@ -116,7 +138,7 @@ class _ReplayerBase:
             messages_unreplayed=len(self.trace.records) - len(self.injections),
             wall_clock_s=wall,
             sim_events=self.sim.event_count,
-            extra=dict(extra or {}),
+            **diagnostics,
         )
         if self._obs is not None:
             self._publish_metrics(result)
@@ -167,6 +189,59 @@ class FixedScheduleReplayer(_ReplayerBase):
         return self._result(_walltime.perf_counter() - t0)
 
 
+def _cycle_members(nodes, out_edges) -> set:
+    """Nodes of ``nodes`` on a dependency cycle (including self-loops).
+
+    Iterative Tarjan SCC over ``out_edges(node)``; a node is on a cycle iff
+    its strongly connected component has more than one member or it has a
+    self-edge.
+    """
+    index: dict = {}
+    lowlink: dict = {}
+    on_stack: set = set()
+    scc_stack: list = []
+    members: set = set()
+    counter = 0
+    for start in nodes:
+        if start in index:
+            continue
+        work = [(start, iter(out_edges(start)))]
+        while work:
+            node, it = work[-1]
+            if node not in index:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                scc_stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            for succ in it:
+                if succ == node:
+                    members.add(node)          # self-loop
+                elif succ not in index:
+                    work.append((succ, iter(out_edges(succ))))
+                    advanced = True
+                    break
+                elif succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    w = scc_stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1:
+                    members.update(scc)
+    return members
+
+
 class SelfCorrectingReplayer(_ReplayerBase):
     """The paper's model: online dependency-driven injection.
 
@@ -213,8 +288,72 @@ class SelfCorrectingReplayer(_ReplayerBase):
                     dropped += 1
                 self._roots.append(r)
         self.dropped_deps = dropped
+        self.demoted_cyclic = self._demote_cycles()
         # Bound once: per-correction timeline tracing (opt-in, None normally).
         self._tl = timeline_or_none()
+
+    def _demote_cycles(self) -> list[int]:
+        """Demote dependency-cycle members to timestamp-driven roots.
+
+        A validated :class:`Trace` is acyclic, but this replayer also accepts
+        hand-built traces (ablation studies, adversarial tests).  A cycle of
+        zero-latency records would wait on itself forever and surface only as
+        an opaque ``messages_unreplayed`` count; instead, every record on a
+        cycle falls back to its captured timestamp — the same fallback
+        ``keep_dep_fraction`` ablation uses — and is reported in
+        ``ReplayResult.demoted_cyclic``.  Records stalled on triggers that
+        are *missing from the trace* are left alone: that is a diagnosable
+        data bug, reported via the ``stalled_*`` fields.
+        """
+        by_id = {r.msg_id: r for r in self.trace.records}
+        # Fixpoint: which dependents can ever fire given the roots.
+        left = dict(self._prereqs_left)
+        frontier = [r.msg_id for r in self._roots]
+        while frontier:
+            mid = frontier.pop()
+            for dep in self._dependents.get(mid, ()):
+                left[dep.msg_id] -= 1
+                if left[dep.msg_id] == 0:
+                    frontier.append(dep.msg_id)
+        blocked = {mid for mid, n in left.items() if n > 0}
+        if not blocked:
+            return []
+        # Blocked records tainted by a trigger missing from the trace stall
+        # legitimately; propagate the taint through their dependents.
+        taint: set[int] = set()
+        stack = [
+            mid for mid in blocked
+            if any(t != -1 and t not in by_id
+                   for t in (by_id[mid].cause_id, by_id[mid].bound_id))
+        ]
+        while stack:
+            mid = stack.pop()
+            if mid in taint:
+                continue
+            taint.add(mid)
+            stack.extend(
+                dep.msg_id for dep in self._dependents.get(mid, ())
+                if dep.msg_id in blocked and dep.msg_id not in taint
+            )
+        # The untainted blocked records each wait (directly or transitively)
+        # on a cycle.  Demote the actual cycle members; their descendants
+        # then fire normally off the demoted roots' deliveries.
+        subgraph = blocked - taint
+        demoted = sorted(_cycle_members(
+            subgraph,
+            lambda mid: (t for t in (by_id[mid].cause_id, by_id[mid].bound_id)
+                         if t in subgraph),
+        ))
+        for mid in demoted:
+            del self._prereqs_left[mid]
+            self._start_time.pop(mid, None)
+            rec = by_id[mid]
+            for trig in {rec.cause_id, rec.bound_id} - {-1}:
+                self._dependents[trig] = [
+                    d for d in self._dependents[trig] if d.msg_id != mid
+                ]
+            self._roots.append(rec)
+        return demoted
 
     def run(self) -> ReplayResult:
         t0 = _walltime.perf_counter()
@@ -225,9 +364,15 @@ class SelfCorrectingReplayer(_ReplayerBase):
             ((r.gap if r.cause_id == -1 else r.t_inject), self._send, (r,))
             for r in self._roots)
         self.sim.run()
-        extra: dict = {"dropped_deps": self.dropped_deps}
-        extra.update(self._stall_diagnostics())
-        return self._result(_walltime.perf_counter() - t0, extra=extra)
+        stalled_count, stalled_ids, stalled_on = self._stall_diagnostics()
+        return self._result(
+            _walltime.perf_counter() - t0,
+            dropped_deps=self.dropped_deps,
+            demoted_cyclic=len(self.demoted_cyclic),
+            stalled_count=stalled_count,
+            stalled_msg_ids=stalled_ids,
+            stalled_on=stalled_on,
+        )
 
     def _publish_metrics(self, result: ReplayResult) -> None:
         """Base counters plus the self-correction diagnostics the paper's
@@ -245,6 +390,7 @@ class SelfCorrectingReplayer(_ReplayerBase):
         scope.counter("corrections_applied").inc(len(corrected))
         scope.counter("stalled").inc(len(stalled))
         scope.counter("dropped_deps").inc(self.dropped_deps)
+        scope.counter("demoted_cyclic").inc(len(self.demoted_cyclic))
         shift = scope.distribution("correction_shift_cycles")
         captured = {r.msg_id: r.t_inject for r in self.trace.records}
         for mid in corrected:
@@ -254,21 +400,22 @@ class SelfCorrectingReplayer(_ReplayerBase):
     # cannot blow up the result object.
     _STALL_DETAIL_CAP = 50
 
-    def _stall_diagnostics(self) -> dict:
+    def _stall_diagnostics(self) -> tuple[int, list[int], dict[int, list[int]]]:
         """Post-mortem for records whose prerequisites never delivered.
 
         A dependent record is *stalled* when the queue drained while it was
         still waiting on one or more trigger edges — its cause (or bound)
-        message was never delivered, usually because the dependency graph
-        references msg_ids missing from the trace or itself stalled
-        upstream.  Without this, such records only surface as an opaque
-        ``messages_unreplayed`` count.
+        message was never delivered because the dependency graph references
+        msg_ids missing from the trace, or because it stalled transitively
+        behind such a record.  Without this, such records only surface as an
+        opaque ``messages_unreplayed`` count.  Returns ``(count, msg_ids,
+        stalled_on)`` with the id lists capped at ``_STALL_DETAIL_CAP``.
         """
         stalled = sorted(
             mid for mid, left in self._prereqs_left.items() if left > 0
         )
         if not stalled:
-            return {}
+            return 0, [], {}
         by_id = {r.msg_id: r for r in self.trace.records}
         detail: dict[int, list[int]] = {}
         for mid in stalled[: self._STALL_DETAIL_CAP]:
@@ -278,11 +425,7 @@ class SelfCorrectingReplayer(_ReplayerBase):
                 for trigger in (r.cause_id, r.bound_id)
                 if trigger != -1 and trigger not in self.deliveries
             ]
-        return {
-            "stalled_count": len(stalled),
-            "stalled_msg_ids": stalled[: self._STALL_DETAIL_CAP],
-            "stalled_on": detail,
-        }
+        return len(stalled), stalled[: self._STALL_DETAIL_CAP], detail
 
     def _on_deliver(self, msg: Message) -> None:
         super()._on_deliver(msg)

@@ -131,6 +131,7 @@ class Trace:
                     raise ValueError(
                         f"record {r.msg_id}: bound_gap {r.bound_gap} "
                         "inconsistent")
+        self._check_acyclic(by_id)
         for m in self.end_markers:
             if m.cause_id != -1 and m.cause_id not in by_id:
                 raise ValueError(
@@ -142,6 +143,41 @@ class Trace:
                 raise ValueError(
                     f"exec_time {self.exec_time} != max end marker {latest}"
                 )
+
+    def _check_acyclic(self, by_id: dict[int, "TraceRecord"]) -> None:
+        """Reject dependency cycles.
+
+        The per-edge causality checks above admit cycles made entirely of
+        zero-latency, equal-timestamp records (every edge gap 0) — a shape no
+        real network can capture but one that would stall the self-correcting
+        replayer forever.  Propagate "can fire" from the roots; any record
+        left unfired sits on a cycle (its triggers are all present, so
+        nothing else can block it).
+        """
+        prereqs = {
+            r.msg_id: (1 if r.cause_id != -1 else 0) + (1 if r.bound_id != -1 else 0)
+            for r in self.records
+        }
+        dependents: dict[int, list[int]] = {}
+        for r in self.records:
+            for trig in (r.cause_id, r.bound_id):
+                if trig != -1:
+                    dependents.setdefault(trig, []).append(r.msg_id)
+        frontier = [mid for mid, n in prereqs.items() if n == 0]
+        fired = 0
+        while frontier:
+            mid = frontier.pop()
+            fired += 1
+            for dep in dependents.get(mid, ()):
+                prereqs[dep] -= 1
+                if prereqs[dep] == 0:
+                    frontier.append(dep)
+        if fired != len(self.records):
+            cyclic = sorted(mid for mid, n in prereqs.items() if n > 0)
+            raise ValueError(
+                f"dependency cycle among msg_ids {cyclic[:10]}"
+                f"{'...' if len(cyclic) > 10 else ''}"
+            )
 
     # ------------------------------------------------------------- queries
     def __len__(self) -> int:

@@ -1,0 +1,67 @@
+"""repro.validate — differential & property-based validation subsystem.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.validate.invariants` — structural invariant catalogue over
+  ``Trace`` / ``ReplayResult`` pairs plus metamorphic checks,
+* :mod:`repro.validate.differential` — seeded randomized scenario fan-out
+  (via ``SweepRunner``), failure shrinking and repro-JSON serialization,
+* :mod:`repro.validate.golden` — checked-in golden corpus with pinned
+  accuracy numbers (``tests/golden/``).
+
+CLI entry point: ``repro validate`` (see ``docs/VALIDATION.md``).
+"""
+
+from repro.validate.differential import (
+    DifferentialReport,
+    generate_scenarios,
+    load_repro_scenario,
+    run_differential,
+    shrink,
+    smoke_scenarios,
+    write_repro,
+)
+from repro.validate.golden import (
+    GOLDEN_SCENARIOS,
+    check_golden,
+    regen_golden,
+)
+from repro.validate.invariants import (
+    ALL_INVARIANTS,
+    Violation,
+    check_gap_scaling,
+    check_replay,
+    check_self_consistency,
+    check_trace,
+    scale_trace_gaps,
+)
+from repro.validate.scenario import (
+    ErrorEnvelope,
+    Scenario,
+    ScenarioOutcome,
+    run_scenario,
+)
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "DifferentialReport",
+    "ErrorEnvelope",
+    "GOLDEN_SCENARIOS",
+    "Scenario",
+    "ScenarioOutcome",
+    "Violation",
+    "check_gap_scaling",
+    "check_golden",
+    "check_replay",
+    "check_self_consistency",
+    "check_trace",
+    "generate_scenarios",
+    "load_repro_scenario",
+    "regen_golden",
+    "run_differential",
+    "run_scenario",
+    "scale_trace_gaps",
+    "shrink",
+    "smoke_scenarios",
+    "write_repro",
+]

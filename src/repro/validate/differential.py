@@ -1,0 +1,258 @@
+"""Differential harness: randomized scenario fan-out, shrinking, repro files.
+
+The harness samples seeded scenarios from the (capture x target x workload x
+cores x scale) space, runs each through :func:`repro.validate.scenario.run_scenario`
+— fanning out over worker processes via :class:`repro.harness.SweepRunner` —
+and reduces every failure to a *minimal* scenario by greedily simplifying one
+dimension at a time while the failure reproduces.  Shrunk failures serialize
+to small repro JSONs (see :func:`write_repro`) that ``repro validate --repro``
+replays directly.
+
+Determinism: scenario generation uses only ``random.Random(seed)``, the
+simulator is deterministic in (config, seed), and SweepRunner returns results
+in submission order — so the full report is identical for any ``--jobs``
+value and across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.config import ONOC_TOPOLOGIES
+from repro.validate.scenario import (
+    CAPTURE_NETWORKS,
+    ErrorEnvelope,
+    SCENARIO_WORKLOADS,
+    Scenario,
+    ScenarioOutcome,
+    run_scenario,
+)
+
+#: Module-path reference SweepRunner workers resolve (must stay importable).
+RUN_SCENARIO_REF = "repro.validate.scenario:run_scenario"
+
+
+def generate_scenarios(n: int, seed: int) -> list[Scenario]:
+    """``n`` seeded random scenarios (deterministic in ``(n, seed)``).
+
+    The first ``len(CAPTURE_NETWORKS) x len(ONOC_TOPOLOGIES)`` draws sweep
+    every capture->target pair once before free sampling, so even small
+    batches exercise every backend combination.
+    """
+    rng = random.Random(seed)
+    pairs = [(c, t) for c in CAPTURE_NETWORKS for t in ONOC_TOPOLOGIES
+             if c != t]
+    rng.shuffle(pairs)
+    out: list[Scenario] = []
+    for i in range(n):
+        if i < len(pairs):
+            capture, target = pairs[i]
+        else:
+            capture = rng.choice(CAPTURE_NETWORKS)
+            target = rng.choice([t for t in ONOC_TOPOLOGIES if t != capture])
+        cores = rng.choice((4, 16, 16, 64))
+        wavelengths = rng.choice((16, 32, 64))
+        if "awgr" in (capture, target):
+            # AWGR is only feasible with >= cores-1 wavelengths.
+            wavelengths = min(w for w in (16, 32, 64) if w >= cores - 1)
+        out.append(Scenario(
+            workload=rng.choice(SCENARIO_WORKLOADS),
+            cores=cores,
+            seed=rng.randrange(1, 10_000),
+            scale=rng.choice((0.1, 0.25, 0.5)),
+            capture=capture,
+            target=target,
+            wavelengths=wavelengths,
+            keep_dep_fraction=rng.choice((1.0, 1.0, 1.0, 0.9)),
+        ))
+    return out
+
+
+def smoke_scenarios() -> list[Scenario]:
+    """The fixed CI smoke tier: cheap, covers every backend as a target."""
+    return [
+        Scenario("fft", 16, 11, 0.25, "electrical", "crossbar"),
+        Scenario("radix", 16, 12, 0.25, "electrical", "circuit_mesh"),
+        Scenario("prodcons", 16, 13, 0.25, "electrical", "swmr_crossbar"),
+        Scenario("barnes", 16, 14, 0.25, "electrical", "awgr"),
+        Scenario("stencil", 4, 15, 0.5, "crossbar", "circuit_mesh"),
+        Scenario("fft", 16, 16, 0.1, "awgr", "crossbar",
+                 keep_dep_fraction=0.9),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+def _shrink_candidates(s: Scenario) -> list[Scenario]:
+    """One-step simplifications of ``s``, most aggressive first.
+
+    Infeasible combinations (e.g. dropping wavelengths below what an awgr
+    endpoint needs) are rejected by Scenario validation and skipped.
+    """
+    raw = []
+    if s.cores > 4:
+        raw.append({"cores": max(4, s.cores // 4)})
+    if s.scale > 0.1:
+        raw.append({"scale": max(0.1, round(s.scale / 2, 3))})
+    if s.keep_dep_fraction != 1.0:
+        raw.append({"keep_dep_fraction": 1.0})
+    if s.wavelengths > 16:
+        raw.append({"wavelengths": 16})
+    if s.capture != "electrical":
+        raw.append({"capture": "electrical"})
+    cands: list[Scenario] = []
+    for change in raw:
+        try:
+            cands.append(replace(s, **change))
+        except ValueError:
+            continue
+    return cands
+
+
+def shrink(
+    scenario: Scenario,
+    envelope: Optional[ErrorEnvelope] = None,
+    deep: bool = False,
+    max_steps: int = 12,
+    runner_fn: Callable[..., ScenarioOutcome] = run_scenario,
+) -> tuple[Scenario, ScenarioOutcome]:
+    """Greedily minimize a failing scenario while it still fails.
+
+    Each round tries the one-step simplifications of the current scenario in
+    order and keeps the first that still fails; stops when none do (a local
+    minimum) or after ``max_steps``.  Returns the minimal scenario and its
+    outcome.  ``runner_fn`` is injectable for tests.
+    """
+    current = scenario
+    outcome = runner_fn(current, envelope, deep)
+    if outcome.passed:
+        raise ValueError(f"scenario {scenario.name} does not fail; "
+                         "nothing to shrink")
+    for _ in range(max_steps):
+        for cand in _shrink_candidates(current):
+            cand_outcome = runner_fn(cand, envelope, deep)
+            if not cand_outcome.passed:
+                current, outcome = cand, cand_outcome
+                break
+        else:
+            break
+    return current, outcome
+
+
+# ---------------------------------------------------------------------------
+# Repro files
+# ---------------------------------------------------------------------------
+
+REPRO_FORMAT = 1
+
+
+def write_repro(outcome: ScenarioOutcome, out_dir: Path) -> Path:
+    """Serialize a failing outcome to ``<out_dir>/<scenario-name>.json``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{outcome.scenario.name}.json"
+    blob = {
+        "format": REPRO_FORMAT,
+        "scenario": asdict(outcome.scenario),
+        "violations": outcome.violations,
+        "envelope_breaches": outcome.envelope_breaches,
+        "measured": {
+            "trace_messages": outcome.trace_messages,
+            "ref_exec_time": outcome.ref_exec_time,
+            "sc_exec_estimate": outcome.sc_exec_estimate,
+            "naive_exec_estimate": outcome.naive_exec_estimate,
+            "sc_exec_error_pct": round(outcome.sc_exec_error_pct, 4),
+            "sc_mean_latency_error_pct":
+                round(outcome.sc_mean_latency_error_pct, 4),
+            "naive_exec_error_pct": round(outcome.naive_exec_error_pct, 4),
+            "sc_unreplayed": outcome.sc_unreplayed,
+            "sc_demoted_cyclic": outcome.sc_demoted_cyclic,
+        },
+    }
+    path.write_text(json.dumps(blob, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro_scenario(path: Path) -> Scenario:
+    """Scenario back out of a repro JSON written by :func:`write_repro`."""
+    blob = json.loads(Path(path).read_text())
+    if blob.get("format") != REPRO_FORMAT:
+        raise ValueError(f"unsupported repro format in {path}")
+    return Scenario(**blob["scenario"])
+
+
+# ---------------------------------------------------------------------------
+# Batch driver
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DifferentialReport:
+    """Aggregate result of one differential batch."""
+
+    outcomes: list[ScenarioOutcome]
+    shrunk: list[ScenarioOutcome] = field(default_factory=list)
+    repro_paths: list[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[ScenarioOutcome]:
+        return [o for o in self.outcomes if not o.passed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def summary_lines(self) -> list[str]:
+        lines = [f"{len(self.outcomes)} scenarios, "
+                 f"{len(self.failures)} failed"]
+        for o in self.outcomes:
+            status = "ok  " if o.passed else "FAIL"
+            lines.append(
+                f"  {status} {o.scenario.name}: "
+                f"sc {o.sc_exec_error_pct:.2f}% / naive "
+                f"{o.naive_exec_error_pct:.2f}% exec error, "
+                f"{o.trace_messages} msgs"
+                + (f" — {o.failure_summary()}" if not o.passed else ""))
+        for o in self.shrunk:
+            lines.append(f"  shrunk -> {o.scenario.name}: "
+                         f"{o.failure_summary()}")
+        return lines
+
+
+def run_differential(
+    scenarios: list[Scenario],
+    runner=None,
+    envelope: Optional[ErrorEnvelope] = None,
+    deep: bool = False,
+    repro_dir: Optional[Path] = None,
+    do_shrink: bool = True,
+) -> DifferentialReport:
+    """Run a batch of scenarios, shrink failures, write repro files.
+
+    ``runner`` is a :class:`repro.harness.SweepRunner` (or None to run
+    sequentially in-process).  Results are deterministic in the scenario
+    list regardless of worker count.
+    """
+    envelope = envelope or ErrorEnvelope()
+    if runner is None:
+        outcomes = [run_scenario(s, envelope, deep) for s in scenarios]
+    else:
+        outcomes = runner.map(RUN_SCENARIO_REF,
+                              [(s,) for s in scenarios],
+                              envelope=envelope, deep=deep)
+    report = DifferentialReport(outcomes=outcomes)
+    for failing in report.failures:
+        if do_shrink:
+            minimal, min_outcome = shrink(failing.scenario, envelope, deep)
+        else:
+            min_outcome = failing
+        report.shrunk.append(min_outcome)
+        if repro_dir is not None:
+            report.repro_paths.append(
+                str(write_repro(min_outcome, repro_dir)))
+    return report

@@ -1,0 +1,523 @@
+"""Invariant catalogue: structural properties every trace and replay obeys.
+
+Each invariant is a named predicate over a :class:`~repro.core.trace.Trace`
+(or a ``(Trace, ReplayResult)`` pair) that the paper's methodology implies
+but the type system cannot enforce.  Checkers return
+:class:`Violation` lists instead of raising, so the differential harness can
+collect every broken property of a failing scenario in one pass and the
+test-suite can assert on specific invariant names.
+
+Trace invariants
+----------------
+``trace.unique_ids``              msg_ids and semantic keys are unique.
+``trace.referential_integrity``   cause/bound ids resolve to in-trace
+                                  records; a bound edge implies a cause edge.
+``trace.causality``               every injection equals its trigger's
+                                  delivery plus the captured edge gap (roots:
+                                  gap equals the absolute offset); gaps >= 0.
+``trace.acyclicity``              the dependency graph has a schedulable
+                                  topological order (no zero-latency cycles).
+``trace.latency_nonnegative``     no record is delivered before injection.
+``trace.end_marker_consistency``  end-marker causes resolve and ``exec_time``
+                                  equals the latest marker finish.
+``trace.channel_monotonicity``    per (src, dst) channel, a message injected
+                                  at or after another's delivery is delivered
+                                  strictly later (non-overlapping messages
+                                  never reorder).  Strict per-channel FIFO is
+                                  deliberately *not* an invariant: wormhole
+                                  VCs and per-wavelength parallelism reorder
+                                  messages whose flights overlap.
+
+Replay invariants
+-----------------
+``replay.conservation``           replayed + unreplayed == len(trace);
+                                  deliveries are a subset of injections;
+                                  counts match the maps.
+``replay.causality``              self-correcting injections equal the max
+                                  over trigger edges of (simulated delivery +
+                                  edge gap); naive injections equal captured
+                                  timestamps.
+``replay.stall_accounting``       the typed stall diagnostics agree with the
+                                  unreplayed count (and are absent for naive
+                                  replays, which always replay everything).
+``replay.latency_map_consistency`` ``latencies_by_key`` equals delivery minus
+                                  injection for every delivered message.
+``replay.exec_estimate_consistency`` the execution-time estimate equals the
+                                  end-marker rule applied to the observed
+                                  deliveries.
+``replay.channel_monotonicity``   the channel ordering rule above, applied to
+                                  the replayed timeline.
+
+Metamorphic properties (need a network factory, used by the differential
+harness and the property tests):
+
+* :func:`check_self_consistency` — replaying a trace on its own capture
+  network reproduces the captured execution time within a tolerance.
+* :func:`check_gap_scaling` — scaling every edge gap by k >= 1 (via
+  :func:`scale_trace_gaps`) never *decreases* the predicted execution time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.replay import (
+    ReplayResult,
+    SelfCorrectingReplayer,
+    _estimate_exec_time,
+)
+from repro.core.trace import EndMarker, Trace, TraceRecord
+
+# Invariant names (referenced by tests and repro reports).
+TRACE_UNIQUE_IDS = "trace.unique_ids"
+TRACE_REFERENTIAL = "trace.referential_integrity"
+TRACE_CAUSALITY = "trace.causality"
+TRACE_ACYCLICITY = "trace.acyclicity"
+TRACE_LATENCY = "trace.latency_nonnegative"
+TRACE_END_MARKERS = "trace.end_marker_consistency"
+TRACE_CHANNEL_ORDER = "trace.channel_monotonicity"
+REPLAY_CONSERVATION = "replay.conservation"
+REPLAY_CAUSALITY = "replay.causality"
+REPLAY_STALLS = "replay.stall_accounting"
+REPLAY_LATENCY_MAP = "replay.latency_map_consistency"
+REPLAY_EXEC_ESTIMATE = "replay.exec_estimate_consistency"
+REPLAY_CHANNEL_ORDER = "replay.channel_monotonicity"
+META_SELF_CONSISTENCY = "metamorphic.self_consistency"
+META_GAP_SCALING = "metamorphic.gap_scaling_monotonicity"
+
+#: Every structural invariant checked by :func:`check_trace` /
+#: :func:`check_replay` (the metamorphic ones need a network factory).
+ALL_INVARIANTS = (
+    TRACE_UNIQUE_IDS,
+    TRACE_REFERENTIAL,
+    TRACE_CAUSALITY,
+    TRACE_ACYCLICITY,
+    TRACE_LATENCY,
+    TRACE_END_MARKERS,
+    TRACE_CHANNEL_ORDER,
+    REPLAY_CONSERVATION,
+    REPLAY_CAUSALITY,
+    REPLAY_STALLS,
+    REPLAY_LATENCY_MAP,
+    REPLAY_EXEC_ESTIMATE,
+    REPLAY_CHANNEL_ORDER,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, anchored to a message where possible."""
+
+    invariant: str
+    message: str
+    msg_id: int = -1
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        anchor = f" [msg {self.msg_id}]" if self.msg_id != -1 else ""
+        return f"{self.invariant}{anchor}: {self.message}"
+
+
+# Cap per-invariant violation lists so a completely corrupt artifact cannot
+# produce megabytes of diagnostics.
+_VIOLATION_CAP = 20
+
+
+class _Collector:
+    def __init__(self) -> None:
+        self.violations: list[Violation] = []
+        self._per_invariant: dict[str, int] = {}
+
+    def add(self, invariant: str, message: str, msg_id: int = -1) -> None:
+        n = self._per_invariant.get(invariant, 0)
+        if n < _VIOLATION_CAP:
+            self.violations.append(Violation(invariant, message, msg_id))
+        elif n == _VIOLATION_CAP:
+            self.violations.append(Violation(
+                invariant, "further violations suppressed"))
+        self._per_invariant[invariant] = n + 1
+
+
+# ---------------------------------------------------------------------------
+# Trace invariants
+# ---------------------------------------------------------------------------
+
+def check_trace(trace: Trace) -> list[Violation]:
+    """Check every structural trace invariant; returns all violations."""
+    out = _Collector()
+    by_id: dict[int, TraceRecord] = {}
+    for r in trace.records:
+        if r.msg_id in by_id:
+            out.add(TRACE_UNIQUE_IDS, f"duplicate msg_id {r.msg_id}", r.msg_id)
+        by_id[r.msg_id] = r
+    seen_keys: set = set()
+    for r in trace.records:
+        if r.key in seen_keys:
+            out.add(TRACE_UNIQUE_IDS, f"duplicate semantic key {r.key}",
+                    r.msg_id)
+        seen_keys.add(r.key)
+
+    for r in trace.records:
+        if r.t_deliver < r.t_inject:
+            out.add(TRACE_LATENCY,
+                    f"delivered at {r.t_deliver} before injection "
+                    f"{r.t_inject}", r.msg_id)
+        if r.bound_id != -1 and r.cause_id == -1:
+            out.add(TRACE_REFERENTIAL, "bound edge without a cause edge",
+                    r.msg_id)
+        for label, trig, gap in (("cause", r.cause_id, r.gap),
+                                 ("bound", r.bound_id, r.bound_gap)):
+            if trig == -1:
+                continue
+            t = by_id.get(trig)
+            if t is None:
+                out.add(TRACE_REFERENTIAL,
+                        f"{label} {trig} not in trace", r.msg_id)
+            elif t.t_deliver + gap != r.t_inject:
+                out.add(TRACE_CAUSALITY,
+                        f"{label} delivered at {t.t_deliver} + gap {gap} "
+                        f"!= injection {r.t_inject}", r.msg_id)
+        if r.gap < 0 or r.bound_gap < 0:
+            out.add(TRACE_CAUSALITY, "negative edge gap", r.msg_id)
+        if r.cause_id == -1 and r.gap != r.t_inject:
+            out.add(TRACE_CAUSALITY,
+                    f"root gap {r.gap} != injection offset {r.t_inject}",
+                    r.msg_id)
+
+    _check_acyclic(trace, by_id, out)
+    _check_end_markers(trace, by_id, out)
+    _check_channel_order(
+        ((r.src, r.dst, r.t_inject, r.t_deliver, r.msg_id)
+         for r in trace.records),
+        TRACE_CHANNEL_ORDER, out)
+    return out.violations
+
+
+def _check_acyclic(trace: Trace, by_id: dict[int, TraceRecord],
+                   out: _Collector) -> None:
+    prereqs = {
+        r.msg_id: sum(1 for t in (r.cause_id, r.bound_id)
+                      if t != -1 and t in by_id)
+        for r in trace.records
+    }
+    dependents: dict[int, list[int]] = {}
+    for r in trace.records:
+        for trig in (r.cause_id, r.bound_id):
+            if trig != -1 and trig in by_id:
+                dependents.setdefault(trig, []).append(r.msg_id)
+    frontier = [mid for mid, n in prereqs.items() if n == 0]
+    while frontier:
+        mid = frontier.pop()
+        for dep in dependents.get(mid, ()):
+            prereqs[dep] -= 1
+            if prereqs[dep] == 0:
+                frontier.append(dep)
+    cyclic = sorted(mid for mid, n in prereqs.items() if n > 0)
+    for mid in cyclic:
+        out.add(TRACE_ACYCLICITY, "record sits on a dependency cycle", mid)
+
+
+def _check_end_markers(trace: Trace, by_id: dict[int, TraceRecord],
+                       out: _Collector) -> None:
+    for m in trace.end_markers:
+        if m.cause_id != -1 and m.cause_id not in by_id:
+            out.add(TRACE_END_MARKERS,
+                    f"end marker node {m.node}: cause {m.cause_id} missing")
+        if m.gap < 0:
+            out.add(TRACE_END_MARKERS,
+                    f"end marker node {m.node}: negative gap {m.gap}")
+    if trace.end_markers:
+        latest = max(m.t_finish for m in trace.end_markers)
+        if latest != trace.exec_time:
+            out.add(TRACE_END_MARKERS,
+                    f"exec_time {trace.exec_time} != latest end marker "
+                    f"{latest}")
+
+
+def _check_channel_order(timeline, invariant: str, out: _Collector) -> None:
+    """Non-overlapping messages on one (src, dst) channel never reorder.
+
+    For two messages a, b on the same channel with ``b`` injected at or
+    after ``a``'s delivery (disjoint flight windows), ``b`` must deliver
+    strictly after ``a``.  Messages with overlapping flights are free to
+    reorder — wormhole VC arbitration and per-wavelength parallelism both
+    legitimately do.
+    """
+    channels: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+    for src, dst, t_inject, t_deliver, mid in timeline:
+        channels.setdefault((src, dst), []).append((t_inject, t_deliver, mid))
+    for (src, dst), msgs in channels.items():
+        # For each message b, the binding predecessor is the latest-delivered
+        # message a on the channel with deliver(a) <= inject(b) (disjoint
+        # flight windows); b must deliver strictly after it.
+        dels = sorted((d, m) for _, d, m in msgs)
+        times = [d for d, _ in dels]
+        for t_inject, t_deliver, mid in msgs:
+            i = bisect_right(times, t_inject) - 1
+            while i >= 0 and dels[i][1] == mid:
+                i -= 1
+            if i >= 0 and t_deliver <= dels[i][0]:
+                out.add(invariant,
+                        f"channel {src}->{dst}: delivered at {t_deliver} "
+                        f"despite a disjoint predecessor delivering at "
+                        f"{dels[i][0]}", mid)
+
+
+# ---------------------------------------------------------------------------
+# Replay invariants
+# ---------------------------------------------------------------------------
+
+def check_replay(trace: Trace, result: ReplayResult) -> list[Violation]:
+    """Check every replay invariant of ``result`` against its trace."""
+    out = _Collector()
+    by_id = {r.msg_id: r for r in trace.records}
+
+    # replay.conservation
+    if result.messages_replayed + result.messages_unreplayed != len(trace):
+        out.add(REPLAY_CONSERVATION,
+                f"replayed {result.messages_replayed} + unreplayed "
+                f"{result.messages_unreplayed} != trace length {len(trace)}")
+    if result.messages_replayed != len(result.injections):
+        out.add(REPLAY_CONSERVATION,
+                f"messages_replayed {result.messages_replayed} != "
+                f"{len(result.injections)} injections")
+    for mid in result.deliveries:
+        if mid not in result.injections:
+            out.add(REPLAY_CONSERVATION,
+                    "delivered without being injected", mid)
+        if mid not in by_id:
+            out.add(REPLAY_CONSERVATION,
+                    "delivered message not in trace", mid)
+
+    _check_replay_causality(trace, result, by_id, out)
+    _check_stall_accounting(trace, result, out)
+
+    # replay.latency_map_consistency
+    key_of = {r.msg_id: r.key for r in trace.records}
+    lat_count = 0
+    for mid, t in result.deliveries.items():
+        key = key_of.get(mid)
+        if key is None:
+            continue
+        lat_count += 1
+        expect = t - result.injections.get(mid, 0)
+        if result.latencies_by_key.get(key) != expect:
+            out.add(REPLAY_LATENCY_MAP,
+                    f"latency map says {result.latencies_by_key.get(key)}, "
+                    f"deliver - inject = {expect}", mid)
+    if len(result.latencies_by_key) != lat_count:
+        out.add(REPLAY_LATENCY_MAP,
+                f"{len(result.latencies_by_key)} latency entries for "
+                f"{lat_count} deliveries")
+
+    # replay.exec_estimate_consistency
+    expect = _estimate_exec_time(trace, result.deliveries)
+    if result.exec_time_estimate != expect:
+        out.add(REPLAY_EXEC_ESTIMATE,
+                f"estimate {result.exec_time_estimate} != end-marker rule "
+                f"applied to deliveries ({expect})")
+
+    _check_channel_order(
+        ((by_id[mid].src, by_id[mid].dst, result.injections[mid],
+          t_deliver, mid)
+         for mid, t_deliver in result.deliveries.items()
+         if mid in by_id and mid in result.injections),
+        REPLAY_CHANNEL_ORDER, out)
+    return out.violations
+
+
+def _check_replay_causality(trace: Trace, result: ReplayResult,
+                            by_id: dict[int, TraceRecord],
+                            out: _Collector) -> None:
+    if result.mode == "naive" or result.mode == "fixed_schedule":
+        if result.mode == "naive":
+            for r in trace.records:
+                got = result.injections.get(r.msg_id)
+                if got is not None and got != r.t_inject:
+                    out.add(REPLAY_CAUSALITY,
+                            f"naive injection {got} != captured timestamp "
+                            f"{r.t_inject}", r.msg_id)
+        return
+    # Self-correcting: the DAG earliest-start rule, checkable only for
+    # records whose every trigger was delivered in this replay (ablated or
+    # demoted records legitimately used their captured timestamps instead).
+    for r in trace.records:
+        if r.cause_id == -1 or r.msg_id not in result.injections:
+            continue
+        cause_t = result.deliveries.get(r.cause_id)
+        if cause_t is None:
+            continue
+        expected = cause_t + r.gap
+        if r.bound_id != -1:
+            bound_t = result.deliveries.get(r.bound_id)
+            if bound_t is None:
+                continue
+            expected = max(expected, bound_t + r.bound_gap)
+        got = result.injections[r.msg_id]
+        if got != expected and got != r.t_inject:
+            out.add(REPLAY_CAUSALITY,
+                    f"injection {got} is neither the earliest-start time "
+                    f"{expected} nor the captured fallback {r.t_inject}",
+                    r.msg_id)
+
+
+def _check_stall_accounting(trace: Trace, result: ReplayResult,
+                            out: _Collector) -> None:
+    if result.mode == "naive":
+        if result.messages_unreplayed != 0 or result.stalled_count != 0:
+            out.add(REPLAY_STALLS,
+                    "naive replay reported unreplayed/stalled messages")
+        return
+    if result.mode == "self_correcting":
+        if result.stalled_count != result.messages_unreplayed:
+            out.add(REPLAY_STALLS,
+                    f"stalled_count {result.stalled_count} != unreplayed "
+                    f"{result.messages_unreplayed}")
+    if len(result.stalled_msg_ids) > result.stalled_count:
+        out.add(REPLAY_STALLS, "more stalled ids than stalled_count")
+    for mid in result.stalled_msg_ids:
+        if mid in result.injections:
+            out.add(REPLAY_STALLS, "stalled message was injected", mid)
+    for mid, triggers in result.stalled_on.items():
+        for trig in triggers:
+            if trig in result.deliveries:
+                out.add(REPLAY_STALLS,
+                        f"stalled on {trig}, which was delivered", mid)
+
+
+# ---------------------------------------------------------------------------
+# Metamorphic properties
+# ---------------------------------------------------------------------------
+
+def scale_trace_gaps(trace: Trace, k: int) -> Trace:
+    """A new trace with every edge gap multiplied by integer ``k`` >= 0.
+
+    Timing fields are re-derived in causal order so the result is a *valid*
+    trace: each record keeps its captured network latency, while its
+    injection moves to ``deliver(cause) + k*gap`` (roots: ``k * offset``).
+    Used by the gap-scaling metamorphic check — the paper's model says
+    compute time between arrivals is network-independent, so stretching it
+    can only push the predicted finish later.
+    """
+    if k < 0:
+        raise ValueError(f"scale factor must be >= 0, got {k}")
+    by_id = {r.msg_id: r for r in trace.records}
+    new_deliver: dict[int, int] = {}
+    new_records: dict[int, TraceRecord] = {}
+
+    def build(mid: int) -> int:
+        if mid in new_deliver:
+            return new_deliver[mid]
+        r = by_id[mid]
+        if r.cause_id == -1:
+            inject = k * r.gap
+            gap = inject
+            bound_gap = 0
+        else:
+            inject = build(r.cause_id) + k * r.gap
+            if r.bound_id != -1:
+                inject = max(inject, build(r.bound_id) + k * r.bound_gap)
+            gap = inject - new_deliver[r.cause_id]
+            bound_gap = (inject - new_deliver[r.bound_id]
+                         if r.bound_id != -1 else 0)
+        deliver = inject + r.latency
+        new_deliver[mid] = deliver
+        new_records[mid] = TraceRecord(
+            msg_id=r.msg_id, key=r.key, src=r.src, dst=r.dst,
+            size_bytes=r.size_bytes, kind=r.kind, t_inject=inject,
+            t_deliver=deliver, cause_id=r.cause_id, gap=gap,
+            bound_id=r.bound_id, bound_gap=bound_gap)
+        return deliver
+
+    # Iterative worklist (deep cause chains overflow Python recursion).
+    order = sorted(trace.records, key=lambda r: (r.t_inject, r.msg_id))
+    for r in order:
+        stack = [r.msg_id]
+        while stack:
+            mid = stack[-1]
+            rec = by_id[mid]
+            pending = [t for t in (rec.cause_id, rec.bound_id)
+                       if t != -1 and t not in new_deliver]
+            if pending:
+                stack.extend(pending)
+                continue
+            build(mid)
+            stack.pop()
+
+    markers = []
+    for m in trace.end_markers:
+        if m.cause_id == -1:
+            markers.append(EndMarker(m.node, k * m.gap, -1, k * m.gap))
+        else:
+            finish = new_deliver[m.cause_id] + k * m.gap
+            markers.append(EndMarker(m.node, finish, m.cause_id, k * m.gap))
+    exec_time = max((m.t_finish for m in markers), default=0)
+    scaled = Trace(
+        records=[new_records[r.msg_id] for r in order],
+        end_markers=markers, exec_time=exec_time,
+        meta={**trace.meta, "gap_scale": k})
+    scaled.validate()
+    return scaled
+
+
+def check_self_consistency(
+    trace: Trace,
+    capture_factory: Callable,
+    tolerance_pct: float = 5.0,
+) -> list[Violation]:
+    """Replaying on the capture network must reproduce the captured timing.
+
+    The self-correcting replayer re-derives each injection from simulated
+    deliveries; on the network the trace was captured from, those deliveries
+    track the captured ones and the predicted execution time lands within
+    ``tolerance_pct`` of the captured one (exactness is not guaranteed —
+    arbitration resolves ties by arrival order, which replay perturbs).
+    """
+    sim, net = capture_factory()
+    result = SelfCorrectingReplayer(trace, sim, net).run()
+    out = _Collector()
+    if result.messages_unreplayed:
+        out.add(META_SELF_CONSISTENCY,
+                f"{result.messages_unreplayed} messages unreplayed on the "
+                "capture network")
+    if trace.exec_time > 0:
+        err = abs(result.exec_time_estimate - trace.exec_time) \
+            / trace.exec_time * 100.0
+        if err > tolerance_pct:
+            out.add(META_SELF_CONSISTENCY,
+                    f"exec-time estimate {result.exec_time_estimate} is "
+                    f"{err:.2f}% from captured {trace.exec_time} "
+                    f"(tolerance {tolerance_pct}%)")
+    return out.violations
+
+
+def check_gap_scaling(
+    trace: Trace,
+    target_factory: Callable,
+    factors: Sequence[int] = (1, 2, 4),
+    slack_pct: float = 1.0,
+) -> list[Violation]:
+    """Stretching compute gaps by k must not shrink the predicted exec time.
+
+    Monotonicity is checked with ``slack_pct`` slack: longer gaps thin out
+    congestion, which can shave *network* latency even as total time grows,
+    so tiny non-monotonic wiggles on congestion-bound traces are legitimate.
+    """
+    out = _Collector()
+    prev_k: Optional[int] = None
+    prev_estimate = 0
+    for k in sorted(factors):
+        if k < 1:
+            raise ValueError(f"scale factors must be >= 1, got {k}")
+        scaled = scale_trace_gaps(trace, k)
+        sim, net = target_factory()
+        result = SelfCorrectingReplayer(scaled, sim, net).run()
+        if prev_k is not None:
+            floor = prev_estimate * (1.0 - slack_pct / 100.0)
+            if result.exec_time_estimate < floor:
+                out.add(META_GAP_SCALING,
+                        f"gap scale {k} predicts {result.exec_time_estimate}"
+                        f" < scale {prev_k} prediction {prev_estimate}")
+        prev_k, prev_estimate = k, result.exec_time_estimate
+    return out.violations

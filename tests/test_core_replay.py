@@ -214,15 +214,103 @@ def test_stalled_dependents_are_diagnosed(setting):
     r = SelfCorrectingReplayer(trace, sim, net).run()
     assert r.messages_replayed == 2
     assert r.messages_unreplayed == 2
-    assert r.extra["stalled_count"] == 2
-    assert r.extra["stalled_msg_ids"] == [2, 3]
+    assert r.stalled_count == 2
+    assert r.stalled_msg_ids == [2, 3]
     # Record 2 names its missing trigger; record 3 names its stalled cause.
-    assert r.extra["stalled_on"] == {2: [99], 3: [2]}
+    assert r.stalled_on == {2: [99], 3: [2]}
+    # Missing triggers are a data bug, not a cycle: nothing is demoted.
+    assert r.demoted_cyclic == 0
 
 
-def test_no_stall_keys_on_clean_replay(setting):
+def test_no_stall_diagnostics_on_clean_replay(setting):
     exp, _, trace, _, _ = setting
     r = replay_trace(trace, optical_factory(exp.onoc, exp.seed))
     assert r.messages_unreplayed == 0
-    assert "stalled_count" not in r.extra
-    assert "stalled_msg_ids" not in r.extra
+    assert r.stalled_count == 0
+    assert r.stalled_msg_ids == []
+    assert r.stalled_on == {}
+    assert r.demoted_cyclic == 0
+
+
+# ------------------------------------------------- degenerate dependency graphs
+def _rec(msg_id, cause_id, t_inject, gap, t_deliver=None, src=0, dst=1,
+         bound_id=-1, bound_gap=0):
+    from repro.core.trace import TraceRecord
+
+    return TraceRecord(
+        msg_id=msg_id, key=(src, dst, "data", msg_id, 0), src=src, dst=dst,
+        size_bytes=64, kind="data", t_inject=t_inject,
+        t_deliver=t_inject + 10 if t_deliver is None else t_deliver,
+        cause_id=cause_id, gap=gap, bound_id=bound_id, bound_gap=bound_gap)
+
+
+def _cyclic_trace():
+    """Two zero-latency records that cause each other — every per-edge
+    causality equation balances, but the graph has no schedulable root.
+    Built directly: Trace.validate() now rejects this shape."""
+    from repro.core.trace import Trace
+
+    records = [
+        _rec(0, 1, 5, 0, t_deliver=5, src=0, dst=1),
+        _rec(1, 0, 5, 0, t_deliver=5, src=1, dst=0),
+    ]
+    return Trace(records=records, end_markers=[], exec_time=0, meta={})
+
+
+def test_validate_rejects_dependency_cycle():
+    with pytest.raises(ValueError, match="dependency cycle"):
+        _cyclic_trace().validate()
+
+
+def test_cyclic_records_demoted_not_unreplayed(setting):
+    """Regression: a rootless cycle (vacuously, 'all roots share offset 0')
+    replayed on an empty network used to stall silently with
+    messages_unreplayed > 0; cycle members now fall back to their captured
+    timestamps and everything replays."""
+    exp, *_ = setting
+    sim, net = optical_factory(exp.onoc, exp.seed)()
+    r = SelfCorrectingReplayer(_cyclic_trace(), sim, net).run()
+    assert r.messages_unreplayed == 0
+    assert r.messages_replayed == 2
+    assert r.demoted_cyclic == 2
+    assert r.stalled_count == 0
+    # Demoted records replay at their captured timestamps.
+    assert r.injections == {0: 5, 1: 5}
+
+
+def test_cycle_descendants_fire_after_demotion(setting):
+    """A record *downstream* of a cycle is not demoted — it self-corrects
+    off the demoted members' actual deliveries."""
+    from repro.core.trace import Trace
+
+    exp, *_ = setting
+    records = [
+        _rec(0, 1, 5, 0, t_deliver=5, src=0, dst=1),
+        _rec(1, 0, 5, 0, t_deliver=5, src=1, dst=0),
+        _rec(2, 0, 10, 5, src=1, dst=2),        # caused by cycle member 0
+    ]
+    trace = Trace(records=records, end_markers=[], exec_time=0, meta={})
+    sim, net = optical_factory(exp.onoc, exp.seed)()
+    r = SelfCorrectingReplayer(trace, sim, net).run()
+    assert r.messages_unreplayed == 0
+    assert r.demoted_cyclic == 2
+    # Record 2 was injected gap cycles after record 0's simulated delivery.
+    assert r.injections[2] == r.deliveries[0] + 5
+
+
+def test_offset_zero_roots_all_replay_on_idle_network(setting):
+    """All-root traces sharing injection offset 0 replay completely on a
+    fresh (empty) target network."""
+    from repro.core.trace import Trace
+
+    exp, *_ = setting
+    records = [
+        _rec(i, -1, 0, 0, src=i % 2, dst=2 + i % 2) for i in range(4)
+    ]
+    trace = Trace(records=records, end_markers=[], exec_time=0, meta={})
+    trace.validate()
+    sim, net = optical_factory(exp.onoc, exp.seed)()
+    r = SelfCorrectingReplayer(trace, sim, net).run()
+    assert r.messages_unreplayed == 0
+    assert r.demoted_cyclic == 0
+    assert all(t == 0 for t in r.injections.values())

@@ -1,0 +1,143 @@
+"""Differential harness: generation determinism, shrinking, repro files,
+and jobs-count independence of the full smoke report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.harness.parallel import SweepRunner
+from repro.validate import (
+    ErrorEnvelope,
+    Scenario,
+    generate_scenarios,
+    load_repro_scenario,
+    run_differential,
+    run_scenario,
+    shrink,
+    smoke_scenarios,
+    write_repro,
+)
+from repro.validate.differential import _shrink_candidates
+
+CHEAP = Scenario("prodcons", 4, 3, 0.25, "electrical", "crossbar")
+
+
+def test_generate_scenarios_deterministic_in_seed():
+    a = generate_scenarios(10, 42)
+    b = generate_scenarios(10, 42)
+    c = generate_scenarios(10, 43)
+    assert a == b
+    assert a != c
+
+
+def test_generate_scenarios_covers_every_backend_pair():
+    scenarios = generate_scenarios(30, 7)
+    pairs = {(s.capture, s.target) for s in scenarios}
+    # 5 capture networks x 4 targets, minus same-network pairs.
+    assert len(pairs) >= 16
+
+
+def test_scenario_rejects_bad_configurations():
+    with pytest.raises(ValueError, match="square"):
+        Scenario("fft", 6, 1, 0.5, "electrical", "crossbar")
+    with pytest.raises(ValueError, match="capture"):
+        Scenario("fft", 16, 1, 0.5, "nope", "crossbar")
+    with pytest.raises(ValueError, match="target"):
+        Scenario("fft", 16, 1, 0.5, "electrical", "electrical")
+    with pytest.raises(ValueError, match="scale"):
+        Scenario("fft", 16, 1, 0.0, "electrical", "crossbar")
+
+
+def test_scenario_name_is_injective_over_fields():
+    variants = [CHEAP, replace(CHEAP, wavelengths=16),
+                replace(CHEAP, cores=16), replace(CHEAP, scale=0.1),
+                replace(CHEAP, keep_dep_fraction=0.9),
+                replace(CHEAP, capture="awgr"),
+                replace(CHEAP, target="awgr"), replace(CHEAP, seed=4)]
+    names = {s.name for s in variants}
+    assert len(names) == len(variants)
+
+
+def test_run_scenario_passes_on_cheap_config():
+    outcome = run_scenario(CHEAP)
+    assert outcome.passed, outcome.failure_summary()
+    assert outcome.trace_messages > 0
+    assert outcome.sc_unreplayed == 0
+
+
+def test_run_scenario_deterministic():
+    a = run_scenario(CHEAP)
+    b = run_scenario(CHEAP)
+    assert a.sc_exec_estimate == b.sc_exec_estimate
+    assert a.naive_exec_estimate == b.naive_exec_estimate
+    assert a.sc_exec_error_pct == b.sc_exec_error_pct
+
+
+def test_differential_report_identical_across_jobs(tmp_path):
+    scenarios = smoke_scenarios()[:2]
+    seq = run_differential(scenarios, runner=None, do_shrink=False)
+    par = run_differential(scenarios,
+                           runner=SweepRunner(workers=2, cache_dir=None),
+                           do_shrink=False)
+    assert [o.sc_exec_estimate for o in seq.outcomes] \
+        == [o.sc_exec_estimate for o in par.outcomes]
+    assert [o.passed for o in seq.outcomes] == [o.passed for o in par.outcomes]
+    assert seq.passed and par.passed
+
+
+def test_differential_failure_writes_shrunk_repro(tmp_path):
+    # An impossible envelope forces every scenario to fail, exercising the
+    # shrink loop and repro serialization without needing a real model bug.
+    envelope = ErrorEnvelope(max_sc_exec_error_pct=-1.0,
+                             max_naive_exec_error_pct=-1.0)
+    start = replace(CHEAP, cores=16, scale=0.5)
+    report = run_differential([start], envelope=envelope,
+                              repro_dir=tmp_path, do_shrink=True)
+    assert not report.passed
+    assert len(report.repro_paths) == 1
+    minimal = report.shrunk[0].scenario
+    # Fully shrunk along the cheap axes.
+    assert minimal.cores == 4
+    assert minimal.scale == pytest.approx(0.1)
+    back = load_repro_scenario(report.repro_paths[0])
+    assert back == minimal
+
+
+def test_shrink_requires_a_failing_scenario():
+    with pytest.raises(ValueError, match="does not fail"):
+        shrink(CHEAP)
+
+
+def test_shrink_candidates_only_simplify():
+    s = Scenario("fft", 64, 1, 0.5, "awgr", "crossbar", wavelengths=64,
+                 keep_dep_fraction=0.9)
+    for cand in _shrink_candidates(s):
+        assert cand.cores <= s.cores
+        assert cand.scale <= s.scale
+        assert cand.wavelengths <= s.wavelengths
+        assert cand.keep_dep_fraction >= s.keep_dep_fraction
+    assert _shrink_candidates(
+        Scenario("fft", 4, 1, 0.1, "electrical", "crossbar",
+                 wavelengths=16)) == []
+
+
+def test_write_repro_round_trips_scenario(tmp_path):
+    outcome = run_scenario(CHEAP)
+    path = write_repro(outcome, tmp_path)
+    assert path.exists()
+    assert load_repro_scenario(path) == CHEAP
+
+
+def test_ablated_scenarios_use_naive_error_bound():
+    envelope = ErrorEnvelope(max_sc_exec_error_pct=1e-9,
+                             max_naive_exec_error_pct=1e9)
+    ablated = replace(CHEAP, keep_dep_fraction=0.9)
+    outcome = run_scenario(ablated, envelope)
+    # With an impossible precision bound but an unbounded naive bound, an
+    # ablated scenario must still pass: its model is intentionally degraded.
+    assert not outcome.envelope_breaches
+    strict = run_scenario(CHEAP, envelope)
+    assert strict.envelope_breaches

@@ -1,0 +1,277 @@
+"""Dedicated tests for every invariant in repro.validate.invariants.
+
+Each test constructs a minimal artifact violating exactly one invariant and
+asserts the checker flags it by name (and nothing else on the healthy
+variant).  Frozen ``TraceRecord`` validation forbids building some corrupt
+shapes directly, so those tests smuggle the corruption in with
+``object.__setattr__`` — exactly what a buggy capture/replay layer or a
+hand-edited JSON artifact would produce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.replay import ReplayResult
+from repro.core.trace import EndMarker, Trace, TraceRecord
+from repro.validate import invariants as inv
+
+
+def _rec(msg_id, t_inject, t_deliver, cause_id=-1, gap=None, src=0, dst=1,
+         kind="req_read", occ=None, bound_id=-1, bound_gap=0):
+    if gap is None:
+        gap = t_inject if cause_id == -1 else 0
+    occ = msg_id if occ is None else occ
+    return TraceRecord(
+        msg_id=msg_id, key=(src, dst, kind, 0, occ), src=src, dst=dst,
+        size_bytes=8, kind=kind, t_inject=t_inject, t_deliver=t_deliver,
+        cause_id=cause_id, gap=gap, bound_id=bound_id, bound_gap=bound_gap)
+
+
+def _chain_trace():
+    """Healthy 3-record chain 0 -> 1 -> 2 with an end marker."""
+    r0 = _rec(0, 0, 10)
+    r1 = _rec(1, 15, 30, cause_id=0, gap=5)
+    r2 = _rec(2, 30, 50, cause_id=1, gap=0)
+    marker = EndMarker(0, 55, 2, 5)
+    return Trace(records=[r0, r1, r2], end_markers=[marker], exec_time=55)
+
+
+def _names(violations):
+    return {v.invariant for v in violations}
+
+
+def _result_for(trace, mode="self_correcting"):
+    """A ReplayResult consistent with replaying ``trace`` at capture times."""
+    deliveries = {r.msg_id: r.t_deliver for r in trace.records}
+    injections = {r.msg_id: r.t_inject for r in trace.records}
+    return ReplayResult(
+        mode=mode,
+        exec_time_estimate=trace.exec_time,
+        latencies_by_key={r.key: r.latency for r in trace.records},
+        deliveries=deliveries,
+        injections=injections,
+        messages_replayed=len(trace.records),
+        messages_unreplayed=0,
+        wall_clock_s=0.0,
+        sim_events=0,
+    )
+
+
+def test_healthy_trace_and_replay_have_no_violations():
+    trace = _chain_trace()
+    assert inv.check_trace(trace) == []
+    assert inv.check_replay(trace, _result_for(trace)) == []
+
+
+# ------------------------------------------------------- trace invariants
+
+def test_trace_unique_ids_flags_duplicate_msg_id_and_key():
+    trace = _chain_trace()
+    dup = _rec(0, 0, 10)  # same msg_id and same semantic key as record 0
+    trace.records.append(dup)
+    names = _names(inv.check_trace(trace))
+    assert inv.TRACE_UNIQUE_IDS in names
+
+
+def test_trace_referential_integrity_flags_dangling_cause():
+    trace = _chain_trace()
+    object.__setattr__(trace.records[1], "cause_id", 99)
+    names = _names(inv.check_trace(trace))
+    assert inv.TRACE_REFERENTIAL in names
+
+
+def test_trace_causality_flags_gap_mismatch():
+    trace = _chain_trace()
+    object.__setattr__(trace.records[1], "gap", 3)  # 10 + 3 != 15
+    names = _names(inv.check_trace(trace))
+    assert inv.TRACE_CAUSALITY in names
+
+
+def test_trace_causality_flags_negative_gap():
+    trace = _chain_trace()
+    object.__setattr__(trace.records[1], "gap", -5)
+    object.__setattr__(trace.records[1], "t_inject", 5)
+    object.__setattr__(trace.records[1], "t_deliver", 20)
+    violations = inv.check_trace(trace)
+    assert any(v.invariant == inv.TRACE_CAUSALITY and "negative" in v.message
+               for v in violations)
+
+
+def test_trace_acyclicity_flags_dependency_cycle():
+    r0 = _rec(0, 5, 5, cause_id=1, gap=0, occ=0)
+    r1 = _rec(1, 5, 5, cause_id=0, gap=0, occ=1)
+    trace = Trace(records=[r0, r1], end_markers=[], exec_time=0)
+    violations = inv.check_trace(trace)
+    flagged = {v.msg_id for v in violations
+               if v.invariant == inv.TRACE_ACYCLICITY}
+    assert flagged == {0, 1}
+
+
+def test_trace_latency_nonnegative_flags_time_travel():
+    trace = _chain_trace()
+    object.__setattr__(trace.records[2], "t_deliver", 20)  # before inject 30
+    names = _names(inv.check_trace(trace))
+    assert inv.TRACE_LATENCY in names
+
+
+def test_trace_end_marker_consistency_flags_stale_exec_time():
+    trace = _chain_trace()
+    trace.exec_time = 999  # no longer the latest marker finish
+    names = _names(inv.check_trace(trace))
+    assert inv.TRACE_END_MARKERS in names
+
+
+def test_trace_end_marker_consistency_flags_dangling_cause():
+    trace = _chain_trace()
+    trace.end_markers[0] = EndMarker(0, 55, 42, 5)
+    names = _names(inv.check_trace(trace))
+    assert inv.TRACE_END_MARKERS in names
+
+
+def test_trace_channel_monotonicity_flags_disjoint_reorder():
+    # Same channel; r2's flight starts after r0 delivers, yet r2 "delivers"
+    # back at t=12 < r0's delivery — a time-travelling artifact that per-
+    # record latency checks alone cannot catch once we corrupt in pairs.
+    r0 = _rec(0, 0, 20)
+    r1 = _rec(1, 5, 40, occ=1)          # overlapping: free to reorder
+    r2 = _rec(2, 25, 30, occ=2)
+    trace = Trace(records=[r0, r1, r2], end_markers=[], exec_time=0)
+    assert inv.check_trace(trace) == []  # healthy: no reorder among disjoint
+    object.__setattr__(trace.records[2], "t_deliver", 12)
+    object.__setattr__(trace.records[2], "t_inject", 25)
+    violations = inv.check_trace(trace)
+    assert inv.TRACE_CHANNEL_ORDER in _names(violations)
+
+
+def test_violation_lists_are_capped():
+    records = [_rec(i, 5, 5, cause_id=(i + 1) % 60, gap=0, occ=i)
+               for i in range(60)]
+    trace = Trace(records=records, end_markers=[], exec_time=0)
+    violations = [v for v in inv.check_trace(trace)
+                  if v.invariant == inv.TRACE_ACYCLICITY]
+    assert len(violations) == inv._VIOLATION_CAP + 1
+    assert "suppressed" in violations[-1].message
+
+
+# ------------------------------------------------------ replay invariants
+
+def test_replay_conservation_flags_count_mismatch():
+    trace = _chain_trace()
+    result = _result_for(trace)
+    result.messages_replayed = 2  # claims 2 but injected 3
+    names = _names(inv.check_replay(trace, result))
+    assert inv.REPLAY_CONSERVATION in names
+
+
+def test_replay_conservation_flags_delivery_without_injection():
+    trace = _chain_trace()
+    result = _result_for(trace)
+    del result.injections[2]
+    result.messages_replayed = 2
+    result.messages_unreplayed = 1
+    result.stalled_count = 1
+    names = _names(inv.check_replay(trace, result))
+    assert inv.REPLAY_CONSERVATION in names
+
+
+def test_replay_causality_flags_wrong_self_correcting_injection():
+    trace = _chain_trace()
+    result = _result_for(trace)
+    # Record 1's cause delivered at 10 (gap 5) => injection must be 15 (or
+    # the captured fallback, also 15 here); 13 is neither.
+    result.injections[1] = 13
+    names = _names(inv.check_replay(trace, result))
+    assert inv.REPLAY_CAUSALITY in names
+
+
+def test_replay_causality_naive_mode_pins_captured_timestamps():
+    trace = _chain_trace()
+    result = _result_for(trace, mode="naive")
+    result.injections[1] = 13  # naive must inject at the captured time 15
+    names = _names(inv.check_replay(trace, result))
+    assert inv.REPLAY_CAUSALITY in names
+
+
+def test_replay_stall_accounting_flags_count_drift():
+    trace = _chain_trace()
+    result = _result_for(trace)
+    result.stalled_count = 2  # but messages_unreplayed == 0
+    names = _names(inv.check_replay(trace, result))
+    assert inv.REPLAY_STALLS in names
+
+
+def test_replay_stall_accounting_flags_stall_on_delivered_trigger():
+    trace = _chain_trace()
+    result = _result_for(trace)
+    del result.injections[2]
+    del result.deliveries[2]
+    del result.latencies_by_key[trace.records[2].key]
+    result.messages_replayed = 2
+    result.messages_unreplayed = 1
+    result.stalled_count = 1
+    result.stalled_msg_ids = [2]
+    result.stalled_on = {2: [1]}  # but msg 1 *was* delivered
+    violations = inv.check_replay(trace, result)
+    assert any(v.invariant == inv.REPLAY_STALLS and "delivered" in v.message
+               for v in violations)
+
+
+def test_replay_latency_map_consistency_flags_bad_entry():
+    trace = _chain_trace()
+    result = _result_for(trace)
+    result.latencies_by_key[trace.records[0].key] = 7  # real latency is 10
+    names = _names(inv.check_replay(trace, result))
+    assert inv.REPLAY_LATENCY_MAP in names
+
+
+def test_replay_exec_estimate_consistency_flags_wrong_estimate():
+    trace = _chain_trace()
+    result = _result_for(trace)
+    result.exec_time_estimate = 1234
+    names = _names(inv.check_replay(trace, result))
+    assert inv.REPLAY_EXEC_ESTIMATE in names
+
+
+def test_replay_channel_monotonicity_flags_replayed_reorder():
+    r0 = _rec(0, 0, 20)
+    r1 = _rec(1, 25, 30, occ=1)
+    trace = Trace(records=[r0, r1], end_markers=[], exec_time=0)
+    result = _result_for(trace, mode="naive")
+    result.deliveries[1] = 15  # delivered before the disjoint predecessor
+    result.latencies_by_key[r1.key] = 15 - 25
+    result.exec_time_estimate = 20
+    names = _names(inv.check_replay(trace, result))
+    assert inv.REPLAY_CHANNEL_ORDER in names
+
+
+# --------------------------------------------------- metamorphic helpers
+
+def test_scale_trace_gaps_scales_roots_and_edges():
+    trace = _chain_trace()
+    scaled = inv.scale_trace_gaps(trace, 3)
+    by_id = {r.msg_id: r for r in scaled.records}
+    assert by_id[0].t_inject == 0 and by_id[0].t_deliver == 10
+    assert by_id[1].t_inject == 10 + 15  # deliver(0) + 3*5
+    assert by_id[1].latency == trace.records[1].latency
+    assert scaled.exec_time == by_id[2].t_deliver + 15
+    scaled.validate()  # still a structurally valid trace
+
+
+def test_scale_trace_gaps_identity_at_one():
+    trace = _chain_trace()
+    scaled = inv.scale_trace_gaps(trace, 1)
+    assert scaled.to_json() == Trace(
+        records=trace.records, end_markers=trace.end_markers,
+        exec_time=trace.exec_time, meta={"gap_scale": 1}).to_json()
+
+
+def test_scale_trace_gaps_rejects_negative_factor():
+    with pytest.raises(ValueError, match="scale factor"):
+        inv.scale_trace_gaps(_chain_trace(), -1)
+
+
+def test_all_invariants_catalogue_is_complete():
+    # Guard: every name asserted above is in the published catalogue.
+    assert len(inv.ALL_INVARIANTS) >= 8
+    assert len(set(inv.ALL_INVARIANTS)) == len(inv.ALL_INVARIANTS)
