@@ -1,0 +1,150 @@
+"""Serving throughput: the resident service under concurrent clients.
+
+Measures the ``repro.serve`` request path end to end — NDJSON sockets,
+admission, single-flight dedup, the worker pool, and the shared on-disk
+result cache — using the ``echo`` loopback op so the numbers isolate
+*service* overhead from simulation time.  Two phases per run:
+
+* ``cold``  — every distinct payload computes on a worker; duplicate
+  requests coalesce onto in-flight jobs (dedup hit rate).
+* ``warm``  — the identical request mix again: everything answers from
+  the on-disk cache without touching a worker.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --requests 400 --distinct 40 --clients 8 \
+        --out benchmarks/results/BENCH_serve.json
+
+Under pytest this runs with a small request count as a structural smoke
+test only — timing assertions on shared CI boxes would be flaky.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from repro.serve import AsyncServeClient, SimulationServer
+
+
+async def _drive(server: SimulationServer, clients: int, requests: int,
+                 distinct: int, sleep_s: float) -> tuple[list, dict, float]:
+    """Fire ``requests`` echo submits across ``clients`` connections."""
+    conns = [await AsyncServeClient.connect(port=server.port)
+             for _ in range(clients)]
+    try:
+        t0 = time.perf_counter()
+        results = await asyncio.gather(*[
+            conns[i % clients].submit("echo", {"payload": i % distinct},
+                                      sleep_s=sleep_s)
+            for i in range(requests)])
+        wall_s = time.perf_counter() - t0
+        status = await conns[0].status()
+    finally:
+        for c in conns:
+            await c.close()
+    return results, status, wall_s
+
+
+def _phase(stats_before: dict, stats_after: dict, wall_s: float,
+           requests: int) -> dict:
+    delta = {k: stats_after[k] - stats_before.get(k, 0)
+             for k in stats_after}
+    served = delta["executed"] + delta["cache_hits"] + delta["dedup_hits"]
+    return {
+        "wall_s": round(wall_s, 4),
+        "requests_per_sec": round(requests / wall_s, 1) if wall_s else 0.0,
+        "executed": delta["executed"],
+        "dedup_hits": delta["dedup_hits"],
+        "cache_hits": delta["cache_hits"],
+        "dedup_hit_rate_pct": round(100 * delta["dedup_hits"] / served, 1)
+        if served else 0.0,
+        "shed": delta["shed"],
+    }
+
+
+def run_bench(requests: int, distinct: int, clients: int, workers: int,
+              sleep_s: float, cache_dir: str) -> dict:
+    """Cold (dedup) + warm (cache) phases against one fresh server."""
+
+    async def _main() -> dict:
+        server = SimulationServer(port=0, workers=workers,
+                                  max_pending=requests + 1,
+                                  cache_dir=cache_dir)
+        await server.start()
+        try:
+            zero = {k: 0 for k in server.table.stats.as_dict()}
+            report: dict = {
+                "requests": requests, "distinct": distinct,
+                "clients": clients, "workers": workers,
+                "sleep_s": sleep_s, "phases": {},
+            }
+            before = zero
+            for phase in ("cold", "warm"):
+                results, status, wall_s = await _drive(
+                    server, clients, requests, distinct, sleep_s)
+                assert all(r == {"payload": i % distinct}
+                           for i, r in enumerate(results))
+                report["phases"][phase] = _phase(before, status["stats"],
+                                                 wall_s, requests)
+                before = status["stats"]
+            return report
+        finally:
+            await server.aclose()
+
+    return asyncio.run(_main())
+
+
+# --------------------------------------------------------------------------
+# Pytest smoke: structure + dedup/cache accounting, no timing assertions.
+# --------------------------------------------------------------------------
+
+
+def test_serve_bench_smoke(tmp_path):
+    report = run_bench(requests=40, distinct=8, clients=4, workers=2,
+                       sleep_s=0.02, cache_dir=str(tmp_path))
+    cold, warm = report["phases"]["cold"], report["phases"]["warm"]
+    # Cold: 8 distinct jobs execute; the other 32 requests coalesce.
+    assert cold["executed"] == 8
+    assert cold["dedup_hits"] == 32
+    assert cold["shed"] == 0
+    # Warm: nothing executes; the on-disk cache answers every fresh job.
+    assert warm["executed"] == 0
+    assert warm["cache_hits"] + warm["dedup_hits"] == 40
+    assert warm["cache_hits"] >= 8
+    assert report["phases"]["cold"]["requests_per_sec"] > 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--requests", type=int, default=400)
+    ap.add_argument("--distinct", type=int, default=40,
+                    help="distinct payloads (requests/distinct = dup factor)")
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--sleep-s", type=float, default=0.0,
+                    help="per-job busy time (0 isolates service overhead)")
+    ap.add_argument("--out", default=None, help="write the JSON report here")
+    args = ap.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as cache_dir:
+        report = run_bench(args.requests, args.distinct, args.clients,
+                           args.workers, args.sleep_s, cache_dir)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,8 @@ Subcommands::
     casestudy  execution-driven ONOC vs electrical comparison
     sweep      synthetic load-latency series for one network/pattern
     validate   differential validation + invariant checks + golden corpus
+    serve      run the resident simulation service (see docs/SERVING.md)
+    submit     submit a job to a running service and print the result
     cache      inspect or clear the sweep result cache
     metrics    pretty-print a metrics JSON written with --metrics-out
     info       print the resolved configuration (Table-1 style)
@@ -269,7 +271,10 @@ def cmd_validate(args: argparse.Namespace) -> int:
     if args.smoke:
         scenarios = V.smoke_scenarios()
     else:
-        scenarios = V.generate_scenarios(args.n, args.seed)
+        workloads = (tuple(w for w in args.workloads.split(",") if w)
+                     if args.workloads else V.SCENARIO_WORKLOADS)
+        scenarios = V.generate_scenarios(args.n, args.seed,
+                                         workloads=workloads)
     repro_dir = pathlib.Path(args.repro_dir)
     report = V.run_differential(
         scenarios, runner=_runner(args), deep=args.deep,
@@ -291,6 +296,78 @@ def cmd_validate(args: argparse.Namespace) -> int:
             return 1
         print(f"golden corpus ok ({len(V.GOLDEN_SCENARIOS)} scenarios, "
               f"{golden_dir})")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import DEFAULT_PORT, SimulationServer
+
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.cache:
+        cache_dir = default_cache_dir()
+    port = args.port if args.port is not None else DEFAULT_PORT
+    server = SimulationServer(
+        host=args.host, port=port, workers=args.workers,
+        max_pending=args.max_pending, job_timeout_s=args.timeout,
+        cache_dir=str(cache_dir) if cache_dir else None, salt=args.salt)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"repro.serve listening on {server.host}:{server.port} "
+              f"({server.workers} workers, max {server.max_pending} pending, "
+              f"cache {'on: ' + str(cache_dir) if cache_dir else 'off'})",
+              flush=True)
+        server.install_signal_handlers()
+        await server.wait_closed()
+        print("repro.serve drained and stopped", flush=True)
+
+    asyncio.run(_run())
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.harness.parallel import encode_value
+    from repro.serve import DEFAULT_PORT, JobFailed, ServeClient, Shed
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    with ServeClient(host=args.host, port=port) as client:
+        if args.ping:
+            print(_json.dumps(client.ping(), indent=2, sort_keys=True))
+            return 0
+        if args.status:
+            print(_json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        if args.list_jobs:
+            print(_json.dumps(client.jobs(), indent=2, sort_keys=True))
+            return 0
+        if args.drain:
+            print(_json.dumps(client.drain(), indent=2, sort_keys=True))
+            return 0
+        if not args.op:
+            raise SystemExit("submit: an operation name is required "
+                             "(or --ping/--status/--jobs/--drain)")
+
+        def on_event(event: dict) -> None:
+            if args.watch and event.get("event") not in ("done",):
+                print(f"# {_json.dumps(event, sort_keys=True)}",
+                      file=sys.stderr, flush=True)
+
+        try:
+            result = client.submit_json(
+                args.op, args.params, quiet=not args.watch,
+                timeout_s=args.timeout, on_event=on_event)
+        except Shed as exc:
+            print(f"shed: {exc.reason}", file=sys.stderr)
+            return 75       # EX_TEMPFAIL: back off and resubmit
+        except JobFailed as exc:
+            # The original worker-side traceback, not a bare failed status.
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(_json.dumps(encode_value(result), indent=2, sort_keys=True))
     return 0
 
 
@@ -401,6 +478,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--deep", action="store_true",
                    help="add metamorphic checks (self-consistency + "
                         "gap-scaling); ~4x replay cost")
+    p.add_argument("--workloads", default=None, metavar="W1,W2,...",
+                   help="comma-separated workload pool for random scenarios "
+                        "(default: the cheap five; the nightly tier adds "
+                        "lu,cholesky,randshare)")
     p.add_argument("--no-shrink", action="store_true",
                    help="report failures without minimizing them")
     p.add_argument("--repro-dir", default="validate-repros",
@@ -414,6 +495,56 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--regen-golden", action="store_true",
                    help="regenerate the golden corpus and exit")
     p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the resident simulation service (NDJSON TCP + HTTP "
+             "healthz/metrics/jobs; see docs/SERVING.md)")
+    _add_obs_flags(p)
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1; the protocol is "
+                        "for trusted clients only)")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port (default 7433; 0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="simulation worker processes (default 2)")
+    p.add_argument("--max-pending", type=int, default=32,
+                   help="admission-control cap on queued+running jobs; "
+                        "submits beyond it are shed (default 32)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-job deadline in seconds (none by "
+                        "default; requests may set their own)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache directory shared with sweep runs")
+    p.add_argument("--cache", action="store_true",
+                   help="cache under the default location or $REPRO_CACHE_DIR")
+    p.add_argument("--salt", default="",
+                   help="extra cache-key salt (matches SweepRunner's)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one job to a running service and print its result")
+    p.add_argument("op", nargs="?", default=None,
+                   help="operation alias (echo, scenario_json, accuracy_json, "
+                        "casestudy, resolve_config, ...)")
+    p.add_argument("--params", default="",
+                   help="JSON object of keyword parameters for the operation")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="service port (default 7433)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job deadline in seconds")
+    p.add_argument("--watch", action="store_true",
+                   help="stream progress events to stderr while waiting")
+    p.add_argument("--ping", action="store_true", help="liveness probe")
+    p.add_argument("--status", action="store_true",
+                   help="print service status and counters")
+    p.add_argument("--jobs", dest="list_jobs", action="store_true",
+                   help="list active + recent jobs")
+    p.add_argument("--drain", action="store_true",
+                   help="ask the service to drain and shut down")
+    p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser("cache", help="inspect or clear the sweep result cache")
     _add_obs_flags(p)

@@ -10,10 +10,19 @@ from repro.engine import Simulator
 from repro.net import NetworkAdapter
 from repro.noc import ElectricalNetwork
 from repro.obs.probes import attach_kernel_probe
-from repro.onoc import build_optical_network
+from repro.onoc import build_optical_network, topology_in_order_channels
 from repro.system import FullSystem, SystemResult, build_workload
 
 NetworkFactory = Callable[[], tuple[Simulator, NetworkAdapter]]
+
+
+def backend_in_order_channels(name: str) -> bool:
+    """Whether backend ``name`` ("electrical" or an optical topology)
+    guarantees per-(src, dst) FIFO delivery.  Drives the strict form of the
+    channel-monotonicity invariant in :mod:`repro.validate.invariants`."""
+    if name == "electrical":
+        return ElectricalNetwork.in_order_channels
+    return topology_in_order_channels(name)
 
 # Safety net for execution-driven runs; generously above any default-scale
 # workload's real execution time.

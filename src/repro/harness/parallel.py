@@ -245,6 +245,89 @@ def _execute_encoded(
 
 
 # ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """Content-addressed JSON result store shared by every execution front end.
+
+    One entry per :meth:`SweepTask.cache_key`; the blob records the task
+    alongside its encoded result so entries are self-describing.  Both
+    :class:`SweepRunner` (batch sweeps) and :class:`repro.serve` (the resident
+    job service) read and write the same layout under the same keys, so a
+    result computed by either is a cache hit for the other.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+
+    def path_for(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Any]:
+        """The encoded result stored under ``key``, or None on miss.
+
+        Corrupt or mismatched entries (torn writes, stale layouts) read as
+        misses, so callers recompute and overwrite.
+        """
+        path = self.path_for(key)
+        if not path.is_file():
+            return None
+        try:
+            blob = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None         # corrupt entry: recompute and overwrite
+        if blob.get("key") != key:
+            return None
+        return blob
+
+    def store(self, key: str, t: SweepTask, encoded_result: Any,
+              salt: str = "") -> None:
+        """Publish ``encoded_result`` under ``key`` atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(
+            {"key": key, "fn": t.fn, "args": t.args, "kwargs": t.kwargs,
+             "salt": CACHE_SALT + salt,
+             "result": encoded_result},
+            sort_keys=True,
+        )
+        # Atomic publish so concurrent sweeps never see a torn file.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def info(self) -> dict:
+        """Entry count and total size of the cache directory."""
+        d = self.cache_dir
+        files = sorted(d.glob("*.json")) if d.is_dir() else []
+        return {
+            "dir": str(d),
+            "entries": len(files),
+            "bytes": sum(f.stat().st_size for f in files),
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        d = self.cache_dir
+        if not d.is_dir():
+            return 0
+        removed = 0
+        for f in d.glob("*.json"):
+            f.unlink()
+            removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------------------
 # Runner
 # ---------------------------------------------------------------------------
 
@@ -290,6 +373,8 @@ class SweepRunner:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.workers = workers
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.cache = (ResultCache(cache_dir) if cache_dir is not None
+                      else None)
         self.salt = salt
         self.last_stats = SweepStats()
         # Merged per-task registry snapshot of the last run() while
@@ -297,46 +382,16 @@ class SweepRunner:
         self.last_metrics: Optional[dict] = None
 
     # ------------------------------------------------------------- caching
-    def _cache_path(self, key: str) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{key}.json"
-
     def _cache_load(self, key: str) -> Optional[Any]:
-        path = self._cache_path(key)
-        if path is None or not path.is_file():
+        if self.cache is None:
             return None
-        try:
-            blob = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None         # corrupt entry: recompute and overwrite
-        if blob.get("key") != key:
-            return None
-        return blob
+        return self.cache.load(key)
 
     def _cache_store(self, key: str, t: SweepTask, encoded_result: Any) -> None:
-        path = self._cache_path(key)
-        if path is None:
+        if self.cache is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        blob = json.dumps(
-            {"key": key, "fn": t.fn, "args": t.args, "kwargs": t.kwargs,
-             "salt": CACHE_SALT + self.salt + obs.cache_token(),
-             "result": encoded_result},
-            sort_keys=True,
-        )
-        # Atomic publish so concurrent sweeps never see a torn file.
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self.cache.store(key, t, encoded_result,
+                         salt=self.salt + obs.cache_token())
 
     # ------------------------------------------------------------- running
     def run(self, tasks: Sequence[SweepTask]) -> list[Any]:
@@ -417,22 +472,9 @@ class SweepRunner:
 
 def cache_info(cache_dir: Union[str, Path]) -> dict:
     """Entry count and total size of a cache directory."""
-    d = Path(cache_dir)
-    files = sorted(d.glob("*.json")) if d.is_dir() else []
-    return {
-        "dir": str(d),
-        "entries": len(files),
-        "bytes": sum(f.stat().st_size for f in files),
-    }
+    return ResultCache(cache_dir).info()
 
 
 def cache_clear(cache_dir: Union[str, Path]) -> int:
     """Delete every cache entry; returns the number removed."""
-    d = Path(cache_dir)
-    if not d.is_dir():
-        return 0
-    removed = 0
-    for f in d.glob("*.json"):
-        f.unlink()
-        removed += 1
-    return removed
+    return ResultCache(cache_dir).clear()

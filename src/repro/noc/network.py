@@ -30,6 +30,11 @@ _PRIO_TICK = 10
 class ElectricalNetwork:
     """Cycle-level wormhole NoC implementing :class:`repro.net.NetworkAdapter`."""
 
+    #: Wormhole VC arbitration can interleave same-pair messages whose
+    #: flights overlap, so delivery order is not guaranteed to match
+    #: injection order.
+    in_order_channels = False
+
     def __init__(
         self,
         sim: Simulator,

@@ -20,7 +20,10 @@ from repro.onoc.crossbar import OpticalCrossbar
 from repro.onoc.devices import RingCensus, SerpentineLayout, crossbar_ring_census, mesh_ring_census
 from repro.onoc.hybrid import HybridConfig, HybridNetwork
 from repro.onoc.loss import LossBudget
-from repro.onoc.network import build_optical_network
+from repro.onoc.network import (
+    build_optical_network,
+    topology_in_order_channels,
+)
 from repro.onoc.swmr import OpticalSwmrCrossbar, swmr_ring_census
 
 __all__ = [
@@ -38,4 +41,5 @@ __all__ = [
     "crossbar_ring_census",
     "mesh_ring_census",
     "swmr_ring_census",
+    "topology_in_order_channels",
 ]

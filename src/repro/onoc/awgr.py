@@ -54,6 +54,11 @@ class _Lane:
 class OpticalAwgr:
     """Passive λ-router implementing :class:`repro.net.NetworkAdapter`."""
 
+    #: Each (src, dst) pair owns one FIFO lane and its full λ subset serves
+    #: a single message at a time, so same-pair messages deliver in
+    #: injection order.
+    in_order_channels = True
+
     def __init__(
         self,
         sim: Simulator,

@@ -53,6 +53,12 @@ class _SetupWalker:
 class CircuitSwitchedMesh:
     """Photonic circuit-switched mesh implementing the NetworkAdapter API."""
 
+    #: Same-pair circuits can reorder: a teardown wakes one segment waiter,
+    #: and if that waiter loses the same-cycle re-acquisition race to a
+    #: third circuit it re-queues at the *back* of the segment FIFO — behind
+    #: a same-pair circuit that arrived after it.
+    in_order_channels = False
+
     def __init__(
         self,
         sim: Simulator,

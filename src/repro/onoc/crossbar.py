@@ -49,6 +49,11 @@ class _TokenChannel:
 class OpticalCrossbar:
     """MWSR WDM crossbar implementing :class:`repro.net.NetworkAdapter`."""
 
+    #: Token arbitration grants each destination channel FIFO, and
+    #: propagation per (src, dst) pair is fixed, so same-pair messages
+    #: deliver in injection order.
+    in_order_channels = True
+
     def __init__(
         self,
         sim: Simulator,

@@ -54,6 +54,11 @@ class HybridConfig:
 class HybridNetwork:
     """Distance-adaptive two-layer interconnect."""
 
+    #: Messages on one (src, dst) pair always take the same layer (routing
+    #: is by hop distance), but the electrical layer itself reorders, so
+    #: the hybrid cannot promise in-order channels.
+    in_order_channels = False
+
     def __init__(
         self,
         sim: Simulator,

@@ -20,6 +20,13 @@ from repro.onoc.swmr import OpticalSwmrCrossbar
 OpticalNetwork = Union[OpticalCrossbar, CircuitSwitchedMesh,
                        OpticalSwmrCrossbar, OpticalAwgr]
 
+_TOPOLOGY_CLASSES = {
+    ONOC_CROSSBAR: OpticalCrossbar,
+    ONOC_CIRCUIT_MESH: CircuitSwitchedMesh,
+    ONOC_SWMR: OpticalSwmrCrossbar,
+    ONOC_AWGR: OpticalAwgr,
+}
+
 
 def build_optical_network(
     sim: Simulator,
@@ -27,12 +34,16 @@ def build_optical_network(
     keep_per_message_latency: bool = False,
 ) -> OpticalNetwork:
     """Instantiate the optical network selected by ``cfg.topology``."""
-    if cfg.topology == ONOC_CROSSBAR:
-        return OpticalCrossbar(sim, cfg, keep_per_message_latency)
-    if cfg.topology == ONOC_CIRCUIT_MESH:
-        return CircuitSwitchedMesh(sim, cfg, keep_per_message_latency)
-    if cfg.topology == ONOC_SWMR:
-        return OpticalSwmrCrossbar(sim, cfg, keep_per_message_latency)
-    if cfg.topology == ONOC_AWGR:
-        return OpticalAwgr(sim, cfg, keep_per_message_latency)
-    raise ValueError(f"unknown optical topology {cfg.topology!r}")
+    cls = _TOPOLOGY_CLASSES.get(cfg.topology)
+    if cls is None:
+        raise ValueError(f"unknown optical topology {cfg.topology!r}")
+    return cls(sim, cfg, keep_per_message_latency)
+
+
+def topology_in_order_channels(topology: str) -> bool:
+    """Whether the named optical topology guarantees per-(src, dst) FIFO
+    delivery (its class-level ``in_order_channels`` capability flag)."""
+    cls = _TOPOLOGY_CLASSES.get(topology)
+    if cls is None:
+        raise ValueError(f"unknown optical topology {topology!r}")
+    return cls.in_order_channels

@@ -57,6 +57,11 @@ class _SourceChannel:
 class OpticalSwmrCrossbar:
     """SWMR WDM crossbar implementing :class:`repro.net.NetworkAdapter`."""
 
+    #: Each source's home channel is a single FIFO transmitter, and
+    #: propagation per (src, dst) pair is fixed, so same-pair messages
+    #: deliver in injection order.
+    in_order_channels = True
+
     def __init__(
         self,
         sim: Simulator,

@@ -1,0 +1,66 @@
+"""``repro.serve`` — the resident simulation service.
+
+Turns the one-shot simulator into a long-running, concurrent job service:
+clients submit simulation/replay/validation requests over a
+newline-delimited-JSON TCP protocol (with an HTTP shim for ``/healthz``,
+``/metrics``, ``/jobs``), the server executes them on a bounded process
+pool, and identical requests coalesce (single-flight) and hit the same
+on-disk content-addressed cache as batch sweeps.  See ``docs/SERVING.md``.
+
+Quickstart::
+
+    # terminal 1
+    python -m repro serve --workers 4 --cache
+
+    # terminal 2
+    python -m repro submit scenario_json --params \\
+        '{"params": {"workload": "fft", "cores": 16, "seed": 7, \\
+          "scale": 0.25, "capture": "electrical", "target": "crossbar"}}'
+
+or programmatically::
+
+    from repro.serve import ServeClient
+    with ServeClient(port=7433) as c:
+        outcome = c.submit("scenario", scenario)   # dataclasses encode fine
+"""
+
+from repro.serve.client import (
+    AsyncServeClient,
+    JobFailed,
+    ServeClient,
+    ServeError,
+    ServerClosed,
+    Shed,
+)
+from repro.serve.jobs import Job, JobTable, ServiceStats
+from repro.serve.ops import DEFAULT_OPERATIONS
+from repro.serve.pool import JobFailure, JobTimeout, WorkerDied, WorkerPool
+from repro.serve.protocol import (
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RemoteError,
+)
+from repro.serve.server import SimulationServer
+
+__all__ = [
+    "AsyncServeClient",
+    "DEFAULT_OPERATIONS",
+    "DEFAULT_PORT",
+    "Job",
+    "JobFailed",
+    "JobFailure",
+    "JobTable",
+    "JobTimeout",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteError",
+    "ServeClient",
+    "ServeError",
+    "ServerClosed",
+    "ServiceStats",
+    "Shed",
+    "SimulationServer",
+    "WorkerDied",
+    "WorkerPool",
+]

@@ -1,0 +1,292 @@
+"""Clients for the simulation service: asyncio and blocking.
+
+Both speak the NDJSON protocol of :mod:`repro.serve.protocol` and encode
+arguments with the sweep codec, so a submitted request canonicalizes to the
+same content key as the equivalent local :class:`repro.harness.SweepTask` —
+results are byte-identical to one-shot runs, and the service can dedup and
+cache across clients.
+
+:class:`AsyncServeClient` multiplexes any number of concurrent ``submit``
+calls over one connection (requests are tagged, the response stream
+interleaves).  :class:`ServeClient` is the simple blocking flavour used by
+``repro submit`` and short scripts: one request at a time.
+
+Failure surfacing: a failed job raises :class:`JobFailed` whose message
+*includes the original worker-side traceback*, so remote failures read like
+local ones.  Admission-control refusals raise :class:`Shed` — catch it and
+back off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+from typing import Any, Callable, Optional
+
+from repro.harness.parallel import decode_value, encode_value
+from repro.serve import protocol as P
+from repro.serve.protocol import RemoteError
+
+
+class ServeError(Exception):
+    """Base class for client-visible service errors."""
+
+
+class JobFailed(ServeError):
+    """The job raised in the worker; the original traceback is attached."""
+
+    def __init__(self, error: RemoteError, state: str = "failed") -> None:
+        msg = f"{error.type}: {error.message}"
+        if error.traceback:
+            msg += "\n--- worker traceback ---\n" + error.traceback.rstrip()
+        super().__init__(msg)
+        self.error = error
+        self.state = state
+
+
+class Shed(ServeError):
+    """Admission control refused the request; back off and resubmit."""
+
+    def __init__(self, reason: str, depth: int = -1) -> None:
+        super().__init__(f"request shed: {reason}")
+        self.reason = reason
+        self.depth = depth
+
+
+class ServerClosed(ServeError):
+    """The connection dropped before the request finished."""
+
+
+def _encode_call(args: tuple, kwargs: dict) -> tuple[Any, Any]:
+    return encode_value(tuple(args)), encode_value(dict(kwargs))
+
+
+def _terminal_to_result(event: dict) -> Any:
+    """Map a terminal event to a decoded result or a raised error."""
+    kind = event.get("event")
+    if kind == P.EV_DONE:
+        return decode_value(event.get("result"))
+    if kind == P.EV_FAILED:
+        raise JobFailed(RemoteError.from_dict(event.get("error") or {}),
+                        state=event.get("state", "failed"))
+    if kind == P.EV_SHED:
+        raise Shed(event.get("reason", "unknown"),
+                   depth=event.get("depth", -1))
+    if kind == P.EV_ERROR:
+        raise P.ProtocolError(event.get("error", "unknown protocol error"))
+    raise P.ProtocolError(f"unexpected terminal event {kind!r}")
+
+
+class AsyncServeClient:
+    """Multiplexing asyncio client; use :meth:`connect` or ``async with``."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = P.DEFAULT_PORT) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: dict[int, asyncio.Queue] = {}
+        self._ids = itertools.count(1)
+        self._reader_task: Optional[asyncio.Task] = None
+        self._wlock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1",
+                      port: int = P.DEFAULT_PORT) -> "AsyncServeClient":
+        c = cls(host, port)
+        await c.open()
+        return c
+
+    async def open(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=P.MAX_LINE_BYTES)
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        if self._writer is None:
+            await self.open()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._writer = None
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                event = P.decode_frame(line)
+                q = self._pending.get(event.get("req"))
+                if q is not None:
+                    q.put_nowait(event)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            # Wake every waiter so nothing hangs on a dead connection.
+            for q in self._pending.values():
+                q.put_nowait({"event": "__closed__"})
+
+    async def _request(self, frame: dict) -> asyncio.Queue:
+        req = next(self._ids)
+        frame["req"] = req
+        q: asyncio.Queue = asyncio.Queue()
+        self._pending[req] = q
+        async with self._wlock:
+            self._writer.write(P.encode_frame(frame))
+            await self._writer.drain()
+        return q
+
+    async def _one_shot(self, frame: dict) -> dict:
+        q = await self._request(frame)
+        try:
+            event = await q.get()
+            if event.get("event") == "__closed__":
+                raise ServerClosed("connection closed mid-request")
+            return event
+        finally:
+            self._pending.pop(frame["req"], None)
+
+    # --------------------------------------------------------------- API
+    async def submit(
+        self,
+        fn: str,
+        *args: Any,
+        quiet: bool = True,
+        timeout_s: Optional[float] = None,
+        on_event: Optional[Callable[[dict], None]] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Run operation ``fn`` remotely; returns the decoded result.
+
+        Raises :class:`JobFailed` (original worker traceback attached),
+        :class:`Shed` (admission control), or :class:`ServerClosed`.
+        ``on_event`` observes every event (accepted/state/terminal).
+        """
+        enc_args, enc_kwargs = _encode_call(args, kwargs)
+        frame = P.submit_frame(0, fn, enc_args, enc_kwargs, quiet=quiet,
+                               timeout_s=timeout_s)
+        q = await self._request(frame)
+        try:
+            while True:
+                event = await q.get()
+                if event.get("event") == "__closed__":
+                    raise ServerClosed("connection closed mid-job")
+                if on_event is not None:
+                    on_event(event)
+                if event.get("event") in P.TERMINAL_EVENTS:
+                    return _terminal_to_result(event)
+        finally:
+            self._pending.pop(frame["req"], None)
+
+    async def ping(self) -> dict:
+        return await self._one_shot({"op": P.OP_PING})
+
+    async def status(self) -> dict:
+        return await self._one_shot({"op": P.OP_STATUS})
+
+    async def jobs(self) -> list[dict]:
+        return (await self._one_shot({"op": P.OP_JOBS}))["jobs"]
+
+    async def drain(self) -> dict:
+        return await self._one_shot({"op": P.OP_DRAIN})
+
+
+class ServeClient:
+    """Blocking client: one request at a time over one connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = P.DEFAULT_PORT,
+                 connect_timeout_s: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port),
+                                              timeout=connect_timeout_s)
+        self._sock.settimeout(None)
+        self._rfile = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _send(self, frame: dict) -> int:
+        req = next(self._ids)
+        frame["req"] = req
+        self._sock.sendall(P.encode_frame(frame))
+        return req
+
+    def _events(self, req: int):
+        while True:
+            line = self._rfile.readline()
+            if not line:
+                raise ServerClosed("connection closed mid-request")
+            event = P.decode_frame(line)
+            if event.get("req") == req:
+                yield event
+
+    def submit(
+        self,
+        fn: str,
+        *args: Any,
+        quiet: bool = True,
+        timeout_s: Optional[float] = None,
+        on_event: Optional[Callable[[dict], None]] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Blocking :meth:`AsyncServeClient.submit` (same semantics)."""
+        enc_args, enc_kwargs = _encode_call(args, kwargs)
+        req = self._send(P.submit_frame(0, fn, enc_args, enc_kwargs,
+                                        quiet=quiet, timeout_s=timeout_s))
+        for event in self._events(req):
+            if on_event is not None:
+                on_event(event)
+            if event.get("event") in P.TERMINAL_EVENTS:
+                return _terminal_to_result(event)
+        raise ServerClosed("event stream ended early")  # pragma: no cover
+
+    def submit_json(self, fn: str, params_json: str, **kw: Any) -> Any:
+        """Submit with a JSON string of keyword parameters (CLI path)."""
+        params = json.loads(params_json) if params_json else {}
+        if not isinstance(params, dict):
+            raise ValueError("--params must be a JSON object")
+        return self.submit(fn, **params, **kw)
+
+    def _one_shot(self, op: str) -> dict:
+        req = self._send({"op": op})
+        return next(self._events(req))
+
+    def ping(self) -> dict:
+        return self._one_shot(P.OP_PING)
+
+    def status(self) -> dict:
+        return self._one_shot(P.OP_STATUS)
+
+    def jobs(self) -> list[dict]:
+        return self._one_shot(P.OP_JOBS)["jobs"]
+
+    def drain(self) -> dict:
+        return self._one_shot(P.OP_DRAIN)

@@ -1,0 +1,121 @@
+"""Operation catalogue: what the simulation service will run.
+
+The service never executes arbitrary callables off the wire — a request
+names an operation *alias* which the server resolves through its registry
+to a module-level function (the same ``module:qualname`` form
+:class:`repro.harness.SweepTask` uses, so the resolved reference is part of
+the content-addressed cache key and serve shares cache entries with batch
+sweeps).  Servers can extend the registry at construction time
+(``SimulationServer(operations={...})``); the defaults below cover the
+repository's experiment surface.
+
+JSON-friendly wrappers: CLI clients (``repro submit``) send plain-JSON
+parameter objects, so for config-heavy entry points this module provides
+``*_json`` wrappers that build the dataclasses server-side.  Python clients
+can instead encode dataclasses directly with
+:func:`repro.harness.encode_value` and call the underlying functions.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import asdict
+from typing import Any, Optional
+
+from repro.config import ExperimentConfig, NocConfig, OnocConfig, SystemConfig
+
+#: Default alias -> dotted-reference registry.
+DEFAULT_OPERATIONS: dict[str, str] = {
+    # Service plumbing / diagnostics.
+    "echo": "repro.serve.ops:echo",
+    "resolve_config": "repro.serve.ops:resolve_config",
+    # Experiment surface (shared with SweepRunner-driven benchmarks, so
+    # cache entries are interchangeable).
+    "scenario": "repro.validate.scenario:run_scenario",
+    "scenario_json": "repro.serve.ops:run_scenario_json",
+    "accuracy": "repro.harness.experiments:accuracy_experiment",
+    "accuracy_json": "repro.serve.ops:accuracy_json",
+    "casestudy": "repro.harness.experiments:case_study",
+    "load_latency_point": "repro.harness.experiments:load_latency_point",
+}
+
+
+def echo(value: Any = None, sleep_s: float = 0.0) -> Any:
+    """Return ``value`` after an optional busy-less sleep.
+
+    The service's loopback op: measures end-to-end request overhead
+    (``benchmarks/bench_serve.py``) and gives tests a worker-occupying task
+    with controllable duration.
+    """
+    if sleep_s:
+        time.sleep(sleep_s)
+    return value
+
+
+def _experiment_from_params(
+    cores: int = 16,
+    seed: int = 7,
+    wavelengths: int = 64,
+    topology: Optional[str] = None,
+    onoc: Optional[dict] = None,
+    noc: Optional[dict] = None,
+    system: Optional[dict] = None,
+) -> ExperimentConfig:
+    """Build an :class:`ExperimentConfig` from flat JSON parameters.
+
+    Mirrors the CLI's ``build_experiment`` defaults; the optional ``onoc`` /
+    ``noc`` / ``system`` dicts override individual config fields and are
+    validated by the config dataclasses themselves (a bad combination raises
+    ``ConfigError`` — in a worker, surfaced with its original traceback).
+    """
+    side = math.isqrt(cores)
+    if side * side != cores:
+        raise ValueError(f"cores must be a perfect square, got {cores}")
+    onoc_kwargs: dict = {"num_nodes": cores, "num_wavelengths": wavelengths}
+    if topology is not None:
+        onoc_kwargs["topology"] = topology
+    onoc_kwargs.update(onoc or {})
+    noc_kwargs: dict = {"width": side, "height": side}
+    noc_kwargs.update(noc or {})
+    sys_kwargs: dict = {"num_cores": cores,
+                        "num_mem_ctrls": max(1, cores // 4)}
+    sys_kwargs.update(system or {})
+    return ExperimentConfig(
+        system=SystemConfig(**sys_kwargs),
+        noc=NocConfig(**noc_kwargs),
+        onoc=OnocConfig(**onoc_kwargs),
+        seed=seed,
+    )
+
+
+def resolve_config(**params: Any) -> dict:
+    """Validate a configuration and return it fully resolved, as plain JSON.
+
+    Lets clients type-check an experiment before paying for simulation; an
+    infeasible combination (e.g. an AWGR with fewer wavelengths than nodes)
+    raises ``ConfigError`` in the worker, and the service relays the original
+    traceback.
+    """
+    exp = _experiment_from_params(**params)
+    return asdict(exp)
+
+
+def run_scenario_json(params: dict, deep: bool = False) -> Any:
+    """JSON-parameter front end for :func:`repro.validate.scenario.run_scenario`.
+
+    ``params`` are :class:`repro.validate.Scenario` fields, e.g.
+    ``{"workload": "fft", "cores": 16, "seed": 7, "scale": 0.25,
+    "capture": "electrical", "target": "crossbar"}``.
+    """
+    from repro.validate.scenario import Scenario, run_scenario
+
+    return run_scenario(Scenario(**params), deep=deep)
+
+
+def accuracy_json(workload: str, scale: float = 1.0, **params: Any) -> Any:
+    """JSON-parameter front end for the accuracy experiment."""
+    from repro.harness.experiments import accuracy_experiment
+
+    exp = _experiment_from_params(**params)
+    return accuracy_experiment(exp, workload, scale=scale)

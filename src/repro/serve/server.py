@@ -1,0 +1,476 @@
+"""The resident simulation service.
+
+``SimulationServer`` is a single-loop asyncio TCP server speaking the
+NDJSON protocol of :mod:`repro.serve.protocol`, with a minimal HTTP/1.1
+shim on the same port (``/healthz``, ``/metrics``, ``/jobs`` — the first
+line of a connection decides which protocol it speaks).  Requests become
+:class:`~repro.serve.jobs.Job` objects executed on a bounded
+:class:`~repro.serve.pool.WorkerPool`; every layer below is shared with the
+batch front ends rather than duplicated:
+
+* Requests canonicalize to :class:`repro.harness.SweepTask` content keys —
+  the *same* keys :class:`repro.harness.SweepRunner` uses — which gives
+  **single-flight dedup** (identical in-flight requests coalesce onto one
+  execution) and **cross-front-end caching** (a result computed by a batch
+  sweep is a cache hit for the service, and vice versa) for free.
+* Per-job :mod:`repro.obs` snapshots merge into the service's registry in
+  job-completion order (registry merges are commutative, so totals are
+  deterministic), surfacing on ``/metrics``.
+
+Robustness under load:
+
+* **Admission control.**  At most ``max_pending`` jobs may be queued or
+  running; a submit beyond that receives an immediate ``shed`` event
+  instead of queueing unboundedly (deduplicated submits piggyback on
+  existing work and are always admitted).  Clients back off and resubmit.
+* **Bounded retry** with exponential backoff when a worker process dies,
+  and **per-job deadlines** — both from :class:`~repro.serve.pool.WorkerPool`.
+* **Graceful drain.**  SIGTERM (or the ``drain`` op) stops admitting new
+  work, lets in-flight jobs finish and their results reach every waiting
+  subscriber, then closes the listener and exits.  A second SIGTERM hard
+  stops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from typing import Any, Optional
+
+from repro import obs
+from repro.harness.parallel import (
+    ResultCache,
+    SweepTask,
+    decode_value,
+    encode_value,
+)
+from repro.serve import protocol as P
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    Job,
+    JobTable,
+    RUNNING,
+    TIMEOUT,
+)
+from repro.serve.ops import DEFAULT_OPERATIONS
+from repro.serve.pool import JobFailure, JobTimeout, WorkerDied, WorkerPool
+from repro.serve.protocol import RemoteError
+
+
+class SimulationServer:
+    """One resident service instance; see module docstring.
+
+    Parameters mirror the ``repro serve`` CLI flags.  ``port=0`` binds an
+    ephemeral port (tests); the bound port is ``self.port`` after
+    :meth:`start`.  ``operations`` extends/overrides the default alias
+    registry; only registered operations can be invoked over the wire.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = P.DEFAULT_PORT,
+        workers: int = 2,
+        max_pending: int = 32,
+        job_timeout_s: Optional[float] = None,
+        cache_dir: Optional[str] = None,
+        salt: str = "",
+        operations: Optional[dict[str, str]] = None,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.05,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.max_pending = max_pending
+        self.job_timeout_s = job_timeout_s
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.salt = salt
+        self.operations = dict(DEFAULT_OPERATIONS)
+        if operations:
+            self.operations.update(operations)
+        self._max_retries = max_retries
+        self._backoff_base_s = backoff_base_s
+
+        self.table = JobTable()
+        self.pool: Optional[WorkerPool] = None
+        self.draining = False
+        self._started_s = 0.0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._job_tasks: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._stream_tasks: set[asyncio.Task] = set()
+        self._closed = asyncio.Event()
+        self._with_obs = False
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> "SimulationServer":
+        """Bind the listener and start accepting connections."""
+        self.pool = WorkerPool(max_workers=self.workers,
+                               max_retries=self._max_retries,
+                               backoff_base_s=self._backoff_base_s)
+        # Snapshot the instrumentation state once: jobs run with obs iff the
+        # service started with it (matches SweepRunner's run()-time check).
+        self._with_obs = obs.enabled()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port,
+            limit=P.MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_s = time.monotonic()
+        return self
+
+    def install_signal_handlers(self) -> bool:
+        """SIGTERM/SIGINT -> graceful drain; second signal -> hard stop.
+
+        Returns False where loop signal handlers are unsupported (non-main
+        thread, non-Unix); the ``drain`` op still works there.
+        """
+        loop = asyncio.get_running_loop()
+
+        def _on_signal() -> None:
+            if self.draining:
+                asyncio.ensure_future(self.aclose())
+            else:
+                self.begin_drain()
+
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _on_signal)
+            loop.add_signal_handler(signal.SIGINT, _on_signal)
+        except (NotImplementedError, RuntimeError, ValueError):
+            return False
+        return True
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; exit once in-flight jobs have finished."""
+        if self.draining:
+            return
+        self.draining = True
+        asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        # In-flight jobs run to completion; their terminal events are
+        # published to subscriber queues before the tasks finish.
+        while self._job_tasks:
+            await asyncio.gather(*list(self._job_tasks),
+                                 return_exceptions=True)
+        # Let submit streams flush those terminal events to their sockets
+        # (idle connections are simply closed; no need to wait on them).
+        if self._stream_tasks:
+            await asyncio.wait(list(self._stream_tasks), timeout=2.0)
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Hard stop: close the listener and connections, kill the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for t in list(self._conn_tasks):
+            t.cancel()
+        for t in list(self._job_tasks):
+            t.cancel()
+        if self.pool is not None:
+            self.pool.shutdown()
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        """Block until the service has fully shut down."""
+        await self._closed.wait()
+
+    async def serve_forever(self) -> None:
+        """start() + signal handlers + run until drained/closed."""
+        if self._server is None:
+            await self.start()
+        self.install_signal_handlers()
+        await self.wait_closed()
+
+    # ------------------------------------------------------------- status
+    def status(self) -> dict:
+        pool = self.pool
+        return {
+            "version": P.PROTOCOL_VERSION,
+            "uptime_s": round(time.monotonic() - self._started_s, 3)
+            if self._started_s else 0.0,
+            "draining": self.draining,
+            "workers": self.workers,
+            "max_pending": self.max_pending,
+            "depth": self.table.depth,
+            "cache": self.cache is not None,
+            "pool": {
+                "retries": pool.retries if pool else 0,
+                "recycles": pool.recycles if pool else 0,
+                "abandoned": pool.abandoned if pool else 0,
+            },
+            "stats": self.table.stats.as_dict(),
+        }
+
+    # -------------------------------------------------------- connections
+    def _on_connection(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.ensure_future(self._serve_connection(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first.split(b" ", 1)[0] in (b"GET", b"HEAD"):
+                await self._serve_http(first, reader, writer)
+                return
+            await self._serve_ndjson(first, reader, writer)
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # ------------------------------------------------------------- NDJSON
+    async def _serve_ndjson(self, first: bytes, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        wlock = asyncio.Lock()
+        stream_tasks: set[asyncio.Task] = set()
+
+        async def send(frame: dict) -> None:
+            async with wlock:
+                writer.write(P.encode_frame(frame))
+                await writer.drain()
+
+        line = first
+        try:
+            while line:
+                line = line.strip()
+                if line:
+                    await self._dispatch(line, send, stream_tasks)
+                line = await reader.readline()
+        finally:
+            for t in stream_tasks:
+                t.cancel()
+
+    async def _dispatch(self, line: bytes, send, stream_tasks: set) -> None:
+        try:
+            frame = P.decode_frame(line)
+        except P.ProtocolError as exc:
+            await send(P.event_frame(None, P.EV_ERROR, error=str(exc)))
+            return
+        req = frame.get("req")
+        op = frame.get("op")
+        if op == P.OP_SUBMIT:
+            # Each submit gets its own streaming task so long jobs never
+            # block other requests on the connection.
+            t = asyncio.ensure_future(self._handle_submit(req, frame, send))
+            stream_tasks.add(t)
+            self._stream_tasks.add(t)
+            t.add_done_callback(stream_tasks.discard)
+            t.add_done_callback(self._stream_tasks.discard)
+        elif op == P.OP_PING:
+            await send(P.event_frame(req, P.EV_PONG,
+                                     version=P.PROTOCOL_VERSION))
+        elif op == P.OP_STATUS:
+            await send(P.event_frame(req, P.EV_STATUS, **self.status()))
+        elif op == P.OP_JOBS:
+            await send(P.event_frame(req, P.EV_JOBS,
+                                     jobs=self.table.listing()))
+        elif op == P.OP_DRAIN:
+            self.begin_drain()
+            await send(P.event_frame(req, P.EV_DRAINING,
+                                     depth=self.table.depth))
+        else:
+            await send(P.event_frame(req, P.EV_ERROR,
+                                     error=f"unknown op {op!r}"))
+
+    # -------------------------------------------------------------- submit
+    def _canonical_task(self, frame: dict) -> SweepTask:
+        """Canonicalize a wire request into a SweepTask.
+
+        The alias resolves through the registry; args/kwargs round-trip
+        through the codec so equivalent requests (tagged tuple vs plain
+        list, any key order) hash to the *same* content key SweepTask.make
+        produces locally.
+        """
+        fn = frame.get("fn")
+        ref = self.operations.get(fn)
+        if ref is None:
+            if fn in self.operations.values():
+                ref = fn        # full dotted ref of a registered op
+            else:
+                raise KeyError(f"unknown operation {fn!r}")
+        args = decode_value(frame.get("args") or [])
+        kwargs = decode_value(frame.get("kwargs") or {})
+        return SweepTask(fn=ref, args=encode_value(tuple(args)),
+                         kwargs=encode_value(dict(kwargs)))
+
+    async def _handle_submit(self, req, frame: dict, send) -> None:
+        if self.draining:
+            self.table.stats.shed += 1
+            await send(P.event_frame(req, P.EV_SHED, reason="draining",
+                                     depth=self.table.depth))
+            return
+        try:
+            task = self._canonical_task(frame)
+        except Exception as exc:  # bad alias / non-codec args
+            await send(P.event_frame(req, P.EV_ERROR, error=str(exc)))
+            return
+        key = task.cache_key(self.salt + obs.cache_token())
+
+        in_flight = key in self.table.active
+        if not in_flight and self.table.depth >= self.max_pending:
+            self.table.stats.shed += 1
+            await send(P.event_frame(
+                req, P.EV_SHED, depth=self.table.depth,
+                reason=f"queue full ({self.table.depth}/{self.max_pending})"))
+            return
+
+        now = time.monotonic()
+        job, deduped = self.table.get_or_create(task, key, now)
+        queue = job.subscribe()
+        if not deduped:
+            timeout_s = frame.get("timeout_s", self.job_timeout_s)
+            t = asyncio.ensure_future(self._run_job(job, timeout_s))
+            self._job_tasks.add(t)
+            t.add_done_callback(self._job_tasks.discard)
+        await send(P.event_frame(req, P.EV_ACCEPTED, job=job.short_key,
+                                 deduped=deduped, depth=self.table.depth))
+        quiet = bool(frame.get("quiet"))
+        try:
+            while True:
+                event = await queue.get()
+                if event["event"] == P.EV_STATE and quiet:
+                    continue
+                await send(P.event_frame(req, **event))
+                if event["event"] in P.TERMINAL_EVENTS:
+                    return
+        finally:
+            job.unsubscribe(queue)
+            job.subscribers -= 1
+
+    # ---------------------------------------------------------------- jobs
+    async def _run_job(self, job: Job, timeout_s: Optional[float]) -> None:
+        """Execute one fresh job: cache, then pool; publish the terminal."""
+        # On-disk cache first — a completed identical request (from this
+        # service or any SweepRunner sweep) answers without a worker.
+        if self.cache is not None:
+            blob = self.cache.load(job.key)
+            if blob is not None:
+                job.cached = True
+                self.table.stats.cache_hits += 1
+                self._complete(job, blob["result"])
+                return
+        try:
+            # Jobs admitted before a drain began still run to completion;
+            # drain only blocks new submissions.
+            async with self.pool.slots:
+                job.state = RUNNING
+                job.started_s = time.monotonic()
+                job.attempts = 1
+                job.publish({"event": P.EV_STATE, "state": RUNNING,
+                             "attempt": 1, "job": job.short_key})
+
+                def on_retry(attempt: int, delay_s: float) -> None:
+                    job.attempts = attempt + 1
+                    self.table.stats.retries += 1
+                    job.publish({"event": P.EV_STATE, "state": "retrying",
+                                 "attempt": attempt + 1,
+                                 "delay_s": round(delay_s, 4),
+                                 "job": job.short_key})
+
+                encoded = await self.pool.execute(
+                    job.task, with_obs=self._with_obs,
+                    timeout_s=timeout_s, on_retry=on_retry)
+        except JobFailure as exc:
+            self._fail(job, FAILED, exc.error)
+            return
+        except JobTimeout as exc:
+            self._fail(job, TIMEOUT, RemoteError(
+                type="JobTimeout", message=str(exc), traceback=""))
+            return
+        except WorkerDied as exc:
+            self._fail(job, FAILED, RemoteError(
+                type="WorkerDied", message=str(exc), traceback=""))
+            return
+        except asyncio.CancelledError:
+            self.table.finish(job, CANCELLED, time.monotonic())
+            job.publish({"event": P.EV_FAILED, "job": job.short_key,
+                         "state": CANCELLED,
+                         "error": RemoteError(
+                             type="Cancelled",
+                             message="service shut down before completion",
+                             traceback="").as_dict()})
+            raise
+        self.table.stats.executed += 1
+        if self.cache is not None:
+            self.cache.store(job.key, job.task, encoded,
+                             salt=self.salt + obs.cache_token())
+        self._complete(job, encoded)
+
+    def _complete(self, job: Job, encoded: Any) -> None:
+        """Record success and publish the terminal ``done`` event.
+
+        Under instrumentation the encoded payload is the SweepRunner-style
+        ``{"result", "obs"}`` wrapper (fresh or cached): the snapshot merges
+        into the service registry and clients receive the bare result.
+        """
+        if self._with_obs and isinstance(encoded, dict) \
+                and set(encoded) == {"result", "obs"}:
+            job.obs_snapshot = encoded["obs"]
+            obs.registry().merge_snapshot(encoded["obs"])
+            encoded = encoded["result"]
+        job.result = encoded
+        self.table.finish(job, DONE, time.monotonic())
+        job.publish({"event": P.EV_DONE, "job": job.short_key,
+                     "result": encoded, "cached": job.cached,
+                     "attempts": job.attempts,
+                     "elapsed_s": round(job.elapsed_s, 6)})
+
+    def _fail(self, job: Job, state: str, error: RemoteError) -> None:
+        job.error = error
+        self.table.finish(job, state, time.monotonic())
+        job.publish({"event": P.EV_FAILED, "job": job.short_key,
+                     "state": state, "attempts": job.attempts,
+                     "error": error.as_dict()})
+
+    # ---------------------------------------------------------------- HTTP
+    async def _serve_http(self, first: bytes, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        """One-shot HTTP/1.1 shim: GET /healthz, /metrics, /jobs."""
+        try:
+            parts = first.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+        except (IndexError, UnicodeDecodeError):
+            path = "/"
+        while True:     # drain request headers
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+        status, body = self._http_body(path)
+        payload = json.dumps(body, sort_keys=True).encode()
+        writer.write(
+            b"HTTP/1.1 " + status + b"\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(payload)).encode() + b"\r\n"
+            b"Connection: close\r\n\r\n" + payload)
+        await writer.drain()
+
+    def _http_body(self, path: str) -> tuple[bytes, Any]:
+        if path == "/healthz":
+            return b"200 OK", {"ok": True, "draining": self.draining,
+                               "depth": self.table.depth}
+        if path == "/metrics":
+            return b"200 OK", {"status": self.status(),
+                               "obs": obs.registry().snapshot()}
+        if path == "/jobs":
+            return b"200 OK", {"jobs": self.table.listing()}
+        return b"404 Not Found", {"error": f"no such path {path!r}",
+                                  "paths": ["/healthz", "/metrics", "/jobs"]}

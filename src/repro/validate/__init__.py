@@ -36,6 +36,7 @@ from repro.validate.invariants import (
     scale_trace_gaps,
 )
 from repro.validate.scenario import (
+    SCENARIO_WORKLOADS,
     ErrorEnvelope,
     Scenario,
     ScenarioOutcome,
@@ -47,6 +48,7 @@ __all__ = [
     "DifferentialReport",
     "ErrorEnvelope",
     "GOLDEN_SCENARIOS",
+    "SCENARIO_WORKLOADS",
     "Scenario",
     "ScenarioOutcome",
     "Violation",

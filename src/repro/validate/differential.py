@@ -36,13 +36,28 @@ from repro.validate.scenario import (
 RUN_SCENARIO_REF = "repro.validate.scenario:run_scenario"
 
 
-def generate_scenarios(n: int, seed: int) -> list[Scenario]:
-    """``n`` seeded random scenarios (deterministic in ``(n, seed)``).
+def generate_scenarios(
+    n: int,
+    seed: int,
+    workloads: tuple[str, ...] = SCENARIO_WORKLOADS,
+) -> list[Scenario]:
+    """``n`` seeded random scenarios (deterministic in ``(n, seed,
+    workloads)``).
 
     The first ``len(CAPTURE_NETWORKS) x len(ONOC_TOPOLOGIES)`` draws sweep
     every capture->target pair once before free sampling, so even small
-    batches exercise every backend combination.
+    batches exercise every backend combination.  ``workloads`` widens (or
+    narrows) the sampled workload pool — the nightly CI tier passes the
+    heavyweight kernels (lu, cholesky, randshare) that are too slow for the
+    per-push smoke gate.
     """
+    if not workloads:
+        raise ValueError("workloads must be non-empty")
+    from repro.system import WORKLOADS as _ALL
+    unknown = [w for w in workloads if w not in _ALL]
+    if unknown:
+        raise ValueError(f"unknown workloads: {', '.join(unknown)} "
+                         f"(known: {', '.join(sorted(_ALL))})")
     rng = random.Random(seed)
     pairs = [(c, t) for c in CAPTURE_NETWORKS for t in ONOC_TOPOLOGIES
              if c != t]
@@ -60,7 +75,7 @@ def generate_scenarios(n: int, seed: int) -> list[Scenario]:
             # AWGR is only feasible with >= cores-1 wavelengths.
             wavelengths = min(w for w in (16, 32, 64) if w >= cores - 1)
         out.append(Scenario(
-            workload=rng.choice(SCENARIO_WORKLOADS),
+            workload=rng.choice(workloads),
             cores=cores,
             seed=rng.randrange(1, 10_000),
             scale=rng.choice((0.1, 0.25, 0.5)),

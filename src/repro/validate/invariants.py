@@ -23,10 +23,15 @@ Trace invariants
 ``trace.channel_monotonicity``    per (src, dst) channel, a message injected
                                   at or after another's delivery is delivered
                                   strictly later (non-overlapping messages
-                                  never reorder).  Strict per-channel FIFO is
-                                  deliberately *not* an invariant: wormhole
-                                  VCs and per-wavelength parallelism reorder
-                                  messages whose flights overlap.
+                                  never reorder).  With ``strict_fifo=True``
+                                  the full FIFO form is checked too: any
+                                  later-injected message delivers later, even
+                                  when flights overlap.  Strict FIFO is an
+                                  *opt-in* invariant keyed to the backend's
+                                  ``in_order_channels`` capability flag —
+                                  wormhole VC arbitration legitimately
+                                  reorders overlapping flights, while every
+                                  optical backend serializes each channel.
 
 Replay invariants
 -----------------
@@ -143,8 +148,14 @@ class _Collector:
 # Trace invariants
 # ---------------------------------------------------------------------------
 
-def check_trace(trace: Trace) -> list[Violation]:
-    """Check every structural trace invariant; returns all violations."""
+def check_trace(trace: Trace, strict_fifo: bool = False) -> list[Violation]:
+    """Check every structural trace invariant; returns all violations.
+
+    ``strict_fifo=True`` additionally holds every (src, dst) channel to full
+    FIFO delivery order — pass it when the capture network's
+    ``in_order_channels`` capability flag is set (see
+    :func:`repro.harness.backend_in_order_channels`).
+    """
     out = _Collector()
     by_id: dict[int, TraceRecord] = {}
     for r in trace.records:
@@ -190,7 +201,7 @@ def check_trace(trace: Trace) -> list[Violation]:
     _check_channel_order(
         ((r.src, r.dst, r.t_inject, r.t_deliver, r.msg_id)
          for r in trace.records),
-        TRACE_CHANNEL_ORDER, out)
+        TRACE_CHANNEL_ORDER, out, strict_fifo=strict_fifo)
     return out.violations
 
 
@@ -235,18 +246,44 @@ def _check_end_markers(trace: Trace, by_id: dict[int, TraceRecord],
                     f"{latest}")
 
 
-def _check_channel_order(timeline, invariant: str, out: _Collector) -> None:
+def _check_channel_order(timeline, invariant: str, out: _Collector,
+                         strict_fifo: bool = False) -> None:
     """Non-overlapping messages on one (src, dst) channel never reorder.
 
     For two messages a, b on the same channel with ``b`` injected at or
     after ``a``'s delivery (disjoint flight windows), ``b`` must deliver
     strictly after ``a``.  Messages with overlapping flights are free to
-    reorder — wormhole VC arbitration and per-wavelength parallelism both
-    legitimately do.
+    reorder — wormhole VC arbitration legitimately does.
+
+    ``strict_fifo=True`` additionally requires full FIFO: ``b`` injected
+    strictly after ``a`` (overlapping or not) delivers strictly after ``a``.
+    Same-cycle injections are exempt (the serialization order of a tie is
+    arbitration detail, not a channel property).  Only enable this for
+    backends whose ``in_order_channels`` flag is set.
     """
     channels: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
     for src, dst, t_inject, t_deliver, mid in timeline:
         channels.setdefault((src, dst), []).append((t_inject, t_deliver, mid))
+    if strict_fifo:
+        for (src, dst), msgs in channels.items():
+            order = sorted(msgs)
+            i = 0
+            prev_max_del = None   # latest delivery among earlier injections
+            while i < len(order):
+                j = i
+                while j < len(order) and order[j][0] == order[i][0]:
+                    t_inject, t_deliver, mid = order[j]
+                    if prev_max_del is not None and t_deliver <= prev_max_del:
+                        out.add(invariant,
+                                f"channel {src}->{dst}: strict FIFO broken — "
+                                f"injected at {t_inject} and delivered at "
+                                f"{t_deliver}, but an earlier injection "
+                                f"delivered at {prev_max_del}", mid)
+                    j += 1
+                group_max = max(d for _, d, _ in order[i:j])
+                prev_max_del = (group_max if prev_max_del is None
+                                else max(prev_max_del, group_max))
+                i = j
     for (src, dst), msgs in channels.items():
         # For each message b, the binding predecessor is the latest-delivered
         # message a on the channel with deliver(a) <= inject(b) (disjoint
@@ -268,8 +305,14 @@ def _check_channel_order(timeline, invariant: str, out: _Collector) -> None:
 # Replay invariants
 # ---------------------------------------------------------------------------
 
-def check_replay(trace: Trace, result: ReplayResult) -> list[Violation]:
-    """Check every replay invariant of ``result`` against its trace."""
+def check_replay(trace: Trace, result: ReplayResult,
+                 strict_fifo: bool = False) -> list[Violation]:
+    """Check every replay invariant of ``result`` against its trace.
+
+    ``strict_fifo=True`` holds the replayed timeline to full per-channel
+    FIFO — pass it when the *target* backend's ``in_order_channels``
+    capability flag is set.
+    """
     out = _Collector()
     by_id = {r.msg_id: r for r in trace.records}
 
@@ -323,7 +366,7 @@ def check_replay(trace: Trace, result: ReplayResult) -> list[Violation]:
           t_deliver, mid)
          for mid, t_deliver in result.deliveries.items()
          if mid in by_id and mid in result.injections),
-        REPLAY_CHANNEL_ORDER, out)
+        REPLAY_CHANNEL_ORDER, out, strict_fifo=strict_fifo)
     return out.violations
 
 

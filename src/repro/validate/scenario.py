@@ -29,6 +29,7 @@ from repro.config import (
 )
 from repro.core import compare_to_reference, replay_trace
 from repro.harness.builders import (
+    backend_in_order_channels,
     electrical_factory,
     optical_factory,
     run_execution_driven,
@@ -203,7 +204,10 @@ def run_scenario(
             cap_exp, scenario.workload, "optical", scale=scenario.scale)
     assert trace is not None
 
-    violations = [str(v) for v in inv.check_trace(trace)]
+    # Backends whose in_order_channels capability flag is set are held to
+    # the strict per-channel FIFO form of the monotonicity invariant.
+    violations = [str(v) for v in inv.check_trace(
+        trace, strict_fifo=backend_in_order_channels(scenario.capture))]
 
     ref_res, ref_trace, _ = run_execution_driven(
         exp, scenario.workload, "optical", scale=scenario.scale)
@@ -214,8 +218,11 @@ def run_scenario(
         trace, factory,
         TraceConfig(mode=TRACE_SELF_CORRECTING,
                     keep_dep_fraction=scenario.keep_dep_fraction))
-    violations += [str(v) for v in inv.check_replay(trace, naive)]
-    violations += [str(v) for v in inv.check_replay(trace, sc)]
+    strict_target = backend_in_order_channels(scenario.target)
+    violations += [str(v) for v in inv.check_replay(
+        trace, naive, strict_fifo=strict_target)]
+    violations += [str(v) for v in inv.check_replay(
+        trace, sc, strict_fifo=strict_target)]
 
     if deep:
         violations += [str(v) for v in inv.check_self_consistency(

@@ -1,0 +1,169 @@
+"""ResultCache and ``repro cache`` CLI tests.
+
+The on-disk result cache is shared by SweepRunner (batch sweeps) and
+repro.serve (the resident service); these tests pin the store layout, the
+miss-on-damage semantics, and the CLI front end over it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness import ResultCache, SweepRunner, task
+from repro.harness.parallel import CACHE_SALT
+from repro import obs
+
+
+def add(a: int, b: int) -> int:
+    return a + b
+
+
+def make_task(a: int, b: int):
+    return task(add, a, b)
+
+
+# ---------------------------------------------------------- ResultCache
+def test_store_load_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    t = make_task(1, 2)
+    key = t.cache_key()
+    cache.store(key, t, 3)
+    blob = cache.load(key)
+    assert blob["result"] == 3
+    assert blob["fn"] == t.fn
+    assert blob["salt"] == CACHE_SALT
+    # Entries are self-describing: the stored blob records the full task.
+    assert (blob["args"], blob["kwargs"]) == (t.args, t.kwargs)
+
+
+def test_load_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    t = make_task(1, 2)
+    key = t.cache_key()
+    assert cache.load(key) is None                 # nothing stored
+    cache.store(key, t, 3)
+
+    entry = cache.path_for(key)
+    entry.write_text("{ torn write")
+    assert cache.load(key) is None                 # corrupt JSON: miss
+
+    blob = {"key": "someone-else", "fn": t.fn, "args": t.args,
+            "kwargs": t.kwargs, "salt": CACHE_SALT, "result": 3}
+    entry.write_text(json.dumps(blob))
+    assert cache.load(key) is None                 # key mismatch: miss
+
+
+def test_store_is_atomic_no_tmp_left_behind(tmp_path):
+    cache = ResultCache(tmp_path)
+    t = make_task(4, 4)
+    cache.store(t.cache_key(), t, 8)
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_info_and_clear(tmp_path):
+    cache = ResultCache(tmp_path / "fresh")
+    assert cache.info()["entries"] == 0            # missing dir: empty
+    assert cache.clear() == 0
+    for x in range(4):
+        t = make_task(x, x)
+        cache.store(t.cache_key(), t, 2 * x)
+    assert cache.info()["entries"] == 4
+    assert cache.info()["bytes"] > 0
+    assert cache.clear() == 4
+    assert cache.info()["entries"] == 0
+
+
+def test_obs_token_partitions_keys(tmp_path):
+    """Instrumented results live under different keys than bare ones, so
+    toggling obs can never serve a result captured under the other mode."""
+    t = make_task(2, 5)
+    bare = t.cache_key()
+    instrumented = t.cache_key(salt=obs.cache_token())
+    assert obs.cache_token() == ""                 # obs off in tests
+    obs.enable(True)
+    try:
+        assert t.cache_key(salt=obs.cache_token()) != bare
+    finally:
+        obs.enable(False)
+    assert instrumented == bare                    # token empty when off
+
+
+# ------------------------------------------- SweepRunner eviction paths
+def test_runner_recovers_after_eviction(tmp_path):
+    runner = SweepRunner(workers=1, cache_dir=tmp_path)
+    tasks = [make_task(i, 10) for i in range(3)]
+    assert runner.run(tasks) == [10, 11, 12]
+    assert runner.last_stats.executed == 3
+
+    assert runner.cache.clear() == 3               # evict everything
+    assert runner.run(tasks) == [10, 11, 12]       # recomputed, not stale
+    assert runner.last_stats.executed == 3
+    assert runner.run(tasks) == [10, 11, 12]
+    assert runner.last_stats.cached == 3
+
+
+def test_runner_overwrites_damaged_entry(tmp_path):
+    runner = SweepRunner(workers=1, cache_dir=tmp_path)
+    t = make_task(7, 8)
+    runner.run([t])
+    entry = runner.cache.path_for(t.cache_key())
+    entry.write_text("not json at all")
+    assert runner.run([t]) == [15]
+    assert runner.last_stats.executed == 1
+    # The damaged entry was replaced with a well-formed one.
+    assert json.loads(entry.read_text())["result"] == 15
+
+
+def test_uncached_runner_has_no_cache(tmp_path):
+    runner = SweepRunner(workers=1, cache_dir=None)
+    assert runner.cache is None
+    assert runner.run([make_task(1, 1)]) == [2]
+    assert not list(tmp_path.iterdir())
+
+
+# -------------------------------------------------------- repro cache CLI
+def _cache_cli(capsys, *argv: str) -> str:
+    rc = main(["cache", *argv])
+    assert rc == 0
+    return capsys.readouterr().out
+
+
+def test_cache_cli_info_empty(tmp_path, capsys):
+    out = _cache_cli(capsys, "--dir", str(tmp_path / "none"))
+    assert "entries" in out and "0" in out
+
+
+def test_cache_cli_info_and_clear(tmp_path, capsys):
+    runner = SweepRunner(workers=1, cache_dir=tmp_path)
+    runner.run([make_task(i, i) for i in range(5)])
+
+    out = _cache_cli(capsys, "--dir", str(tmp_path))
+    assert str(tmp_path) in out
+    assert "5" in out
+
+    out = _cache_cli(capsys, "--dir", str(tmp_path), "--clear")
+    assert "cleared 5" in out
+    assert not list(tmp_path.glob("*.json"))
+
+    out = _cache_cli(capsys, "--dir", str(tmp_path), "--clear")
+    assert "cleared 0" in out
+
+
+def test_cache_cli_default_dir_env(tmp_path, capsys, monkeypatch):
+    """REPRO_CACHE_DIR steers the CLI's default directory."""
+    from repro.harness.parallel import default_cache_dir
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+    runner = SweepRunner(workers=1, cache_dir=default_cache_dir())
+    runner.run([make_task(3, 9)])
+    out = _cache_cli(capsys)
+    assert "envcache" in out
+    assert "entries   | 1" in out.replace("  ", " ") or " 1 " in out
+
+
+@pytest.mark.parametrize("flag", ["--clear"])
+def test_cache_cli_clear_missing_dir(tmp_path, capsys, flag):
+    out = _cache_cli(capsys, "--dir", str(tmp_path / "ghost"), flag)
+    assert "cleared 0" in out

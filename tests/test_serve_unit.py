@@ -1,0 +1,188 @@
+"""Unit tests for the serve subsystem's pieces: protocol, jobs, pool.
+
+Integration tests (real sockets, real worker processes) live in
+``tests/test_serve_service.py``; everything here runs in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.harness import task
+from repro.serve import protocol as P
+from repro.serve.jobs import (
+    DONE,
+    FAILED,
+    HISTORY_LIMIT,
+    Job,
+    JobTable,
+    QUEUED,
+    RUNNING,
+)
+from repro.serve.ops import echo
+from repro.serve.pool import WorkerPool, _run_guarded
+from repro.serve.protocol import RemoteError
+from repro.serve.server import SimulationServer
+
+
+# ------------------------------------------------------------- protocol
+def test_frame_round_trip():
+    frame = {"op": "submit", "req": 7, "fn": "echo", "args": [1], "kwargs": {}}
+    line = P.encode_frame(frame)
+    assert line.endswith(b"\n") and b"\n" not in line[:-1]
+    assert P.decode_frame(line) == frame
+
+
+def test_decode_frame_rejects_garbage():
+    with pytest.raises(P.ProtocolError):
+        P.decode_frame(b"{ not json\n")
+    with pytest.raises(P.ProtocolError):
+        P.decode_frame(b"[1, 2, 3]\n")           # not an object
+    with pytest.raises(P.ProtocolError):
+        P.decode_frame(b"\xff\xfe\n")            # not UTF-8
+    with pytest.raises(P.ProtocolError):
+        P.decode_frame(b"x" * (P.MAX_LINE_BYTES + 1))
+
+
+def test_submit_frame_optional_fields():
+    bare = P.submit_frame(1, "echo", [], {})
+    assert "quiet" not in bare and "timeout_s" not in bare
+    full = P.submit_frame(1, "echo", [], {}, quiet=True, timeout_s=2.5)
+    assert full["quiet"] is True and full["timeout_s"] == 2.5
+
+
+def test_remote_error_round_trip():
+    err = RemoteError(type="ValueError", message="boom", traceback="tb...")
+    assert RemoteError.from_dict(err.as_dict()) == err
+    assert str(err) == "ValueError: boom"
+    # Missing fields default rather than raise (forward compatibility).
+    assert RemoteError.from_dict({}).type == "Exception"
+
+
+# ----------------------------------------------------------------- jobs
+def _table_job(table, payload="x"):
+    t = task(echo, payload)
+    return table.get_or_create(t, t.cache_key(), now_s=1.0)
+
+
+def test_job_table_single_flight_dedup():
+    table = JobTable()
+    job, deduped = _table_job(table)
+    assert not deduped and job.state == QUEUED and table.depth == 1
+    again, deduped2 = _table_job(table)
+    assert deduped2 and again is job
+    assert job.subscribers == 2 and job.coalesced == 1
+    assert table.stats.submitted == 1 and table.stats.dedup_hits == 1
+    # A different payload is a different job.
+    other, deduped3 = _table_job(table, payload="y")
+    assert not deduped3 and other is not job and table.depth == 2
+
+
+def test_job_table_finish_moves_to_history():
+    table = JobTable()
+    job, _ = _table_job(table)
+    table.finish(job, DONE, now_s=2.0)
+    assert table.depth == 0 and list(table.history) == [job]
+    assert table.stats.completed == 1
+    assert job.elapsed_s == pytest.approx(1.0)
+    # Finishing again under a new submit creates a *fresh* job (the old
+    # one left the active index).
+    job2, deduped = _table_job(table)
+    assert not deduped and job2 is not job
+
+
+def test_job_table_history_is_bounded():
+    table = JobTable(history_limit=4)
+    for i in range(10):
+        job, _ = _table_job(table, payload=i)
+        table.finish(job, FAILED, now_s=1.0)
+    assert len(table.history) == 4
+    assert table.stats.failed == 10
+    assert HISTORY_LIMIT == 256                   # wire-documented default
+
+
+def test_job_listing_active_then_recent():
+    table = JobTable()
+    a, _ = _table_job(table, "a")
+    b, _ = _table_job(table, "b")
+    table.finish(a, DONE, now_s=1.0)
+    listing = table.listing()
+    assert [e["state"] for e in listing] == [QUEUED, DONE]
+    assert listing[0]["job"] == b.short_key
+    assert set(listing[0]) >= {"id", "fn", "attempts", "subscribers",
+                               "coalesced", "cached", "elapsed_s"}
+
+
+def test_job_event_fanout():
+    async def main():
+        job = Job(jid=1, key="k" * 64, task=task(echo, 1))
+        q1, q2 = job.subscribe(), job.subscribe()
+        job.publish({"event": P.EV_STATE, "state": RUNNING})
+        job.unsubscribe(q2)
+        job.publish({"event": P.EV_DONE})
+        assert q1.qsize() == 2 and q2.qsize() == 1
+        job.unsubscribe(q2)                       # double-unsubscribe is fine
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------- pool
+def test_pool_rejects_bad_sizing():
+    with pytest.raises(ValueError):
+        WorkerPool(max_workers=0)
+    with pytest.raises(ValueError):
+        WorkerPool(max_retries=0)
+
+
+def test_run_guarded_success_shape():
+    t = task(echo, {"deep": [1, 2]})
+    out = _run_guarded(t.fn, t.args, t.kwargs, with_obs=False)
+    assert out["ok"] is True
+    assert out["result"] == {"deep": [1, 2]}
+    json.dumps(out)                               # wire-serializable
+
+
+def test_run_guarded_failure_shape():
+    out = _run_guarded("repro.serve.ops:resolve_config", [],
+                       {"cores": 3}, with_obs=False)
+    assert out["ok"] is False
+    err = out["error"]
+    assert err["type"] == "ValueError"
+    assert "perfect square" in err["message"]
+    assert "Traceback (most recent call last)" in err["traceback"]
+    assert "_experiment_from_params" in err["traceback"]  # original frames
+
+
+# ----------------------------------------------- request canonicalization
+def test_canonical_task_matches_local_key():
+    """A wire request hashes to the same content key as the equivalent
+    local SweepTask — the property dedup and cache sharing rest on."""
+    server = SimulationServer(port=0)
+    local = task(echo, "x", sleep_s=0.5)
+    from repro.harness import encode_value
+    wire = server._canonical_task({
+        "fn": "echo",
+        "args": encode_value(("x",)),
+        "kwargs": encode_value({"sleep_s": 0.5}),
+    })
+    assert wire.cache_key() == local.cache_key()
+    # Plain JSON spellings (list args, no codec tags) canonicalize too.
+    plain = server._canonical_task({
+        "fn": "echo", "args": ["x"], "kwargs": {"sleep_s": 0.5}})
+    assert plain.cache_key() == local.cache_key()
+    # The full dotted ref is accepted when it is a registered value.
+    dotted = server._canonical_task({
+        "fn": "repro.serve.ops:echo",
+        "args": ["x"], "kwargs": {"sleep_s": 0.5}})
+    assert dotted.cache_key() == local.cache_key()
+
+
+def test_canonical_task_rejects_unknown_ops():
+    server = SimulationServer(port=0)
+    with pytest.raises(KeyError):
+        server._canonical_task({"fn": "os:system", "args": [], "kwargs": {}})
+    with pytest.raises(KeyError):
+        server._canonical_task({"fn": "nope", "args": [], "kwargs": {}})
