@@ -268,6 +268,19 @@ def cmd_validate(args: argparse.Namespace) -> int:
             print(f"  {line}")
         return 0 if outcome.passed else 1
 
+    if args.faults == "matrix":
+        # Error-vs-severity sweep per fault family on the reference
+        # capture/target mismatch pair, gated on smooth degradation.
+        base = V.Scenario("fft", 16, 16, 0.1, "awgr", "crossbar",
+                          fault_seed=args.fault_seed,
+                          gap_policy=args.gap_policy)
+        matrix = V.run_fault_matrix(base, runner=_runner(args))
+        print(f"fault matrix on {base.name} "
+              f"(sc exec error by severity, policy={args.gap_policy}):")
+        for line in matrix.summary_lines():
+            print(line)
+        return 0 if matrix.passed else 1
+
     if args.smoke:
         scenarios = V.smoke_scenarios()
     else:
@@ -275,6 +288,14 @@ def cmd_validate(args: argparse.Namespace) -> int:
                      if args.workloads else V.SCENARIO_WORKLOADS)
         scenarios = V.generate_scenarios(args.n, args.seed,
                                          workloads=workloads)
+    if args.faults or args.gap_policy != "neighbor_gap":
+        from dataclasses import replace as _replace
+        faults = V.parse_fault_specs(args.faults) if args.faults else ()
+        scenarios = [
+            _replace(s, faults=faults, fault_seed=args.fault_seed,
+                     gap_policy=args.gap_policy)
+            for s in scenarios
+        ]
     repro_dir = pathlib.Path(args.repro_dir)
     report = V.run_differential(
         scenarios, runner=_runner(args), deep=args.deep,
@@ -494,6 +515,17 @@ def make_parser() -> argparse.ArgumentParser:
                    help="also verify the golden corpus (implied by --smoke)")
     p.add_argument("--regen-golden", action="store_true",
                    help="regenerate the golden corpus and exit")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="inject trace faults into every scenario, e.g. "
+                        "'drop_deps:0.3,jitter:8'; the special value "
+                        "'matrix' runs the per-family severity sweep with "
+                        "the smooth-degradation gate instead")
+    p.add_argument("--fault-seed", type=int, default=777,
+                   help="seed for fault-injection decisions")
+    p.add_argument("--gap-policy", default="neighbor_gap",
+                   choices=("captured", "neighbor_gap", "interp"),
+                   help="degraded-gap policy for self-correcting replays "
+                        "(default neighbor_gap)")
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser(

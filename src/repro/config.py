@@ -280,6 +280,26 @@ TRACE_NAIVE = "naive"
 TRACE_SELF_CORRECTING = "self_correcting"
 TRACE_MODES = (TRACE_NAIVE, TRACE_SELF_CORRECTING)
 
+# How the self-correcting replayer schedules *degraded* records — records
+# whose dependency information is unusable (ablated by ``keep_dep_fraction``,
+# stripped by a trace fault, or referencing msg_ids missing from the trace):
+#
+# * ``captured``      — fall back to the captured absolute timestamp (and
+#   stall on missing triggers).  This re-anchors the schedule to the capture
+#   network's timing and collapses accuracy toward naive replay at the first
+#   dropped edge — kept as the historical baseline.
+# * ``neighbor_gap``  — re-derive the dispatch gap from the nearest earlier
+#   record on the same source node: the record injects at that neighbor's
+#   *replayed* injection time plus the captured inter-send delta, keeping it
+#   anchored to the node's corrected local timeline.
+# * ``interp``        — ``neighbor_gap`` with the delta rescaled by the
+#   node-local time-warp observed between the two most recent surviving
+#   (dependency-intact) injections on that node.
+GAP_POLICY_CAPTURED = "captured"
+GAP_POLICY_NEIGHBOR = "neighbor_gap"
+GAP_POLICY_INTERP = "interp"
+GAP_POLICIES = (GAP_POLICY_CAPTURED, GAP_POLICY_NEIGHBOR, GAP_POLICY_INTERP)
+
 
 @dataclass(frozen=True)
 class TraceConfig:
@@ -290,6 +310,7 @@ class TraceConfig:
     convergence_tol: float = 1e-3      # relative exec-time change between passes
     keep_dep_fraction: float = 1.0     # ablation: fraction of dependency edges kept
     dep_drop_seed: int = 12345
+    degraded_gap_policy: str = GAP_POLICY_NEIGHBOR
 
     def __post_init__(self) -> None:
         _require(self.mode in TRACE_MODES,
@@ -298,6 +319,9 @@ class TraceConfig:
         _require(self.convergence_tol > 0, "convergence_tol must be > 0")
         _require(0.0 <= self.keep_dep_fraction <= 1.0,
                  f"keep_dep_fraction must be in [0, 1], got {self.keep_dep_fraction}")
+        _require(self.degraded_gap_policy in GAP_POLICIES,
+                 f"unknown degraded_gap_policy {self.degraded_gap_policy!r}; "
+                 f"expected one of {GAP_POLICIES}")
 
 
 # --------------------------------------------------------------------------

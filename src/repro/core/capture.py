@@ -34,6 +34,23 @@ class TraceCapture:
                 f"got {type(payload).__name__}"
             )
         cause = payload.cause  # already normalised to a network msg or None
+        # Incremental acyclicity: sends are hooked in simulation order, so a
+        # trigger that has not itself been captured yet is a *forward*
+        # reference — the only way a dependency cycle (possible solely under
+        # degenerate zero-latency timing) can enter the trace.  Reject it at
+        # the send that closes the cycle, naming the protocol transition,
+        # instead of leaving it for the post-hoc ``Trace.validate()``
+        # fire-fixpoint to flag anonymously after the run.
+        for role, trig in (("cause", cause), ("bound", payload.bound)):
+            if trig is not None and trig.id not in self._keys:
+                raise RuntimeError(
+                    f"dependency cycle at capture: {msg.kind} "
+                    f"{msg.src}->{msg.dst} (line={payload.line}, "
+                    f"aux={payload.aux}, seq={payload.seq}) names the "
+                    f"not-yet-sent message {trig.id} ({trig.kind}) as its "
+                    f"{role} — the protocol threaded a trigger forward in "
+                    "time"
+                )
         base = (msg.src, msg.dst, msg.kind,
                 payload.line if payload.line >= 0 else payload.aux)
         occ = self._occurrence.get(base, 0)

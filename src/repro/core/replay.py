@@ -26,14 +26,55 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.config import TRACE_NAIVE, TRACE_SELF_CORRECTING, TraceConfig
+from repro.config import (
+    GAP_POLICIES,
+    GAP_POLICY_CAPTURED,
+    GAP_POLICY_INTERP,
+    GAP_POLICY_NEIGHBOR,
+    TRACE_NAIVE,
+    TRACE_SELF_CORRECTING,
+    TraceConfig,
+)
 from repro.engine import Simulator
 from repro.net import Message, NetworkAdapter
 from repro.obs.probes import replay_scope, timeline_or_none
-from repro.core.trace import SemanticKey, Trace, TraceRecord
+from repro.core.trace import (
+    DEGRADED_RECORDS_META_KEY,
+    SemanticKey,
+    Trace,
+    TraceRecord,
+)
 
 # A factory producing a fresh (simulator, network) pair per replay pass.
 NetworkFactory = Callable[[], tuple[Simulator, NetworkAdapter]]
+
+
+@dataclass(frozen=True)
+class FaultExposure:
+    """How much trace damage a self-correcting replay was exposed to, and
+    what the replayer did about it.
+
+    * ``policy`` — the ``degraded_gap_policy`` in effect (see
+      :class:`repro.config.TraceConfig`);
+    * ``ablated`` — dependency edges discarded by ``keep_dep_fraction``;
+    * ``marked_degraded`` — records flagged in the trace meta under
+      ``DEGRADED_RECORDS_META_KEY`` by the fault-injection layer;
+    * ``missing_triggers`` — kept records whose cause/bound msg_id is absent
+      from the trace (record loss upstream);
+    * ``rederived`` / ``rederived_msg_ids`` — degraded records whose
+      injection time was re-derived from a surviving neighbor anchor
+      (empty under the ``captured`` policy);
+    * ``fallback_captured`` — degraded records with no usable anchor (first
+      record on their node) that fell back to the captured timestamp.
+    """
+
+    policy: str
+    ablated: int = 0
+    marked_degraded: int = 0
+    missing_triggers: int = 0
+    rederived: int = 0
+    fallback_captured: int = 0
+    rederived_msg_ids: tuple[int, ...] = ()
 
 
 @dataclass
@@ -71,6 +112,8 @@ class ReplayResult:
     stalled_count: int = 0
     stalled_msg_ids: list[int] = field(default_factory=list)
     stalled_on: dict[int, list[int]] = field(default_factory=dict)
+    rederived_records: int = 0
+    fault_exposure: Optional[FaultExposure] = None
     extra: dict = field(default_factory=dict)
 
 
@@ -80,16 +123,40 @@ def _make_message(r: TraceRecord) -> Message:
                    msg_id=r.msg_id)
 
 
-def _estimate_exec_time(trace: Trace, deliveries: dict[int, int]) -> int:
-    """Apply end markers to observed deliveries; falls back to the captured
-    finish time for cores whose cause was not replayed (ablation runs)."""
+def _estimate_exec_time(trace: Trace, deliveries: dict[int, int],
+                        rederive_markers: bool = False) -> int:
+    """Apply end markers to observed deliveries.
+
+    A marker whose cause message was never delivered (trace damage, record
+    loss) falls back to the captured finish time — unless
+    ``rederive_markers``: then the finish is re-derived from the latest
+    surviving delivery to that core, keeping the captured tail offset
+    (``t_finish - captured deliver``), mirroring the neighbor-anchor policy
+    the degraded replayer applies to injections.
+    """
     best = 0
+    node_last: dict[int, TraceRecord] = {}
+    if rederive_markers:
+        for r in trace.records:
+            if r.msg_id not in deliveries:
+                continue
+            prev = node_last.get(r.dst)
+            if prev is None or (r.t_deliver, r.msg_id) > (prev.t_deliver,
+                                                          prev.msg_id):
+                node_last[r.dst] = r
     for m in trace.end_markers:
         if m.cause_id == -1:
             t = m.t_finish
         else:
             d = deliveries.get(m.cause_id)
-            t = m.t_finish if d is None else d + m.gap
+            if d is not None:
+                t = d + m.gap
+            elif rederive_markers and m.node in node_last:
+                anchor = node_last[m.node]
+                t = max(0, deliveries[anchor.msg_id]
+                        + (m.t_finish - anchor.t_deliver))
+            else:
+                t = m.t_finish
         best = max(best, t)
     if not trace.end_markers and deliveries:
         best = max(deliveries.values())
@@ -111,6 +178,11 @@ class _ReplayerBase:
         self.net = net
         self.deliveries: dict[int, int] = {}
         self.injections: dict[int, int] = {}
+        # Self-correcting runs under a non-captured degraded-gap policy
+        # re-derive end markers whose cause never delivered (see
+        # ``_estimate_exec_time``); all other replayers keep the captured
+        # fallback.
+        self._rederive_markers = False
         # repro.obs scope (None while instrumentation is disabled).
         self._obs = replay_scope(self.mode)
         net.set_delivery_handler(self._on_deliver)
@@ -130,7 +202,9 @@ class _ReplayerBase:
         }
         result = ReplayResult(
             mode=self.mode,
-            exec_time_estimate=_estimate_exec_time(self.trace, self.deliveries),
+            exec_time_estimate=_estimate_exec_time(
+                self.trace, self.deliveries,
+                rederive_markers=self._rederive_markers),
             latencies_by_key=lats,
             deliveries=dict(self.deliveries),
             injections=dict(self.injections),
@@ -247,9 +321,37 @@ class SelfCorrectingReplayer(_ReplayerBase):
 
     ``keep_dep_fraction < 1`` ablates the model by demoting a random subset
     of records to timestamp-driven roots (Fig. 7's sensitivity axis).
+
+    **Degraded records** — ablated records, records flagged by the
+    fault-injection layer (``DEGRADED_RECORDS_META_KEY`` in the trace meta),
+    and records whose trigger msg_ids are missing from the trace — are
+    handled per ``degraded_gap_policy``:
+
+    * ``captured`` — the historical behaviour: ablated/flagged records
+      replay their captured absolute timestamp (re-anchoring the schedule to
+      the *capture* network — the PR-4 cliff), missing-trigger records stall
+      with diagnostics.
+    * ``neighbor_gap`` (default) — a degraded record anchors to its
+      predecessor on the same source node in captured order and injects at
+      ``replayed_inject(anchor) + captured inter-send delta``.  The delta is
+      network-independent local behaviour, so the record rides the corrected
+      schedule instead of dragging it back to capture time.  With *every*
+      record degraded this telescopes to exactly naive replay — the graceful
+      endpoint of the severity curve.
+    * ``interp`` — like ``neighbor_gap`` but the delta is scaled by a
+      node-local time-warp estimated from the two most recent
+      dependency-intact injections on that node (clamped to ``[0.25, 4]``),
+      interpolating the anchor chain onto the corrected timeline.
+
+    Degraded records with no predecessor on their node fall back to the
+    captured timestamp (counted in ``FaultExposure.fallback_captured``).
+    Demoted cycle members keep the captured fallback under every policy.
     """
 
     mode = TRACE_SELF_CORRECTING
+
+    #: Clamp for the ``interp`` policy's node-local time-warp estimate.
+    _WARP_CLAMP = (0.25, 4.0)
 
     def __init__(
         self,
@@ -258,39 +360,99 @@ class SelfCorrectingReplayer(_ReplayerBase):
         net: NetworkAdapter,
         keep_dep_fraction: float = 1.0,
         dep_drop_seed: int = 12345,
+        degraded_gap_policy: str = GAP_POLICY_NEIGHBOR,
     ) -> None:
         super().__init__(trace, sim, net)
         if not 0.0 <= keep_dep_fraction <= 1.0:
             raise ValueError(f"keep_dep_fraction out of range: {keep_dep_fraction}")
+        if degraded_gap_policy not in GAP_POLICIES:
+            raise ValueError(
+                f"unknown degraded_gap_policy {degraded_gap_policy!r} "
+                f"(expected one of {GAP_POLICIES})")
+        self._gap_policy = degraded_gap_policy
+        use_anchor = degraded_gap_policy != GAP_POLICY_CAPTURED
+        self._rederive_markers = use_anchor
         self._dependents: dict[int, list[TraceRecord]] = {}
         self._roots: list[TraceRecord] = []
         # Records waiting on both a cause and a bound: remaining trigger
         # count and the running earliest-start maximum.
         self._prereqs_left: dict[int, int] = {}
         self._start_time: dict[int, int] = {}
+        # Degraded-record machinery: anchor msg_id -> [(record, captured
+        # inter-send delta)], plus interp's per-node (captured, replayed)
+        # injection history for intact records.
+        self._anchored: dict[int, list[tuple[TraceRecord, int]]] = {}
+        self._anchored_ids: set[int] = set()
+        self._degraded_ids: set[int] = set()
+        self._warp_hist: dict[int, list[tuple[int, int]]] = {}
+        self._fallback_captured = 0
+
+        by_id = {r.msg_id: r for r in trace.records}
+        marked = set(trace.meta.get(DEGRADED_RECORDS_META_KEY, ()))
+        self._marked_degraded = len(marked & set(by_id))
         drop_rng = np.random.default_rng(dep_drop_seed)
         dropped = 0
+        missing_triggers = 0
+        degraded: list[TraceRecord] = []
         for r in trace.records:
-            keep = (
-                r.cause_id != -1
-                and (keep_dep_fraction >= 1.0
-                     or drop_rng.random() < keep_dep_fraction)
-            )
-            if keep:
+            if r.cause_id != -1:
+                keep = (keep_dep_fraction >= 1.0
+                        or drop_rng.random() < keep_dep_fraction)
+                if not keep:
+                    dropped += 1
+                    (degraded if use_anchor else self._roots).append(r)
+                    continue
+                missing = any(t != -1 and t not in by_id
+                              for t in (r.cause_id, r.bound_id))
+                if missing:
+                    missing_triggers += 1
+                if use_anchor and (missing or r.msg_id in marked):
+                    degraded.append(r)
+                    continue
+                # captured policy keeps today's behaviour: kept records with
+                # missing triggers enter the machinery and stall (diagnosed).
                 self._dependents.setdefault(r.cause_id, []).append(r)
                 prereqs = 1
                 if r.bound_id != -1:
                     self._dependents.setdefault(r.bound_id, []).append(r)
                     prereqs = 2
                 self._prereqs_left[r.msg_id] = prereqs
+            elif use_anchor and r.msg_id in marked:
+                degraded.append(r)
             else:
-                if r.cause_id != -1:
-                    dropped += 1
                 self._roots.append(r)
         self.dropped_deps = dropped
+        self._missing_triggers = missing_triggers
+        self._assign_anchors(degraded)
         self.demoted_cyclic = self._demote_cycles()
         # Bound once: per-correction timeline tracing (opt-in, None normally).
         self._tl = timeline_or_none()
+
+    def _assign_anchors(self, degraded: list[TraceRecord]) -> None:
+        """Anchor each degraded record to its predecessor on the same source
+        node in captured ``(t_inject, msg_id)`` order.
+
+        The predecessor may itself be degraded — the chain telescopes, which
+        is exactly what makes the all-degraded limit coincide with naive
+        replay.  A degraded record with no predecessor becomes a captured-
+        timestamp root (``fallback_captured``).
+        """
+        if not degraded:
+            return
+        self._degraded_ids = {r.msg_id for r in degraded}
+        prev: dict[int, TraceRecord] = {}
+        for r in sorted(self.trace.records,
+                        key=lambda r: (r.t_inject, r.msg_id)):
+            if r.msg_id in self._degraded_ids:
+                p = prev.get(r.src)
+                if p is None:
+                    self._fallback_captured += 1
+                    self._roots.append(r)
+                else:
+                    self._anchored.setdefault(p.msg_id, []).append(
+                        (r, r.t_inject - p.t_inject))
+                    self._anchored_ids.add(r.msg_id)
+            prev[r.src] = r
 
     def _demote_cycles(self) -> list[int]:
         """Demote dependency-cycle members to timestamp-driven roots.
@@ -365,6 +527,17 @@ class SelfCorrectingReplayer(_ReplayerBase):
             for r in self._roots)
         self.sim.run()
         stalled_count, stalled_ids, stalled_on = self._stall_diagnostics()
+        rederived_ids = tuple(sorted(
+            mid for mid in self._anchored_ids if mid in self.injections))
+        exposure = FaultExposure(
+            policy=self._gap_policy,
+            ablated=self.dropped_deps,
+            marked_degraded=self._marked_degraded,
+            missing_triggers=self._missing_triggers,
+            rederived=len(rederived_ids),
+            fallback_captured=self._fallback_captured,
+            rederived_msg_ids=rederived_ids,
+        )
         return self._result(
             _walltime.perf_counter() - t0,
             dropped_deps=self.dropped_deps,
@@ -372,7 +545,40 @@ class SelfCorrectingReplayer(_ReplayerBase):
             stalled_count=stalled_count,
             stalled_msg_ids=stalled_ids,
             stalled_on=stalled_on,
+            rederived_records=len(rederived_ids),
+            fault_exposure=exposure,
         )
+
+    def _node_warp(self, node: int) -> float:
+        """``interp`` policy: local replayed-vs-captured time dilation on
+        ``node``, from its two most recent dependency-intact injections."""
+        hist = self._warp_hist.get(node)
+        if not hist or len(hist) < 2:
+            return 1.0
+        (c1, t1), (c2, t2) = hist
+        if c2 <= c1:
+            return 1.0
+        lo, hi = self._WARP_CLAMP
+        return min(hi, max(lo, (t2 - t1) / (c2 - c1)))
+
+    def _send(self, r: TraceRecord) -> None:
+        super()._send(r)
+        now = self.injections[r.msg_id]
+        if (self._gap_policy == GAP_POLICY_INTERP
+                and r.msg_id not in self._degraded_ids):
+            hist = self._warp_hist.setdefault(r.src, [])
+            hist.append((r.t_inject, now))
+            if len(hist) > 2:
+                hist.pop(0)
+        # Release degraded records anchored to this injection: they re-fire
+        # the captured inter-send delta after the anchor's *replayed* time.
+        for dep, delta in self._anchored.get(r.msg_id, ()):
+            if self._gap_policy == GAP_POLICY_INTERP:
+                delta = max(0, round(delta * self._node_warp(r.src)))
+            if self._tl is not None:
+                self._tl.record(now + delta, f"node{dep.src}",
+                                "replay.rederive")
+            self.sim.schedule(now + delta, self._send, (dep,))
 
     def _publish_metrics(self, result: ReplayResult) -> None:
         """Base counters plus the self-correction diagnostics the paper's
@@ -391,6 +597,10 @@ class SelfCorrectingReplayer(_ReplayerBase):
         scope.counter("stalled").inc(len(stalled))
         scope.counter("dropped_deps").inc(self.dropped_deps)
         scope.counter("demoted_cyclic").inc(len(self.demoted_cyclic))
+        scope.counter("rederived").inc(result.rederived_records)
+        scope.counter("fallback_captured").inc(self._fallback_captured)
+        scope.counter("missing_triggers").inc(self._missing_triggers)
+        scope.counter("marked_degraded").inc(self._marked_degraded)
         shift = scope.distribution("correction_shift_cycles")
         captured = {r.msg_id: r.t_inject for r in self.trace.records}
         for mid in corrected:
@@ -461,4 +671,5 @@ def replay_trace(
         trace, sim, net,
         keep_dep_fraction=cfg.keep_dep_fraction,
         dep_drop_seed=cfg.dep_drop_seed,
+        degraded_gap_policy=cfg.degraded_gap_policy,
     ).run()

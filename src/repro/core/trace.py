@@ -30,6 +30,13 @@ from typing import Iterable
 
 SemanticKey = tuple[int, int, str, int, int]
 
+#: ``Trace.meta`` key listing msg_ids whose dependency annotations were
+#: stripped by the fault-injection layer (see :mod:`repro.validate.faults`).
+#: Such records look like roots structurally; the self-correcting replayer
+#: treats them as *degraded* and applies its ``degraded_gap_policy`` instead
+#: of trusting the captured timestamp.
+DEGRADED_RECORDS_META_KEY = "degraded_records"
+
 
 @dataclass(frozen=True)
 class TraceRecord:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.config import (
     ExperimentConfig,
@@ -345,19 +345,22 @@ def ablation_dep_fraction(
     workload: str,
     fractions: Sequence[float],
     scale: float = 1.0,
+    gap_policy: Optional[str] = None,
 ) -> list[tuple[float, ErrorReport]]:
     """Accuracy vs fraction of dependency edges kept (annotation-completeness
-    sensitivity)."""
+    sensitivity).  ``gap_policy`` selects the degraded-gap policy applied to
+    the ablated records (default: the TraceConfig default, ``neighbor_gap``).
+    """
     _, trace, _ = run_execution_driven(exp, workload, "electrical", scale=scale)
     _, ref_trace, _ = run_execution_driven(exp, workload, "optical", scale=scale)
     assert trace is not None and ref_trace is not None
     factory = optical_factory(exp.onoc, exp.seed)
     out = []
     for frac in fractions:
-        res = replay_trace(
-            trace, factory,
-            TraceConfig(mode=TRACE_SELF_CORRECTING, keep_dep_fraction=frac),
-        )
+        cfg = TraceConfig(mode=TRACE_SELF_CORRECTING, keep_dep_fraction=frac)
+        if gap_policy is not None:
+            cfg = replace(cfg, degraded_gap_policy=gap_policy)
+        res = replay_trace(trace, factory, cfg)
         out.append((frac, compare_to_reference(res, ref_trace)))
     return out
 

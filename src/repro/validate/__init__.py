@@ -4,8 +4,12 @@ Three layers, each usable on its own:
 
 * :mod:`repro.validate.invariants` — structural invariant catalogue over
   ``Trace`` / ``ReplayResult`` pairs plus metamorphic checks,
+* :mod:`repro.validate.faults` — seeded, composable trace fault models
+  (dependency drop, jitter, truncation, node loss, rewiring) with typed
+  damage reports,
 * :mod:`repro.validate.differential` — seeded randomized scenario fan-out
-  (via ``SweepRunner``), failure shrinking and repro-JSON serialization,
+  (via ``SweepRunner``), fault-severity matrices, failure shrinking and
+  repro-JSON serialization,
 * :mod:`repro.validate.golden` — checked-in golden corpus with pinned
   accuracy numbers (``tests/golden/``).
 
@@ -14,12 +18,28 @@ CLI entry point: ``repro validate`` (see ``docs/VALIDATION.md``).
 
 from repro.validate.differential import (
     DifferentialReport,
+    FaultMatrixReport,
+    check_fault_matrix_smooth,
+    fault_matrix_scenarios,
     generate_scenarios,
     load_repro_scenario,
     run_differential,
+    run_fault_matrix,
     shrink,
     smoke_scenarios,
     write_repro,
+)
+from repro.validate.faults import (
+    FAULT_FAMILIES,
+    DropDepEdges,
+    FaultModel,
+    FaultReport,
+    NodeRecordLoss,
+    RewireDeps,
+    TimestampJitter,
+    TruncateTail,
+    apply_faults,
+    parse_fault_specs,
 )
 from repro.validate.golden import (
     GOLDEN_SCENARIOS,
@@ -46,21 +66,35 @@ from repro.validate.scenario import (
 __all__ = [
     "ALL_INVARIANTS",
     "DifferentialReport",
+    "DropDepEdges",
     "ErrorEnvelope",
+    "FAULT_FAMILIES",
+    "FaultMatrixReport",
+    "FaultModel",
+    "FaultReport",
     "GOLDEN_SCENARIOS",
+    "NodeRecordLoss",
+    "RewireDeps",
     "SCENARIO_WORKLOADS",
     "Scenario",
     "ScenarioOutcome",
+    "TimestampJitter",
+    "TruncateTail",
     "Violation",
+    "apply_faults",
+    "check_fault_matrix_smooth",
     "check_gap_scaling",
     "check_golden",
     "check_replay",
     "check_self_consistency",
     "check_trace",
+    "fault_matrix_scenarios",
     "generate_scenarios",
     "load_repro_scenario",
+    "parse_fault_specs",
     "regen_golden",
     "run_differential",
+    "run_fault_matrix",
     "run_scenario",
     "scale_trace_gaps",
     "shrink",

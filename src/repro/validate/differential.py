@@ -23,6 +23,11 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from repro.config import ONOC_TOPOLOGIES
+from repro.validate.faults import (
+    FAULT_FAMILIES,
+    fault_from_dict,
+    fault_to_dict,
+)
 from repro.validate.scenario import (
     CAPTURE_NETWORKS,
     ErrorEnvelope,
@@ -101,6 +106,145 @@ def smoke_scenarios() -> list[Scenario]:
 
 
 # ---------------------------------------------------------------------------
+# Fault matrix
+# ---------------------------------------------------------------------------
+
+#: Severity grid for error-vs-fault-severity curves (0 = pristine anchor).
+DEFAULT_FAULT_SEVERITIES = (0.0, 0.1, 0.25, 0.5, 0.75, 1.0)
+
+#: Maximum tolerated |Δ exec error| per unit severity between adjacent grid
+#: points.  Measured on the reference mismatch pair (fft-16, awgr captured,
+#: crossbar target, naive endpoint ~132%): under ``neighbor_gap`` the
+#: steepest legitimate segment is ``rewire`` 0 -> 0.1 at a slope of ~633
+#: (rewired causality is arithmetically silent, so the replayer cannot soften
+#: it), while the ``captured`` re-anchoring cliff concentrates the whole
+#: pristine-to-naive range in one 0.1 step — a slope of ~1290.  900 splits
+#: the two with >40% margin each way.
+DEFAULT_MAX_SLOPE_PCT_PER_UNIT = 900.0
+
+
+def fault_matrix_scenarios(
+    base: Scenario,
+    families: Optional[tuple[str, ...]] = None,
+    severities: tuple[float, ...] = DEFAULT_FAULT_SEVERITIES,
+    fault_seed: int = 777,
+) -> dict[str, list[tuple[float, Scenario]]]:
+    """Per-family severity sweeps derived from ``base``.
+
+    Every family shares the severity-0 point (the pristine base scenario),
+    so the curves anchor at the same origin.
+    """
+    families = families or tuple(sorted(FAULT_FAMILIES))
+    unknown = [f for f in families if f not in FAULT_FAMILIES]
+    if unknown:
+        raise ValueError(f"unknown fault families: {', '.join(unknown)} "
+                         f"(known: {', '.join(sorted(FAULT_FAMILIES))})")
+    out: dict[str, list[tuple[float, Scenario]]] = {}
+    for fam in families:
+        build = FAULT_FAMILIES[fam]
+        out[fam] = [
+            (sev,
+             base if sev == 0.0 else replace(
+                 base, faults=(build(sev),), fault_seed=fault_seed))
+            for sev in sorted(severities)
+        ]
+    return out
+
+
+def check_fault_matrix_smooth(
+    points: list[tuple[float, float]],
+    max_slope_pct_per_unit: float = DEFAULT_MAX_SLOPE_PCT_PER_UNIT,
+) -> list[str]:
+    """Breaches of the smooth-degradation property for one family's curve.
+
+    ``points`` is ``[(severity, sc_exec_error_pct), ...]``.  Between each
+    pair of adjacent severities the error may move at most
+    ``max_slope_pct_per_unit`` error points per unit severity — a cliff
+    (the historical re-anchoring collapse) concentrates the entire
+    pristine-to-naive error range in one small severity step and fails.
+    """
+    bad: list[str] = []
+    pts = sorted(points)
+    for (s1, e1), (s2, e2) in zip(pts, pts[1:]):
+        if s2 <= s1:
+            continue
+        slope = abs(e2 - e1) / (s2 - s1)
+        if slope > max_slope_pct_per_unit:
+            bad.append(
+                f"error jumps {abs(e2 - e1):.1f} points between severity "
+                f"{s1:g} and {s2:g} (slope {slope:.0f} > "
+                f"{max_slope_pct_per_unit:g} per unit severity)")
+    return bad
+
+
+@dataclass
+class FaultMatrixReport:
+    """Per-family severity curves plus smoothness breaches."""
+
+    curves: dict[str, list[tuple[float, ScenarioOutcome]]]
+    breaches: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return (not any(self.breaches.values())
+                and all(o.passed for pts in self.curves.values()
+                        for _, o in pts))
+
+    def summary_lines(self) -> list[str]:
+        lines = []
+        for fam, pts in sorted(self.curves.items()):
+            curve = ", ".join(
+                f"{sev:g}:{o.sc_exec_error_pct:.1f}%" for sev, o in pts)
+            status = "ok  " if not self.breaches.get(fam) else "FAIL"
+            lines.append(f"  {status} {fam}: {curve}")
+            for b in self.breaches.get(fam, ()):
+                lines.append(f"       {b}")
+        return lines
+
+
+def run_fault_matrix(
+    base: Scenario,
+    families: Optional[tuple[str, ...]] = None,
+    severities: tuple[float, ...] = DEFAULT_FAULT_SEVERITIES,
+    fault_seed: int = 777,
+    runner=None,
+    envelope: Optional[ErrorEnvelope] = None,
+    max_slope_pct_per_unit: float = DEFAULT_MAX_SLOPE_PCT_PER_UNIT,
+) -> FaultMatrixReport:
+    """Sweep fault severity per family and check smooth degradation.
+
+    Scenarios across families are flattened into one batch (deduplicated on
+    the shared severity-0 point) so a SweepRunner can fan the whole matrix
+    out at once.
+    """
+    envelope = envelope or ErrorEnvelope()
+    matrix = fault_matrix_scenarios(base, families, severities, fault_seed)
+    unique: dict[str, Scenario] = {}
+    for pts in matrix.values():
+        for _, s in pts:
+            unique.setdefault(s.name, s)
+    ordered = list(unique.values())
+    if runner is None:
+        results = [run_scenario(s, envelope) for s in ordered]
+    else:
+        results = runner.map(RUN_SCENARIO_REF,
+                             [(s,) for s in ordered], envelope=envelope)
+    by_name = {s.name: o for s, o in zip(ordered, results)}
+    curves = {
+        fam: [(sev, by_name[s.name]) for sev, s in pts]
+        for fam, pts in matrix.items()
+    }
+    breaches = {
+        fam: check_fault_matrix_smooth(
+            [(sev, o.sc_exec_error_pct) for sev, o in pts],
+            max_slope_pct_per_unit)
+        for fam, pts in curves.items()
+    }
+    return FaultMatrixReport(curves=curves,
+                             breaches={f: b for f, b in breaches.items() if b})
+
+
+# ---------------------------------------------------------------------------
 # Shrinking
 # ---------------------------------------------------------------------------
 
@@ -117,6 +261,10 @@ def _shrink_candidates(s: Scenario) -> list[Scenario]:
         raw.append({"scale": max(0.1, round(s.scale / 2, 3))})
     if s.keep_dep_fraction != 1.0:
         raw.append({"keep_dep_fraction": 1.0})
+    if s.faults:
+        # Drop the last fault first (faults compose left-to-right, so the
+        # prefix is still a meaningful, smaller damage model).
+        raw.append({"faults": s.faults[:-1]})
     if s.wavelengths > 16:
         raw.append({"wavelengths": 16})
     if s.capture != "electrical":
@@ -172,9 +320,14 @@ def write_repro(outcome: ScenarioOutcome, out_dir: Path) -> Path:
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"{outcome.scenario.name}.json"
+    scenario_blob = asdict(outcome.scenario)
+    # asdict flattens nested fault dataclasses into anonymous dicts; replace
+    # them with the tagged form fault_from_dict can reconstruct.
+    scenario_blob["faults"] = [fault_to_dict(f)
+                               for f in outcome.scenario.faults]
     blob = {
         "format": REPRO_FORMAT,
-        "scenario": asdict(outcome.scenario),
+        "scenario": scenario_blob,
         "violations": outcome.violations,
         "envelope_breaches": outcome.envelope_breaches,
         "measured": {
@@ -188,6 +341,8 @@ def write_repro(outcome: ScenarioOutcome, out_dir: Path) -> Path:
             "naive_exec_error_pct": round(outcome.naive_exec_error_pct, 4),
             "sc_unreplayed": outcome.sc_unreplayed,
             "sc_demoted_cyclic": outcome.sc_demoted_cyclic,
+            "sc_rederived": outcome.sc_rederived,
+            "fault_damaged": outcome.fault_damaged,
         },
     }
     path.write_text(json.dumps(blob, indent=2, sort_keys=True) + "\n")
@@ -199,7 +354,10 @@ def load_repro_scenario(path: Path) -> Scenario:
     blob = json.loads(Path(path).read_text())
     if blob.get("format") != REPRO_FORMAT:
         raise ValueError(f"unsupported repro format in {path}")
-    return Scenario(**blob["scenario"])
+    fields = dict(blob["scenario"])
+    fields["faults"] = tuple(
+        fault_from_dict(f) for f in fields.get("faults", ()))
+    return Scenario(**fields)
 
 
 # ---------------------------------------------------------------------------

@@ -23,8 +23,10 @@ import hashlib
 import json
 from pathlib import Path
 
+from repro.config import ONOC_TOPOLOGIES, OnocConfig
+from repro.core.replay import SelfCorrectingReplayer
 from repro.core.trace import Trace
-from repro.harness.builders import run_execution_driven
+from repro.harness.builders import optical_factory, run_execution_driven
 from repro.validate import invariants as inv
 from repro.validate.scenario import Scenario, ScenarioOutcome, run_scenario
 
@@ -75,6 +77,40 @@ def _envelope_entry(outcome: ScenarioOutcome, trace_bytes: bytes) -> dict:
     }
 
 
+def measure_gap_scaling_dip(golden_dir: Path,
+                            factors: tuple[int, ...] = (1, 2, 4)) -> float:
+    """Worst non-monotone dip (%) in the gap-scaling sweep over the corpus.
+
+    Replays every stored golden trace, gap-scaled by each factor, on *all*
+    optical backends with the self-correcting replayer, and returns the
+    largest percentage by which a larger scale factor predicted a *shorter*
+    execution than the previous one (0.0 when the prediction is strictly
+    monotone, which is what every measured corpus to date shows).  This is
+    the empirical basis for ``invariants.GAP_SCALING_SLACK_PCT``; regen pins
+    it in ``envelopes.json`` so any drift is a reviewable diff.
+    """
+    worst = 0.0
+    for scenario in GOLDEN_SCENARIOS:
+        trace = Trace.from_json(
+            _trace_path(golden_dir, scenario).read_text())
+        for topology in ONOC_TOPOLOGIES:
+            factory = optical_factory(
+                OnocConfig(num_nodes=scenario.cores,
+                           num_wavelengths=scenario.wavelengths,
+                           topology=topology),
+                scenario.seed)
+            prev = None
+            for k in sorted(factors):
+                scaled = inv.scale_trace_gaps(trace, k)
+                sim, net = factory()
+                est = SelfCorrectingReplayer(scaled, sim, net).run() \
+                    .exec_time_estimate
+                if prev is not None and est < prev:
+                    worst = max(worst, (prev - est) / prev * 100.0)
+                prev = est
+    return worst
+
+
 def regen_golden(golden_dir: Path) -> list[Path]:
     """(Re)write the whole corpus; returns the files written.
 
@@ -94,6 +130,11 @@ def regen_golden(golden_dir: Path) -> list[Path]:
         outcome = run_scenario(scenario)
         envelopes["scenarios"][scenario.name] = _envelope_entry(
             outcome, trace_bytes)
+    envelopes["bounds"] = {
+        "gap_scaling_max_dip_pct": round(
+            measure_gap_scaling_dip(golden_dir), 4),
+        "gap_scaling_slack_pct": inv.GAP_SCALING_SLACK_PCT,
+    }
     env_path = golden_dir / ENVELOPES_FILE
     env_path.write_text(
         json.dumps(envelopes, indent=2, sort_keys=True) + "\n")
@@ -112,6 +153,18 @@ def check_golden(golden_dir: Path) -> list[str]:
     if envelopes.get("format") != GOLDEN_FORMAT:
         return [f"unsupported golden format in {env_path}"]
     recorded = envelopes.get("scenarios", {})
+
+    # The pinned gap-scaling measurement must exist and must not exceed the
+    # slack the metamorphic check actually grants (else the slack constant
+    # no longer covers reality and needs re-deriving, not hand-editing).
+    pinned_dip = envelopes.get("bounds", {}).get("gap_scaling_max_dip_pct")
+    if pinned_dip is None:
+        failures.append("bounds.gap_scaling_max_dip_pct missing from "
+                        "envelopes — regen needed")
+    elif pinned_dip > inv.GAP_SCALING_SLACK_PCT:
+        failures.append(
+            f"pinned gap-scaling dip {pinned_dip}% exceeds "
+            f"GAP_SCALING_SLACK_PCT={inv.GAP_SCALING_SLACK_PCT}%")
 
     for scenario in GOLDEN_SCENARIOS:
         name = scenario.name

@@ -68,6 +68,7 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro.config import GAP_POLICY_CAPTURED
 from repro.core.replay import (
     ReplayResult,
     SelfCorrectingReplayer,
@@ -91,6 +92,18 @@ REPLAY_EXEC_ESTIMATE = "replay.exec_estimate_consistency"
 REPLAY_CHANNEL_ORDER = "replay.channel_monotonicity"
 META_SELF_CONSISTENCY = "metamorphic.self_consistency"
 META_GAP_SCALING = "metamorphic.gap_scaling_monotonicity"
+
+#: Slack for the gap-scaling monotonicity check, in percent.  Measured, not
+#: guessed: sweeping every golden trace across all four optical backends with
+#: scale factors (1, 2, 4) (``tests/test_gap_scaling_slack.py``) — plus 24
+#: randomized differential scenarios — observes *zero* non-monotone dips:
+#: the prediction is strictly increasing in the gap scale everywhere we can
+#: measure.  0.25% keeps a small allowance for congestion thinning on
+#: unmeasured workloads (longer gaps can shave queueing latency) while
+#: catching real monotonicity regressions at a quarter of the old 1%
+#: wiggle.  The measured bound is pinned in ``tests/golden/envelopes.json``
+#: under ``bounds.gap_scaling_max_dip_pct`` and re-asserted by the test.
+GAP_SCALING_SLACK_PCT = 0.25
 
 #: Every structural invariant checked by :func:`check_trace` /
 #: :func:`check_replay` (the metamorphic ones need a network factory).
@@ -354,8 +367,13 @@ def check_replay(trace: Trace, result: ReplayResult,
                 f"{len(result.latencies_by_key)} latency entries for "
                 f"{lat_count} deliveries")
 
-    # replay.exec_estimate_consistency
-    expect = _estimate_exec_time(trace, result.deliveries)
+    # replay.exec_estimate_consistency — recompute with the same end-marker
+    # re-derivation the replayer used (non-captured degraded-gap policies
+    # re-derive markers whose cause never delivered).
+    exposure = result.fault_exposure
+    rederive = exposure is not None and exposure.policy != GAP_POLICY_CAPTURED
+    expect = _estimate_exec_time(trace, result.deliveries,
+                                 rederive_markers=rederive)
     if result.exec_time_estimate != expect:
         out.add(REPLAY_EXEC_ESTIMATE,
                 f"estimate {result.exec_time_estimate} != end-marker rule "
@@ -385,8 +403,14 @@ def _check_replay_causality(trace: Trace, result: ReplayResult,
     # Self-correcting: the DAG earliest-start rule, checkable only for
     # records whose every trigger was delivered in this replay (ablated or
     # demoted records legitimately used their captured timestamps instead).
+    # Records re-derived from a neighbor anchor (degraded-gap policies) are
+    # exempt: their injection is anchor-relative by design.
+    exposure = result.fault_exposure
+    rederived = (set(exposure.rederived_msg_ids)
+                 if exposure is not None else set())
     for r in trace.records:
-        if r.cause_id == -1 or r.msg_id not in result.injections:
+        if (r.cause_id == -1 or r.msg_id not in result.injections
+                or r.msg_id in rederived):
             continue
         cause_t = result.deliveries.get(r.cause_id)
         if cause_t is None:
@@ -539,13 +563,15 @@ def check_gap_scaling(
     trace: Trace,
     target_factory: Callable,
     factors: Sequence[int] = (1, 2, 4),
-    slack_pct: float = 1.0,
+    slack_pct: float = GAP_SCALING_SLACK_PCT,
 ) -> list[Violation]:
     """Stretching compute gaps by k must not shrink the predicted exec time.
 
     Monotonicity is checked with ``slack_pct`` slack: longer gaps thin out
     congestion, which can shave *network* latency even as total time grows,
     so tiny non-monotonic wiggles on congestion-bound traces are legitimate.
+    The default is the measured bound ``GAP_SCALING_SLACK_PCT`` (see its
+    docstring for provenance).
     """
     out = _Collector()
     prev_k: Optional[int] = None

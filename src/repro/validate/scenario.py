@@ -19,6 +19,9 @@ from typing import Optional
 
 from repro.config import (
     ExperimentConfig,
+    GAP_POLICIES,
+    GAP_POLICY_CAPTURED,
+    GAP_POLICY_NEIGHBOR,
     NocConfig,
     OnocConfig,
     ONOC_TOPOLOGIES,
@@ -28,6 +31,7 @@ from repro.config import (
     TraceConfig,
 )
 from repro.core import compare_to_reference, replay_trace
+from repro.validate.faults import FaultModel, apply_faults
 from repro.harness.builders import (
     backend_in_order_channels,
     electrical_factory,
@@ -56,6 +60,9 @@ class Scenario:
     target: str                     # ONOC topology replayed/validated against
     wavelengths: int = 32
     keep_dep_fraction: float = 1.0  # < 1 ablates dependency edges
+    faults: tuple = ()              # FaultModel sequence applied to the trace
+    fault_seed: int = 777
+    gap_policy: str = GAP_POLICY_NEIGHBOR
 
     def __post_init__(self) -> None:
         side = math.isqrt(self.cores)
@@ -69,6 +76,15 @@ class Scenario:
             raise ValueError(f"scale must be in (0, 1], got {self.scale}")
         if not 0.0 <= self.keep_dep_fraction <= 1.0:
             raise ValueError("keep_dep_fraction must be in [0, 1]")
+        if self.gap_policy not in GAP_POLICIES:
+            raise ValueError(f"unknown gap_policy {self.gap_policy!r}")
+        # Normalize (frozen dataclass: assign via object.__setattr__) so the
+        # scenario content-hashes identically however the faults were given.
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for f in self.faults:
+            if not isinstance(f, FaultModel):
+                raise ValueError(f"faults entries must be FaultModel, got "
+                                 f"{f!r}")
         # AWGR routes each (src, dst) pair on its own wavelength, so the
         # backend itself requires num_wavelengths >= num_nodes - 1.
         if "awgr" in (self.capture, self.target) \
@@ -81,9 +97,14 @@ class Scenario:
     def name(self) -> str:
         frac = ("" if self.keep_dep_fraction == 1.0
                 else f"-keep{self.keep_dep_fraction:g}")
+        # Default-valued new fields leave golden/smoke names untouched.
+        faults = "".join(
+            f"-{f.name}{f.severity:g}" for f in self.faults)
+        policy = ("" if self.gap_policy == GAP_POLICY_NEIGHBOR
+                  else f"-{self.gap_policy}")
         return (f"{self.workload}-c{self.cores}-s{self.seed}"
                 f"-x{self.scale:g}-w{self.wavelengths}"
-                f"-{self.capture}-to-{self.target}{frac}")
+                f"-{self.capture}-to-{self.target}{frac}{faults}{policy}")
 
     def experiment(self) -> ExperimentConfig:
         side = math.isqrt(self.cores)
@@ -125,7 +146,10 @@ class ErrorEnvelope:
         to the naive bound instead of the precision bound.
         """
         bad: list[str] = []
-        ablated = outcome.scenario.keep_dep_fraction < 1.0
+        # Faulted scenarios intentionally degrade toward naive replay, the
+        # same way keep_dep_fraction ablation does: naive bound applies.
+        ablated = (outcome.scenario.keep_dep_fraction < 1.0
+                   or bool(outcome.scenario.faults))
         sc_bound = (self.max_naive_exec_error_pct if ablated
                     else self.max_sc_exec_error_pct)
         if outcome.sc_exec_error_pct > sc_bound:
@@ -142,7 +166,12 @@ class ErrorEnvelope:
             bad.append(
                 f"naive exec error {outcome.naive_exec_error_pct:.2f}%"
                 f" > {self.max_naive_exec_error_pct}%")
-        if outcome.sc_unreplayed > self.max_unreplayed:
+        # The captured policy stalls on fault-severed triggers by design;
+        # every other policy must replay everything even under faults.
+        stalls_expected = (bool(outcome.scenario.faults)
+                           and outcome.scenario.gap_policy
+                           == GAP_POLICY_CAPTURED)
+        if not stalls_expected and outcome.sc_unreplayed > self.max_unreplayed:
             bad.append(
                 f"{outcome.sc_unreplayed} messages unreplayed"
                 f" (allowed {self.max_unreplayed})")
@@ -163,6 +192,8 @@ class ScenarioOutcome:
     naive_exec_error_pct: float
     sc_unreplayed: int
     sc_demoted_cyclic: int
+    sc_rederived: int = 0           # degraded records re-derived from anchors
+    fault_damaged: int = 0          # records the fault layer touched
     violations: list[str] = field(default_factory=list)
     envelope_breaches: list[str] = field(default_factory=list)
 
@@ -185,9 +216,11 @@ def run_scenario(
     Capture an execution-driven trace on ``scenario.capture``, run the
     execution-driven ground truth on ``scenario.target``, replay the
     captured trace there with both replayers, then apply the invariant
-    catalogue and the error envelope.  ``deep=True`` adds the two
-    metamorphic checks (self-consistency and gap-scaling), roughly
-    quadrupling the replay cost.
+    catalogue and the error envelope.  ``scenario.faults`` are applied to
+    the captured trace (after the pristine-trace checks, seeded by
+    ``scenario.fault_seed``), and the self-correcting replay runs under
+    ``scenario.gap_policy``.  ``deep=True`` adds the two metamorphic checks
+    (self-consistency and gap-scaling), roughly quadrupling the replay cost.
     """
     envelope = envelope or ErrorEnvelope()
     exp = scenario.experiment()
@@ -205,9 +238,16 @@ def run_scenario(
     assert trace is not None
 
     # Backends whose in_order_channels capability flag is set are held to
-    # the strict per-channel FIFO form of the monotonicity invariant.
+    # the strict per-channel FIFO form of the monotonicity invariant.  The
+    # pristine trace is checked *before* fault injection — faults then damage
+    # a known-good artifact.
     violations = [str(v) for v in inv.check_trace(
         trace, strict_fifo=backend_in_order_channels(scenario.capture))]
+
+    fault_reports = ()
+    if scenario.faults:
+        trace, fault_reports = apply_faults(
+            trace, scenario.faults, scenario.fault_seed)
 
     ref_res, ref_trace, _ = run_execution_driven(
         exp, scenario.workload, "optical", scale=scenario.scale)
@@ -217,7 +257,8 @@ def run_scenario(
     sc = replay_trace(
         trace, factory,
         TraceConfig(mode=TRACE_SELF_CORRECTING,
-                    keep_dep_fraction=scenario.keep_dep_fraction))
+                    keep_dep_fraction=scenario.keep_dep_fraction,
+                    degraded_gap_policy=scenario.gap_policy))
     strict_target = backend_in_order_channels(scenario.target)
     violations += [str(v) for v in inv.check_replay(
         trace, naive, strict_fifo=strict_target)]
@@ -242,6 +283,8 @@ def run_scenario(
         naive_exec_error_pct=naive_report.exec_time_error_pct,
         sc_unreplayed=sc.messages_unreplayed,
         sc_demoted_cyclic=sc.demoted_cyclic,
+        sc_rederived=sc.rederived_records,
+        fault_damaged=sum(r.damaged_count for r in fault_reports),
         violations=violations,
     )
     outcome.envelope_breaches = envelope.check(outcome)

@@ -97,6 +97,75 @@ def test_capture_rejects_non_protocol_messages():
         cap.on_network_send(Message(0, 1, 8, payload="raw"))
 
 
+# ------------------------------------------------ incremental acyclicity
+
+def test_capture_rejects_forward_cause_naming_the_transition():
+    """A cause that has not been sent yet is a forward reference — the only
+    shape a (zero-latency) dependency cycle can take, since sends are hooked
+    in simulation order.  The error must pinpoint the protocol transition
+    that closed the cycle, not wait for post-hoc validation."""
+    from repro.system.protocol import ProtPayload
+    cap = TraceCapture()
+    cap.on_network_send(Message(0, 1, 64, "req_read",
+                                payload=ProtPayload(line=7)))
+    future = Message(1, 0, 64, "resp_data", payload=ProtPayload(line=7))
+    offender = Message(0, 2, 64, "req_write",
+                       payload=ProtPayload(line=7, aux=0, seq=4,
+                                           cause=future))
+    with pytest.raises(RuntimeError) as exc:
+        cap.on_network_send(offender)
+    text = str(exc.value)
+    # Names the offending transition and the forward trigger precisely.
+    assert "req_write 0->2" in text
+    assert "line=7" in text and "seq=4" in text
+    assert f"message {future.id} (resp_data)" in text
+    assert "cause" in text
+    # The offender was rejected, not half-recorded.
+    assert cap.messages_captured == 1
+
+
+def test_capture_rejects_forward_bound_too():
+    from repro.system.protocol import ProtPayload
+    cap = TraceCapture()
+    trigger = Message(1, 0, 64, "resp_data", payload=ProtPayload(line=3))
+    cap.on_network_send(trigger)
+    future = Message(2, 0, 64, "resp_data", payload=ProtPayload(line=3))
+    with pytest.raises(RuntimeError, match="as its bound"):
+        cap.on_network_send(Message(0, 1, 64, "req_read",
+                                    payload=ProtPayload(line=3,
+                                                        cause=trigger,
+                                                        bound=future)))
+
+
+def test_capture_rejects_self_cycle():
+    from repro.system.protocol import ProtPayload
+    cap = TraceCapture()
+    msg = Message(0, 1, 64, "req_read", payload=ProtPayload(line=1))
+    msg.payload.cause = msg
+    with pytest.raises(RuntimeError, match="dependency cycle at capture"):
+        cap.on_network_send(msg)
+
+
+def test_posthoc_validate_agrees_on_the_cycle():
+    """The same damage smuggled past capture (hand-built records) is still
+    caught by ``Trace.validate()``'s fire-fixpoint: the capture-time check
+    is an earlier, better-named gate over the same invariant."""
+    from repro.core.trace import Trace, TraceRecord
+
+    def rec(msg_id, cause_id):
+        return TraceRecord(
+            msg_id=msg_id, key=(0, 1, "req_read", 0, msg_id), src=0, dst=1,
+            size_bytes=8, kind="req_read", t_inject=5, t_deliver=5,
+            cause_id=cause_id, gap=0)
+
+    # Zero-latency two-cycle: each record's cause delivers exactly when the
+    # other injects, so every per-edge arithmetic check balances.
+    cyclic = Trace(records=[rec(0, 1), rec(1, 0)], end_markers=[],
+                   exec_time=5)
+    with pytest.raises(ValueError, match="cyc"):
+        cyclic.validate()
+
+
 def test_capture_counts(captured):
     res, trace = captured
     # control messages should dominate data in count for coherence traffic

@@ -208,10 +208,13 @@ def _orphan_trace():
 
 
 def test_stalled_dependents_are_diagnosed(setting):
+    """Under the ``captured`` degraded-gap policy a missing trigger still
+    stalls its whole dependency chain, with diagnostics naming the culprit."""
     exp, *_ = setting
     trace = _orphan_trace()
     sim, net = optical_factory(exp.onoc, exp.seed)()
-    r = SelfCorrectingReplayer(trace, sim, net).run()
+    r = SelfCorrectingReplayer(trace, sim, net,
+                               degraded_gap_policy="captured").run()
     assert r.messages_replayed == 2
     assert r.messages_unreplayed == 2
     assert r.stalled_count == 2
@@ -220,6 +223,30 @@ def test_stalled_dependents_are_diagnosed(setting):
     assert r.stalled_on == {2: [99], 3: [2]}
     # Missing triggers are a data bug, not a cycle: nothing is demoted.
     assert r.demoted_cyclic == 0
+    assert r.fault_exposure.policy == "captured"
+    assert r.fault_exposure.missing_triggers == 1
+    assert r.fault_exposure.rederived == 0
+
+
+def test_missing_trigger_rederived_under_neighbor_policy(setting):
+    """The default ``neighbor_gap`` policy re-derives the orphaned record
+    from its same-node predecessor instead of stalling the chain."""
+    exp, *_ = setting
+    trace = _orphan_trace()
+    sim, net = optical_factory(exp.onoc, exp.seed)()
+    r = SelfCorrectingReplayer(trace, sim, net).run()
+    assert r.messages_replayed == 4
+    assert r.messages_unreplayed == 0
+    assert r.stalled_count == 0
+    assert r.fault_exposure.missing_triggers == 1
+    assert r.fault_exposure.rederived_msg_ids == (2,)
+    assert r.rederived_records == 1
+    # The anchor chain preserves the captured inter-send delta on node 0:
+    # record 2 fires 15 cycles after record 1's *replayed* injection.
+    assert r.injections[2] == r.injections[1] + 15
+    # Record 3's dependency on 2 is intact, so it still obeys the
+    # earliest-start rule off 2's re-derived delivery.
+    assert r.injections[3] == r.deliveries[2] + 5
 
 
 def test_no_stall_diagnostics_on_clean_replay(setting):
