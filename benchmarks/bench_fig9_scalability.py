@@ -16,19 +16,22 @@ CORE_COUNTS = (16, 36, 64)
 WORKLOAD = "fft"
 
 
-def run_all(runner, seed: int):
+def run_all(runner, seed: int, engine: str = "event"):
     # accuracy needs 4 extra runs per point; bound the wall clock at 64 cores
     return runner.run([
         task(scalability_point, cores, seed, WORKLOAD,
-             with_accuracy=cores <= 36)
+             with_accuracy=cores <= 36, engine=engine)
         for cores in CORE_COUNTS
     ])
 
 
-def test_fig9_scalability(benchmark, exp_cfg, results_dir, sweep_runner):
-    rows = benchmark.pedantic(run_all, args=(sweep_runner, exp_cfg.seed),
-                              rounds=1, iterations=1)
-    text = format_table(rows, title=f"Fig. 9: Scalability ({WORKLOAD})")
+def test_fig9_scalability(benchmark, exp_cfg, results_dir, sweep_runner,
+                          replay_engine):
+    rows = benchmark.pedantic(
+        run_all, args=(sweep_runner, exp_cfg.seed, replay_engine),
+        rounds=1, iterations=1)
+    text = format_table(
+        rows, title=f"Fig. 9: Scalability ({WORKLOAD}, {replay_engine})")
     save_and_print(results_dir, "fig9_scalability", text)
 
     speedups = [r["speedup_x"] for r in rows]

@@ -1,0 +1,298 @@
+"""Generational vectorized replay vs the event-driven path, plus the
+out-of-core memory profile of the binary trace format.
+
+Two measurements gate ROADMAP item 2 ("an order of magnitude on replay"):
+
+* **throughput** — self-correcting replay of one large synthetic trace on
+  the 16-node optical crossbar, event engine vs generational engine, in
+  messages per second of replay wall clock.  The trace is built
+  analytically (request/response chains across the node set with
+  capture-consistent gaps and latencies) so the bench needs no slow
+  full-system capture run to reach 100k+ messages.
+* **peak RSS vs trace size** — ``stream_naive_summary`` over the chunked
+  binary format in a fresh subprocess per size, ``ru_maxrss`` sampled at
+  exit, against fully loading the same trace in memory.  The streaming
+  path must grow sublinearly in trace size (it holds one 64k-record chunk
+  plus O(resources) carry state).
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_replay_vector.py \
+        --messages 120000 \
+        --out benchmarks/results/BENCH_replay_vector.json
+
+Under pytest the same harness runs with a small trace as the CI
+perf-smoke: it asserts structure and that the generational engine is not
+slower than the event engine (a hard regression gate; the checked-in JSON
+records the full-size ratio).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.config import OnocConfig, TraceConfig, TRACE_SELF_CORRECTING
+from repro.core import Trace, replay_trace, tracebin
+from repro.core.trace import EndMarker, TraceRecord
+from repro.harness.builders import optical_factory
+
+NODES = 16
+#: Concurrent request/response conversations (32 outstanding per node) —
+#: the message-level parallelism a 100k+-message full-system capture of a
+#: parallel app exhibits, and what the generational engine vectorizes over.
+CHAINS = 512
+SEED = 20260808
+
+
+# --------------------------------------------------------------------------
+# Synthetic capture-consistent trace
+# --------------------------------------------------------------------------
+
+def synth_trace(n_messages: int, nodes: int = NODES, chains: int = CHAINS,
+                seed: int = SEED) -> Trace:
+    """A valid dependency-annotated trace of ``n_messages`` records.
+
+    ``chains`` ping-pong request/response conversations run across random
+    node pairs; each message is caused by the delivery of the previous one
+    in its chain, with a random compute gap, and occasionally fans out an
+    extra child — the DAG shape (mostly chains, some fan-out, contention
+    at shared destinations) that real captures show.  All the capture
+    invariants hold by construction (``Trace.validate`` runs at the end).
+    """
+    rng = random.Random(seed)
+    base_lat = 24
+    chain_state = []
+    for c in range(chains):
+        a = rng.randrange(nodes)
+        b = (a + rng.randrange(1, nodes)) % nodes
+        chain_state.append({"pair": (a, b), "flip": False,
+                            "last": None, "t": rng.randrange(0, 200)})
+    raw = []          # (src, dst, size, kind, t_inject, t_deliver,
+    #                    cause_pos, gap) — cause by list position, remapped
+    #                    to msg_ids after the canonical sort.
+    while len(raw) < n_messages:
+        c = chain_state[len(raw) % chains]
+        a, b = c["pair"]
+        src, dst = (b, a) if c["flip"] else (a, b)
+        c["flip"] = not c["flip"]
+        size = 64 if rng.random() < 0.7 else 512
+        lat = base_lat + size // 16
+        if c["last"] is None:
+            t_inject = c["t"]
+            cause_pos, gap = -1, t_inject
+        else:
+            cause_pos, cause_deliver = c["last"]
+            gap = rng.randrange(1, 40)
+            t_inject = cause_deliver + gap
+        t_deliver = t_inject + lat
+        raw.append((src, dst, size, "data", t_inject, t_deliver,
+                    cause_pos, gap))
+        c["last"] = (len(raw) - 1, t_deliver)
+        # Occasional fan-out: a control child of this message to a third
+        # node, not continuing the chain.
+        if len(raw) < n_messages and rng.random() < 0.15:
+            third = rng.randrange(nodes)
+            if third != dst:
+                g2 = rng.randrange(1, 20)
+                ti = t_deliver + g2
+                raw.append((dst, third, 64, "ctrl", ti, ti + base_lat + 4,
+                            len(raw) - 1, g2))
+
+    order = sorted(range(len(raw)), key=lambda i: (raw[i][4], i))
+    remap = {pos: mid for mid, pos in enumerate(order)}
+    remap[-1] = -1
+    occurrence: dict[tuple, int] = {}
+    records = []
+    for mid, pos in enumerate(order):
+        src, dst, size, kind, t_inject, t_deliver, cause_pos, gap = raw[pos]
+        base = (src, dst, kind, pos)
+        occ = occurrence.get(base, 0)
+        occurrence[base] = occ + 1
+        records.append(TraceRecord(
+            msg_id=mid, key=(src, dst, kind, pos, occ),
+            src=src, dst=dst, size_bytes=size, kind=kind,
+            t_inject=t_inject, t_deliver=t_deliver,
+            cause_id=remap[cause_pos], gap=gap))
+    last_in: dict[int, TraceRecord] = {}
+    for r in records:
+        prev = last_in.get(r.dst)
+        if prev is None or r.t_deliver > prev.t_deliver:
+            last_in[r.dst] = r
+    markers = []
+    for node in range(nodes):
+        r = last_in.get(node)
+        if r is None:
+            markers.append(EndMarker(node, 0, -1, 0))
+        else:
+            markers.append(EndMarker(node, r.t_deliver + 10, r.msg_id, 10))
+    trace = Trace(records=records, end_markers=markers,
+                  exec_time=max(m.t_finish for m in markers),
+                  meta={"synthetic": "bench_replay_vector",
+                        "num_cores": nodes, "seed": seed})
+    trace.validate()
+    return trace
+
+
+# --------------------------------------------------------------------------
+# Throughput
+# --------------------------------------------------------------------------
+
+def measure_throughput(trace: Trace, repeat: int = 3) -> dict:
+    onoc = OnocConfig(num_nodes=NODES)
+    out: dict = {"trace_messages": len(trace)}
+    for engine in ("event", "generational"):
+        cfg = TraceConfig(mode=TRACE_SELF_CORRECTING, engine=engine)
+        best = None
+        extra: dict = {}
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            result = replay_trace(trace, optical_factory(onoc, 1), cfg)
+            wall = time.perf_counter() - t0
+            if best is None or wall < best:
+                best = wall
+                extra = dict(result.extra)
+        assert best is not None
+        out[engine] = {
+            "wall_s": round(best, 4),
+            "msgs_per_s": round(len(trace) / best),
+            **({"iterations": extra.get("iterations"),
+                "converged": extra.get("converged")}
+               if engine == "generational" else {}),
+        }
+    out["speedup_x"] = round(
+        out["event"]["wall_s"] / out["generational"]["wall_s"], 2)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Peak RSS vs trace size (fresh subprocess per point)
+# --------------------------------------------------------------------------
+
+_RSS_CHILD = r"""
+import json, re, resource, sys
+from repro.config import OnocConfig
+
+
+def peak_rss_kib():
+    # /proc VmHWM is reset at exec so it measures *this* process only;
+    # ru_maxrss survives fork+exec and would report the parent's peak
+    # (which holds the full bench trace) for every child.  Fall back to
+    # ru_maxrss where /proc is unavailable.
+    try:
+        with open("/proc/self/status") as f:
+            return int(re.search(r"VmHWM:\s+(\d+) kB", f.read()).group(1))
+    except (OSError, AttributeError):
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+mode, path = sys.argv[1], sys.argv[2]
+if mode == "stream":
+    from repro.core import stream_naive_summary
+    summary = stream_naive_summary(path, OnocConfig(num_nodes=%(nodes)d))
+    n = summary["messages"]
+else:
+    from repro.core import load_trace, replay_trace
+    from repro.config import TraceConfig
+    from repro.harness.builders import optical_factory
+    trace = load_trace(path)
+    res = replay_trace(trace, optical_factory(
+        OnocConfig(num_nodes=%(nodes)d), 1),
+        TraceConfig(mode="naive", engine="generational"))
+    n = res.messages_replayed
+print(json.dumps({"messages": n, "rss_kib": peak_rss_kib()}))
+"""
+
+
+def _child_rss(mode: str, path: pathlib.Path) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", _RSS_CHILD % {"nodes": NODES},
+         mode, str(path)],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONPATH": str(pathlib.Path(__file__).parent.parent / "src"),
+             "PATH": "/usr/bin:/bin"})
+    return json.loads(proc.stdout)
+
+
+def measure_rss_curve(sizes: list[int]) -> list[dict]:
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for n in sizes:
+            trace = synth_trace(n)
+            path = pathlib.Path(tmp) / f"t{n}.rtrc"
+            tracebin.write_file(trace, path)
+            stream = _child_rss("stream", path)
+            full = _child_rss("full", path)
+            rows.append({
+                "messages": len(trace),
+                "file_bytes": path.stat().st_size,
+                "stream_rss_kib": stream["rss_kib"],
+                "full_replay_rss_kib": full["rss_kib"],
+            })
+    return rows
+
+
+def run(messages: int, repeat: int, rss_sizes: list[int]) -> dict:
+    trace = synth_trace(messages)
+    report = measure_throughput(trace, repeat=repeat)
+    report["rss_curve"] = measure_rss_curve(rss_sizes)
+    first, last = report["rss_curve"][0], report["rss_curve"][-1]
+    report["rss_growth_x"] = round(
+        last["stream_rss_kib"] / first["stream_rss_kib"], 3)
+    report["trace_growth_x"] = round(
+        last["file_bytes"] / first["file_bytes"], 3)
+    return report
+
+
+# ------------------------------------------------------------------ pytest
+
+def test_replay_vector_smoke(results_dir):
+    """CI perf-smoke: small trace, generational must not be slower."""
+    report = run(messages=8000, repeat=2, rss_sizes=[4000, 16000])
+    (results_dir / "replay_vector_smoke.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+    assert report["generational"]["converged"]
+    assert report["event"]["msgs_per_s"] > 0
+    # Regression gate: the vectorized engine must beat the event engine
+    # even at smoke scale (at full scale the checked-in ratio is >= 5x).
+    assert report["speedup_x"] >= 1.0, report
+    # Streaming RSS must grow far slower than the trace itself.
+    assert report["rss_growth_x"] < report["trace_growth_x"], report
+
+
+# -------------------------------------------------------------- standalone
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--messages", type=int, default=120_000)
+    ap.add_argument("--repeat", type=int, default=3)
+    ap.add_argument("--rss-sizes", default="25000,50000,100000,200000")
+    ap.add_argument("--quick", action="store_true",
+                    help="small trace, one repeat (the CI smoke shape)")
+    ap.add_argument("--out", default=None)
+    args = ap.parse_args()
+    if args.quick:
+        args.messages = 8000
+        args.repeat = 1
+        args.rss_sizes = "4000,16000"
+    sizes = [int(s) for s in args.rss_sizes.split(",")]
+    report = run(args.messages, args.repeat, sizes)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    ok = report["speedup_x"] >= (1.0 if args.quick else 5.0)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

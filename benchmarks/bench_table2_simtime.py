@@ -16,13 +16,15 @@ from conftest import ALL_WORKLOADS, save_and_print
 from repro.harness import format_table, simtime_experiment
 
 
-def run_all(exp):
-    return [simtime_experiment(exp, wl) for wl in ALL_WORKLOADS]
+def run_all(exp, engine: str = "event"):
+    return [simtime_experiment(exp, wl, engine=engine)
+            for wl in ALL_WORKLOADS]
 
 
-def test_table2_simulation_time(benchmark, exp_cfg, results_dir):
-    rows_raw = benchmark.pedantic(run_all, args=(exp_cfg,), rounds=1,
-                                  iterations=1)
+def test_table2_simulation_time(benchmark, exp_cfg, results_dir,
+                                replay_engine):
+    rows_raw = benchmark.pedantic(run_all, args=(exp_cfg, replay_engine),
+                                  rounds=1, iterations=1)
     rows = [{
         "workload": r.workload,
         "exec_driven_s": round(r.exec_driven_s, 3),
@@ -32,7 +34,8 @@ def test_table2_simulation_time(benchmark, exp_cfg, results_dir):
         "replay_speedup_x": round(r.replay_speedup, 2),
     } for r in rows_raw]
     text = format_table(
-        rows, title="Table 2: Wall-clock simulation time per methodology")
+        rows, title="Table 2: Wall-clock simulation time per methodology "
+                    f"({replay_engine} engine)")
     save_and_print(results_dir, "table2_simtime", text)
 
     # Shape: self-correcting replay must not substantially extend the

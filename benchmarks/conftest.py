@@ -20,6 +20,21 @@ from repro.harness import SweepRunner
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine", action="store", default="event",
+        choices=("event", "generational"),
+        help="replay engine for the paper-figure benches (fig9, table2): "
+             "the reference event-driven path or the vectorized "
+             "generational path")
+
+
+@pytest.fixture(scope="session")
+def replay_engine(request) -> str:
+    """Engine selected with ``--engine`` (default: event-driven)."""
+    return request.config.getoption("--engine")
+
+
 @pytest.fixture(scope="session")
 def exp_cfg():
     """The paper-style 16-core configuration used by every experiment."""

@@ -2,8 +2,12 @@
 
 Subcommands::
 
-    capture    run the full system on a network, write the trace to JSON
-    replay     replay a trace JSON on a target network
+    capture    run the full system on a network, write the trace
+               (JSON or chunked binary, --format)
+    replay     replay a trace file on a target network (format autodetected,
+               --engine selects event-driven vs generational replay)
+    trace      trace-file utilities: convert between JSON and binary,
+               print header info without loading the records
     accuracy   capture + reference + both replay modes, print the report
     casestudy  execution-driven ONOC vs electrical comparison
     sweep      synthetic load-latency series for one network/pattern
@@ -131,9 +135,13 @@ def cmd_capture(args: argparse.Namespace) -> int:
                                          scale=args.scale)
     assert trace is not None
     out = pathlib.Path(args.out)
-    out.write_text(trace.to_json())
+    if args.format == "binary":
+        from repro.core import tracebin
+        tracebin.write_file(trace, out)
+    else:
+        out.write_text(trace.to_json())
     print(f"captured {len(trace)} messages over {res.exec_time_cycles} cycles "
-          f"-> {out} ({out.stat().st_size // 1024} KiB)")
+          f"-> {out} ({out.stat().st_size // 1024} KiB, {args.format})")
     return 0
 
 
@@ -153,18 +161,48 @@ def _target_factory(args: argparse.Namespace, exp: ExperimentConfig):
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
-    trace = Trace.from_json(pathlib.Path(args.trace).read_text())
+    from repro.core import load_trace
+
+    trace = load_trace(pathlib.Path(args.trace))   # JSON or binary, by magic
     cores = trace.meta.get("num_cores", args.cores)
     args.cores = cores
     exp = build_experiment(args)
     result = replay_trace(trace, _target_factory(args, exp),
-                          TraceConfig(mode=args.mode))
-    print(f"mode={result.mode} target={args.target}")
+                          TraceConfig(mode=args.mode, engine=args.engine))
+    print(f"mode={result.mode} target={args.target} engine={args.engine}")
     print(f"predicted exec time : {result.exec_time_estimate} cycles")
     print(f"messages replayed   : {result.messages_replayed} "
           f"({result.messages_unreplayed} unreplayed)")
     print(f"wall clock          : {result.wall_clock_s:.3f}s "
           f"({result.sim_events} events)")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core import load_trace, tracebin
+
+    src = pathlib.Path(args.file)
+    if args.trace_op == "info":
+        info = tracebin.trace_info(src)
+        rows = [{"property": k, "value": v}
+                for k, v in info.items() if k != "meta"]
+        rows += [{"property": f"meta.{k}", "value": v}
+                 for k, v in sorted(info.get("meta", {}).items())]
+        print(format_table(rows, title=f"trace {src}"))
+        return 0
+    # convert: whichever format the source is, write the other (or --to).
+    trace = load_trace(src)
+    to = args.to
+    if to is None:
+        to = "json" if tracebin.is_binary_trace(src) else "binary"
+    out = pathlib.Path(args.out) if args.out else src.with_suffix(
+        ".json" if to == "json" else ".rtrc")
+    if to == "binary":
+        tracebin.write_file(trace, out)
+    else:
+        out.write_text(trace.to_json())
+    print(f"converted {src} -> {out} ({to}, {len(trace)} records, "
+          f"{out.stat().st_size // 1024} KiB)")
     return 0
 
 
@@ -251,6 +289,12 @@ def cmd_validate(args: argparse.Namespace) -> int:
     from repro import validate as V
 
     golden_dir = pathlib.Path(args.golden_dir)
+    if args.engines:
+        report = V.check_engines(golden_dir)
+        for line in report.summary_lines():
+            print(line)
+        return 0 if report.passed else 1
+
     if args.regen_golden:
         written = V.regen_golden(golden_dir)
         print(f"regenerated golden corpus: {len(written)} files in "
@@ -443,9 +487,13 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--network", choices=("electrical", "optical"),
                    default="electrical")
     p.add_argument("--out", default="trace.json")
+    p.add_argument("--format", choices=("json", "binary"), default="json",
+                   help="trace file format (binary = chunked out-of-core "
+                        "format, see docs/TRACE_FORMAT.md)")
     p.set_defaults(fn=cmd_capture)
 
-    p = sub.add_parser("replay", help="replay a trace JSON on a target")
+    p = sub.add_parser("replay",
+                       help="replay a trace file (JSON or binary) on a target")
     _add_common(p)
     _add_obs_flags(p)
     p.add_argument("--trace", required=True)
@@ -455,7 +503,27 @@ def make_parser() -> argparse.ArgumentParser:
                    default="crossbar")
     p.add_argument("--mode", choices=("naive", "self_correcting"),
                    default="self_correcting")
+    p.add_argument("--engine", choices=("event", "generational"),
+                   default="event",
+                   help="replay implementation: reference event-driven, or "
+                        "vectorized generational (optical targets only)")
     p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("trace",
+                       help="trace-file utilities (convert / info)")
+    tsub = p.add_subparsers(dest="trace_op", required=True)
+    tp = tsub.add_parser("convert",
+                         help="convert a trace between JSON and binary")
+    tp.add_argument("file", help="source trace file (format autodetected)")
+    tp.add_argument("--to", choices=("json", "binary"), default=None,
+                    help="target format (default: the other one)")
+    tp.add_argument("--out", default=None,
+                    help="output path (default: source with .json/.rtrc)")
+    tp.set_defaults(fn=cmd_trace)
+    tp = tsub.add_parser("info",
+                         help="print header/summary without loading records")
+    tp.add_argument("file", help="trace file (JSON or binary)")
+    tp.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("accuracy", help="full accuracy experiment")
     _add_common(p)
@@ -526,6 +594,10 @@ def make_parser() -> argparse.ArgumentParser:
                    choices=("captured", "neighbor_gap", "interp"),
                    help="degraded-gap policy for self-correcting replays "
                         "(default neighbor_gap)")
+    p.add_argument("--engines", action="store_true",
+                   help="run the generational-vs-event engine differential "
+                        "on the golden corpus (all backends x gap policies "
+                        "x fault matrix + binary/JSON identity) and exit")
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser(

@@ -300,6 +300,23 @@ GAP_POLICY_NEIGHBOR = "neighbor_gap"
 GAP_POLICY_INTERP = "interp"
 GAP_POLICIES = (GAP_POLICY_CAPTURED, GAP_POLICY_NEIGHBOR, GAP_POLICY_INTERP)
 
+# Which replay implementation executes the trace:
+#
+# * ``event``        — the reference discrete-event replayers
+#   (:mod:`repro.core.replay`): one simulator event per message hop, works
+#   against any backend including the electrical mesh, and is the only
+#   engine for network-in-the-loop experiments.
+# * ``generational`` — the vectorized engine (:mod:`repro.core.generational`):
+#   layers the dependency DAG once (Kahn generations), then resolves whole
+#   generations with NumPy array sweeps and a closed-form FIFO model of the
+#   optical backends.  Orders of magnitude fewer Python dispatches; optical
+#   targets only.  Its equivalence contract with the event engine is
+#   specified in ``docs/TRACE_FORMAT.md`` and enforced by
+#   :mod:`repro.validate.engines`.
+ENGINE_EVENT = "event"
+ENGINE_GENERATIONAL = "generational"
+REPLAY_ENGINES = (ENGINE_EVENT, ENGINE_GENERATIONAL)
+
 
 @dataclass(frozen=True)
 class TraceConfig:
@@ -311,10 +328,14 @@ class TraceConfig:
     keep_dep_fraction: float = 1.0     # ablation: fraction of dependency edges kept
     dep_drop_seed: int = 12345
     degraded_gap_policy: str = GAP_POLICY_NEIGHBOR
+    engine: str = ENGINE_EVENT
 
     def __post_init__(self) -> None:
         _require(self.mode in TRACE_MODES,
                  f"unknown trace mode {self.mode!r}; expected one of {TRACE_MODES}")
+        _require(self.engine in REPLAY_ENGINES,
+                 f"unknown replay engine {self.engine!r}; "
+                 f"expected one of {REPLAY_ENGINES}")
         _require(self.max_iterations >= 1, "max_iterations must be >= 1")
         _require(self.convergence_tol > 0, "convergence_tol must be > 0")
         _require(0.0 <= self.keep_dep_fraction <= 1.0,

@@ -21,6 +21,13 @@ Pipeline (mirrors the paper's methodology):
 
 4. :mod:`~repro.core.accuracy` quantifies each replay against an
    execution-driven reference on the same target network.
+
+Two performance-oriented paths sit beside the event-driven replayers:
+:mod:`repro.core.generational` resolves the dependency DAG in vectorized
+Kahn generations (``TraceConfig(engine="generational")``), and
+:mod:`repro.core.tracebin` is the chunked binary trace format whose
+streaming readers keep million-message traces out of memory (see
+``docs/TRACE_FORMAT.md``).
 """
 
 from repro.core.accuracy import compare_to_reference, reference_latencies
@@ -45,9 +52,20 @@ from repro.core.compact import (
     filter_leaf_control,
     leaf_records,
 )
+from repro.core.generational import (
+    replay_trace_generational,
+    stream_naive_summary,
+)
 from repro.core.iterate import IterationInfo, IterativeRefiner
 from repro.core.replay import NaiveReplayer, ReplayResult, SelfCorrectingReplayer, replay_trace
 from repro.core.trace import EndMarker, Trace, TraceRecord
+from repro.core.tracebin import (
+    BinaryTraceWriter,
+    TraceBinError,
+    is_binary_trace,
+    load_trace,
+    trace_info,
+)
 
 __all__ = [
     "CompactionStats",
@@ -73,7 +91,14 @@ __all__ = [
     "Trace",
     "TraceCapture",
     "TraceRecord",
+    "BinaryTraceWriter",
+    "TraceBinError",
     "compare_to_reference",
+    "is_binary_trace",
+    "load_trace",
     "reference_latencies",
     "replay_trace",
+    "replay_trace_generational",
+    "stream_naive_summary",
+    "trace_info",
 ]

@@ -27,6 +27,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.config import (
+    ENGINE_GENERATIONAL,
     GAP_POLICIES,
     GAP_POLICY_CAPTURED,
     GAP_POLICY_INTERP,
@@ -662,8 +663,27 @@ def replay_trace(
     network_factory: NetworkFactory,
     cfg: Optional[TraceConfig] = None,
 ) -> ReplayResult:
-    """One-call replay using the mode selected in ``cfg`` (fresh network)."""
+    """One-call replay using the mode and engine selected in ``cfg``.
+
+    With the default ``event`` engine a fresh network is built from
+    ``network_factory`` and the discrete-event replayers run on it.  With
+    ``engine="generational"`` the vectorized engine takes over; it needs the
+    target's :class:`~repro.config.OnocConfig` rather than a live network,
+    which the harness factories expose as a ``.onoc`` attribute
+    (``None`` on electrical factories — the generational engine only models
+    the optical backends).
+    """
     cfg = cfg or TraceConfig()
+    if cfg.engine == ENGINE_GENERATIONAL:
+        onoc = getattr(network_factory, "onoc", None)
+        if onoc is None:
+            raise ValueError(
+                "generational engine needs an optical target: the network "
+                "factory does not expose an OnocConfig via '.onoc' (use "
+                "repro.harness.builders.optical_factory, or pass "
+                "engine='event' for electrical targets)")
+        from repro.core.generational import replay_trace_generational
+        return replay_trace_generational(trace, onoc, cfg)
     sim, net = network_factory()
     if cfg.mode == TRACE_NAIVE:
         return NaiveReplayer(trace, sim, net).run()

@@ -248,6 +248,16 @@ class Trace:
         trace.validate()
         return trace
 
+    def to_binary(self) -> bytes:
+        """Chunked binary form (see :mod:`repro.core.tracebin`)."""
+        from repro.core import tracebin
+        return tracebin.dumps(self)
+
+    @staticmethod
+    def from_binary(data: bytes) -> "Trace":
+        from repro.core import tracebin
+        return tracebin.loads(data)
+
 
 def latencies_by_key(records: Iterable[TraceRecord]) -> dict[SemanticKey, int]:
     """Semantic key -> end-to-end latency map (reference-building helper)."""

@@ -1,0 +1,667 @@
+"""Binary out-of-core trace format (``.trace.bin``).
+
+JSON traces parse at a few hundred thousand rows per second and must be
+materialised wholesale; at the million-message scale ROADMAP item 2 targets,
+the *representation* dominates replay cost.  This module defines a chunked,
+columnar binary container that loads one or two orders of magnitude faster
+and supports streaming readers whose resident set is bounded by the chunk
+size, not the trace size.
+
+Layout (little-endian throughout; full spec in ``docs/TRACE_FORMAT.md``)::
+
+    magic "REPROTRC" | u32 version
+    then a sequence of blocks:  [u8 type][u32 payload_len][payload]
+
+Block types:
+
+* ``META``    — JSON object: the ``Trace.meta`` dict.
+* ``KINDS``   — JSON list of *new* kind strings, appended to an incremental
+  string table shared by the record ``kind`` and semantic-key kind columns.
+* ``RECORDS`` — one chunk of records, column-major: a u32 record count, then
+  16 columns, each a u32 byte length followed by a varint stream.  Signed
+  columns are zigzag-encoded; ``msg_id`` and ``t_inject`` are delta-coded
+  (the delta base resets each chunk, so chunks decode independently).
+* ``MARKERS`` — the end markers, same columnar shape (4 columns).
+* ``END``     — JSON footer with record/marker/chunk counts and
+  ``exec_time``.  Mandatory: a file without it is truncated.
+
+The varint codec is vectorized (NumPy byte-scatter/gather over at most ten
+passes, the maximum encoded length of a u64), so encode and decode cost is
+a handful of array operations per column rather than per value.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.core.trace import EndMarker, Trace, TraceRecord
+
+MAGIC = b"REPROTRC"
+VERSION = 1
+
+#: Records per RECORDS block.  65536 * <=10 B/varint keeps the largest
+#: column under a megabyte, so a streaming reader's footprint is O(chunk).
+CHUNK_RECORDS = 65536
+
+_BLOCK_META = 1
+_BLOCK_KINDS = 2
+_BLOCK_RECORDS = 3
+_BLOCK_MARKERS = 4
+_BLOCK_END = 5
+
+_HEADER = struct.Struct("<8sI")
+_BLOCK_HEAD = struct.Struct("<BI")
+_U32 = struct.Struct("<I")
+
+#: Longest varint encoding of a 64-bit value.
+_VARINT_MAX_LEN = 10
+
+
+class TraceBinError(ValueError):
+    """Malformed binary trace (bad magic, bad version, truncation, corruption)."""
+
+
+# ----------------------------------------------------------------- varints
+def _encode_varints(values: np.ndarray) -> bytes:
+    """LEB128-encode a uint64 array, vectorized (one pass per output byte)."""
+    v = np.ascontiguousarray(values, dtype=np.uint64)
+    n = len(v)
+    if n == 0:
+        return b""
+    lengths = np.ones(n, dtype=np.int64)
+    tmp = v >> np.uint64(7)
+    while tmp.any():
+        lengths += tmp != 0
+        tmp >>= np.uint64(7)
+    offsets = np.zeros(n, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    out = np.zeros(int(offsets[-1] + lengths[-1]), dtype=np.uint8)
+    shifted = v.copy()
+    for i in range(int(lengths.max())):
+        live = lengths > i
+        cont = lengths > i + 1
+        out[offsets[live] + i] = (
+            (shifted[live] & np.uint64(0x7F))
+            | (cont[live].astype(np.uint64) << np.uint64(7))
+        ).astype(np.uint8)
+        shifted >>= np.uint64(7)
+    return out.tobytes()
+
+
+def _decode_varints(data: bytes, count: int, what: str) -> np.ndarray:
+    """Decode exactly ``count`` varints spanning exactly ``data``."""
+    if count == 0:
+        if data:
+            raise TraceBinError(f"corrupt trace: trailing bytes in {what}")
+        return np.zeros(0, dtype=np.uint64)
+    buf = np.frombuffer(data, dtype=np.uint8)
+    ends = np.flatnonzero((buf & 0x80) == 0)
+    if len(ends) < count:
+        raise TraceBinError(f"truncated varint stream in {what}")
+    ends = ends[:count]
+    starts = np.empty(count, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    if int(lengths.max()) > _VARINT_MAX_LEN:
+        raise TraceBinError(f"corrupt trace: oversized varint in {what}")
+    if int(ends[-1]) + 1 != len(buf):
+        raise TraceBinError(f"corrupt trace: trailing bytes in {what}")
+    vals = np.zeros(count, dtype=np.uint64)
+    for i in range(int(lengths.max())):
+        live = lengths > i
+        vals[live] |= (
+            buf[starts[live] + i].astype(np.uint64) & np.uint64(0x7F)
+        ) << np.uint64(7 * i)
+    return vals
+
+
+def _zigzag(a: np.ndarray) -> np.ndarray:
+    a = np.ascontiguousarray(a, dtype=np.int64)
+    return (a.astype(np.uint64) << np.uint64(1)) ^ (a >> np.int64(63)).astype(
+        np.uint64)
+
+
+def _unzigzag(u: np.ndarray) -> np.ndarray:
+    return (u >> np.uint64(1)).astype(np.int64) ^ -(
+        (u & np.uint64(1)).astype(np.int64))
+
+
+# ---------------------------------------------------------------- columns
+#: (name, coding) in on-disk order.  ``key_src``/``key_dst`` are stored
+#: relative to ``src``/``dst`` (usually zero), ``msg_id``/``t_inject`` as
+#: zigzag deltas; everything non-negative by Trace validation is raw.
+_RECORD_COLUMNS = (
+    ("msg_id", "sdelta"),
+    ("src", "unsigned"),
+    ("dst", "unsigned"),
+    ("size_bytes", "unsigned"),
+    ("kind_idx", "unsigned"),
+    ("t_inject", "sdelta"),
+    ("latency", "unsigned"),
+    ("cause_id", "signed"),
+    ("gap", "unsigned"),
+    ("bound_id", "signed"),
+    ("bound_gap", "unsigned"),
+    ("key_src_rel", "signed"),
+    ("key_dst_rel", "signed"),
+    ("key_kind_idx", "unsigned"),
+    ("key_line", "signed"),
+    ("key_occ", "signed"),
+)
+
+_MARKER_COLUMNS = (
+    ("node", "unsigned"),
+    ("t_finish", "signed"),
+    ("cause_id", "signed"),
+    ("gap", "unsigned"),
+)
+
+
+def _encode_column(a: np.ndarray, coding: str, what: str) -> bytes:
+    a = np.ascontiguousarray(a, dtype=np.int64)
+    if coding == "unsigned":
+        if len(a) and int(a.min()) < 0:
+            raise TraceBinError(f"negative value in unsigned column {what}")
+        u = a.astype(np.uint64)
+    elif coding == "signed":
+        u = _zigzag(a)
+    else:  # sdelta
+        u = _zigzag(np.diff(a, prepend=np.int64(0)))
+    return _encode_varints(u)
+
+
+def _decode_column(data: bytes, count: int, coding: str,
+                   what: str) -> np.ndarray:
+    u = _decode_varints(data, count, what)
+    if coding == "unsigned":
+        return u.astype(np.int64)
+    if coding == "signed":
+        return _unzigzag(u)
+    return np.cumsum(_unzigzag(u), dtype=np.int64)
+
+
+@dataclass
+class RecordChunk:
+    """One decoded RECORDS block as int64 column arrays.
+
+    ``kinds`` is the string table as of this chunk; ``kind_idx`` /
+    ``key_kind_idx`` index into it.  ``t_deliver`` is derived
+    (``t_inject + latency``) to match :class:`TraceRecord`.
+    """
+
+    msg_id: np.ndarray
+    src: np.ndarray
+    dst: np.ndarray
+    size_bytes: np.ndarray
+    kind_idx: np.ndarray
+    t_inject: np.ndarray
+    latency: np.ndarray
+    cause_id: np.ndarray
+    gap: np.ndarray
+    bound_id: np.ndarray
+    bound_gap: np.ndarray
+    key_src: np.ndarray
+    key_dst: np.ndarray
+    key_kind_idx: np.ndarray
+    key_line: np.ndarray
+    key_occ: np.ndarray
+    kinds: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.msg_id)
+
+    @property
+    def t_deliver(self) -> np.ndarray:
+        return self.t_inject + self.latency
+
+    def to_records(self) -> list[TraceRecord]:
+        kinds = self.kinds
+        rows = zip(self.msg_id.tolist(), self.src.tolist(), self.dst.tolist(),
+                   self.size_bytes.tolist(), self.kind_idx.tolist(),
+                   self.t_inject.tolist(), self.latency.tolist(),
+                   self.cause_id.tolist(), self.gap.tolist(),
+                   self.bound_id.tolist(), self.bound_gap.tolist(),
+                   self.key_src.tolist(), self.key_dst.tolist(),
+                   self.key_kind_idx.tolist(), self.key_line.tolist(),
+                   self.key_occ.tolist())
+        try:
+            return [
+                TraceRecord(
+                    msg_id=mid, key=(ks, kd, kinds[kk], kl, ko),
+                    src=src, dst=dst, size_bytes=size, kind=kinds[ki],
+                    t_inject=ti, t_deliver=ti + lat, cause_id=cid, gap=gap,
+                    bound_id=bid, bound_gap=bgap,
+                )
+                for (mid, src, dst, size, ki, ti, lat, cid, gap, bid, bgap,
+                     ks, kd, kk, kl, ko) in rows
+            ]
+        except IndexError as exc:
+            raise TraceBinError(
+                "corrupt trace: kind index outside string table") from exc
+
+
+def _chunk_from_records(records: list[TraceRecord],
+                        kind_idx: dict[str, int]) -> np.ndarray:
+    return np.array(
+        [(r.msg_id, r.src, r.dst, r.size_bytes, kind_idx[r.kind],
+          r.t_inject, r.t_deliver - r.t_inject, r.cause_id, r.gap,
+          r.bound_id, r.bound_gap, r.key[0] - r.src, r.key[1] - r.dst,
+          kind_idx[r.key[2]], r.key[3], r.key[4])
+         for r in records],
+        dtype=np.int64,
+    ).reshape(len(records), len(_RECORD_COLUMNS))
+
+
+# ------------------------------------------------------------------ writer
+class BinaryTraceWriter:
+    """Streaming writer: records are flushed chunk-by-chunk as they arrive.
+
+    Usage::
+
+        with open(path, "wb") as fp:
+            w = BinaryTraceWriter(fp, meta=trace.meta)
+            w.add_records(records)       # may be called repeatedly
+            w.add_markers(markers)
+            w.close(exec_time)
+
+    Nothing proportional to the full trace is retained: at most one chunk
+    of pending records plus the kind string table.
+    """
+
+    def __init__(self, fp: BinaryIO, meta: Optional[dict] = None,
+                 chunk_records: int = CHUNK_RECORDS) -> None:
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be positive")
+        self._fp = fp
+        self._chunk_records = chunk_records
+        self._pending: list[TraceRecord] = []
+        self._markers: list[EndMarker] = []
+        self._kind_idx: dict[str, int] = {}
+        self._record_count = 0
+        self._chunk_count = 0
+        self._closed = False
+        fp.write(_HEADER.pack(MAGIC, VERSION))
+        # Insertion order is preserved (not sorted) so a JSON<->binary
+        # round-trip is byte-stable in both directions.
+        self._write_block(_BLOCK_META, json.dumps(meta or {}).encode())
+
+    def _write_block(self, btype: int, payload: bytes) -> None:
+        self._fp.write(_BLOCK_HEAD.pack(btype, len(payload)))
+        self._fp.write(payload)
+
+    def _intern_kinds(self, records: list[TraceRecord]) -> None:
+        new: list[str] = []
+        for r in records:
+            for kind in (r.kind, r.key[2]):
+                if kind not in self._kind_idx:
+                    self._kind_idx[kind] = len(self._kind_idx)
+                    new.append(kind)
+        if new:
+            self._write_block(_BLOCK_KINDS, json.dumps(new).encode())
+
+    def _flush_chunk(self) -> None:
+        records, self._pending = self._pending, []
+        if not records:
+            return
+        self._intern_kinds(records)
+        cols = _chunk_from_records(records, self._kind_idx)
+        out = io.BytesIO()
+        out.write(_U32.pack(len(records)))
+        for i, (name, coding) in enumerate(_RECORD_COLUMNS):
+            enc = _encode_column(cols[:, i], coding, name)
+            out.write(_U32.pack(len(enc)))
+            out.write(enc)
+        self._write_block(_BLOCK_RECORDS, out.getvalue())
+        self._record_count += len(records)
+        self._chunk_count += 1
+
+    def add_records(self, records: Iterable[TraceRecord]) -> None:
+        if self._closed:
+            raise ValueError("writer already closed")
+        for r in records:
+            self._pending.append(r)
+            if len(self._pending) >= self._chunk_records:
+                self._flush_chunk()
+
+    def add_markers(self, markers: Iterable[EndMarker]) -> None:
+        if self._closed:
+            raise ValueError("writer already closed")
+        self._markers.extend(markers)
+
+    def close(self, exec_time: int) -> None:
+        if self._closed:
+            return
+        self._flush_chunk()
+        cols = np.array(
+            [(m.node, m.t_finish, m.cause_id, m.gap) for m in self._markers],
+            dtype=np.int64).reshape(len(self._markers), len(_MARKER_COLUMNS))
+        out = io.BytesIO()
+        out.write(_U32.pack(len(self._markers)))
+        for i, (name, coding) in enumerate(_MARKER_COLUMNS):
+            enc = _encode_column(cols[:, i], coding, name)
+            out.write(_U32.pack(len(enc)))
+            out.write(enc)
+        self._write_block(_BLOCK_MARKERS, out.getvalue())
+        self._write_block(_BLOCK_END, json.dumps({
+            "record_count": self._record_count,
+            "marker_count": len(self._markers),
+            "chunks": self._chunk_count,
+            "exec_time": exec_time,
+        }, sort_keys=True).encode())
+        self._closed = True
+
+
+def dump(trace: Trace, fp: BinaryIO,
+         chunk_records: int = CHUNK_RECORDS) -> None:
+    """Write ``trace`` to a binary file object."""
+    writer = BinaryTraceWriter(fp, meta=trace.meta,
+                               chunk_records=chunk_records)
+    writer.add_records(trace.records)
+    writer.add_markers(trace.end_markers)
+    writer.close(trace.exec_time)
+
+
+def dumps(trace: Trace, chunk_records: int = CHUNK_RECORDS) -> bytes:
+    """Serialize ``trace`` to binary bytes (deterministic for equal traces)."""
+    out = io.BytesIO()
+    dump(trace, out, chunk_records=chunk_records)
+    return out.getvalue()
+
+
+def write_file(trace: Trace, path: Union[str, Path],
+               chunk_records: int = CHUNK_RECORDS) -> Path:
+    path = Path(path)
+    with open(path, "wb") as fp:
+        dump(trace, fp, chunk_records=chunk_records)
+    return path
+
+
+# ------------------------------------------------------------------ reader
+def _read_exact(fp: BinaryIO, n: int, what: str) -> bytes:
+    data = fp.read(n)
+    if len(data) != n:
+        raise TraceBinError(f"truncated trace: unexpected EOF in {what}")
+    return data
+
+
+def _check_header(fp: BinaryIO) -> None:
+    head = fp.read(_HEADER.size)
+    if len(head) < _HEADER.size or head[:len(MAGIC)] != MAGIC:
+        raise TraceBinError(
+            f"bad magic: not a binary trace (expected {MAGIC!r})")
+    (_, version) = _HEADER.unpack(head)
+    if version != VERSION:
+        raise TraceBinError(
+            f"unsupported binary trace version {version} "
+            f"(this reader handles version {VERSION})")
+
+
+def _iter_blocks(fp: BinaryIO,
+                 skip_payloads: frozenset[int] = frozenset(),
+                 ) -> Iterator[tuple[int, bytes, int]]:
+    """Yield (type, payload, payload_len); END terminates the stream.
+
+    Payloads for types in ``skip_payloads`` are seeked over and yielded as
+    ``b""`` — this is what makes a summary scan O(block count) in I/O.
+    """
+    saw_end = False
+    while True:
+        head = fp.read(_BLOCK_HEAD.size)
+        if not head:
+            break
+        if len(head) < _BLOCK_HEAD.size:
+            raise TraceBinError("truncated trace: partial block header")
+        btype, length = _BLOCK_HEAD.unpack(head)
+        if btype not in (_BLOCK_META, _BLOCK_KINDS, _BLOCK_RECORDS,
+                         _BLOCK_MARKERS, _BLOCK_END):
+            raise TraceBinError(f"corrupt trace: unknown block type {btype}")
+        if btype in skip_payloads and btype != _BLOCK_END:
+            fp.seek(length, 1)
+            yield btype, b"", length
+        else:
+            yield btype, _read_exact(fp, length, f"block type {btype}"), length
+        if btype == _BLOCK_END:
+            saw_end = True
+            break
+    if not saw_end:
+        raise TraceBinError("truncated trace: missing END block")
+
+
+def _decode_record_block(payload: bytes,
+                         kinds: tuple[str, ...]) -> RecordChunk:
+    if len(payload) < 4:
+        raise TraceBinError("truncated trace: short RECORDS block")
+    count = _U32.unpack_from(payload)[0]
+    off = 4
+    cols: dict[str, np.ndarray] = {}
+    for name, coding in _RECORD_COLUMNS:
+        if off + 4 > len(payload):
+            raise TraceBinError("truncated trace: short RECORDS block")
+        clen = _U32.unpack_from(payload, off)[0]
+        off += 4
+        if off + clen > len(payload):
+            raise TraceBinError("truncated trace: short RECORDS column")
+        cols[name] = _decode_column(payload[off:off + clen], count, coding,
+                                    name)
+        off += clen
+    if off != len(payload):
+        raise TraceBinError("corrupt trace: trailing bytes in RECORDS block")
+    return RecordChunk(
+        msg_id=cols["msg_id"], src=cols["src"], dst=cols["dst"],
+        size_bytes=cols["size_bytes"], kind_idx=cols["kind_idx"],
+        t_inject=cols["t_inject"], latency=cols["latency"],
+        cause_id=cols["cause_id"], gap=cols["gap"],
+        bound_id=cols["bound_id"], bound_gap=cols["bound_gap"],
+        key_src=cols["key_src_rel"] + cols["src"],
+        key_dst=cols["key_dst_rel"] + cols["dst"],
+        key_kind_idx=cols["key_kind_idx"], key_line=cols["key_line"],
+        key_occ=cols["key_occ"], kinds=kinds,
+    )
+
+
+def _decode_marker_block(payload: bytes) -> list[EndMarker]:
+    if len(payload) < 4:
+        raise TraceBinError("truncated trace: short MARKERS block")
+    count = _U32.unpack_from(payload)[0]
+    off = 4
+    cols = []
+    for name, coding in _MARKER_COLUMNS:
+        if off + 4 > len(payload):
+            raise TraceBinError("truncated trace: short MARKERS block")
+        clen = _U32.unpack_from(payload, off)[0]
+        off += 4
+        cols.append(_decode_column(payload[off:off + clen], count, coding,
+                                   name))
+        off += clen
+    if off != len(payload):
+        raise TraceBinError("corrupt trace: trailing bytes in MARKERS block")
+    node, t_finish, cause_id, gap = (c.tolist() for c in cols)
+    return [EndMarker(node=n, t_finish=t, cause_id=c, gap=g)
+            for n, t, c, g in zip(node, t_finish, cause_id, gap)]
+
+
+def _parse_kinds(payload: bytes, kinds: list[str]) -> None:
+    new = json.loads(payload.decode())
+    if not isinstance(new, list) or not all(isinstance(k, str) for k in new):
+        raise TraceBinError("corrupt trace: malformed KINDS block")
+    kinds.extend(new)
+
+
+def _load_stream(fp: BinaryIO, validate: bool = True) -> Trace:
+    _check_header(fp)
+    meta: dict = {}
+    kinds: list[str] = []
+    records: list[TraceRecord] = []
+    markers: list[EndMarker] = []
+    footer: Optional[dict] = None
+    for btype, payload, _ in _iter_blocks(fp):
+        if btype == _BLOCK_META:
+            meta = json.loads(payload.decode())
+        elif btype == _BLOCK_KINDS:
+            _parse_kinds(payload, kinds)
+        elif btype == _BLOCK_RECORDS:
+            records.extend(
+                _decode_record_block(payload, tuple(kinds)).to_records())
+        elif btype == _BLOCK_MARKERS:
+            markers = _decode_marker_block(payload)
+        elif btype == _BLOCK_END:
+            footer = json.loads(payload.decode())
+    assert footer is not None
+    if footer.get("record_count") != len(records) \
+            or footer.get("marker_count") != len(markers):
+        raise TraceBinError(
+            "corrupt trace: END footer counts disagree with decoded blocks")
+    trace = Trace(records=records, end_markers=markers,
+                  exec_time=footer["exec_time"], meta=meta)
+    if validate:
+        trace.validate()
+    return trace
+
+
+def load(fp: BinaryIO) -> Trace:
+    """Read a full :class:`Trace` from a binary file object."""
+    return _load_stream(fp)
+
+
+def loads(data: bytes) -> Trace:
+    """Read a full :class:`Trace` from binary bytes."""
+    return _load_stream(io.BytesIO(data))
+
+
+def read_file(path: Union[str, Path]) -> Trace:
+    with open(path, "rb") as fp:
+        return _load_stream(fp)
+
+
+def iter_chunks(source: Union[str, Path, BinaryIO]) -> Iterator[RecordChunk]:
+    """Stream RECORDS chunks without materialising the whole trace.
+
+    Resident memory is O(chunk): each block is read, decoded into column
+    arrays, yielded, and released.  Markers and ``exec_time`` are *not*
+    surfaced here — fetch them first with :func:`read_summary` (a seek-only
+    scan), then stream the records.
+    """
+    own = not hasattr(source, "read")
+    fp: BinaryIO = open(source, "rb") if own else source  # type: ignore
+    try:
+        _check_header(fp)
+        kinds: list[str] = []
+        for btype, payload, _ in _iter_blocks(fp):
+            if btype == _BLOCK_KINDS:
+                _parse_kinds(payload, kinds)
+            elif btype == _BLOCK_RECORDS:
+                yield _decode_record_block(payload, tuple(kinds))
+    finally:
+        if own:
+            fp.close()
+
+
+def read_summary(source: Union[str, Path, BinaryIO]) -> dict:
+    """Header/footer scan: meta, markers, counts — without decoding records.
+
+    RECORDS payloads are seeked over, so the cost is O(blocks), not O(trace).
+    Returns ``{"meta", "kinds", "markers", "exec_time", "record_count",
+    "marker_count", "chunks", "version"}``.
+    """
+    own = not hasattr(source, "read")
+    fp: BinaryIO = open(source, "rb") if own else source  # type: ignore
+    try:
+        _check_header(fp)
+        meta: dict = {}
+        kinds: list[str] = []
+        markers: list[EndMarker] = []
+        footer: dict = {}
+        chunks = 0
+        for btype, payload, _ in _iter_blocks(
+                fp, skip_payloads=frozenset({_BLOCK_RECORDS})):
+            if btype == _BLOCK_META:
+                meta = json.loads(payload.decode())
+            elif btype == _BLOCK_KINDS:
+                _parse_kinds(payload, kinds)
+            elif btype == _BLOCK_RECORDS:
+                chunks += 1
+            elif btype == _BLOCK_MARKERS:
+                markers = _decode_marker_block(payload)
+            elif btype == _BLOCK_END:
+                footer = json.loads(payload.decode())
+        if footer.get("chunks") != chunks:
+            raise TraceBinError(
+                "corrupt trace: END footer chunk count disagrees with file")
+        return {
+            "meta": meta,
+            "kinds": tuple(kinds),
+            "markers": markers,
+            "exec_time": footer.get("exec_time", 0),
+            "record_count": footer.get("record_count", 0),
+            "marker_count": footer.get("marker_count", 0),
+            "chunks": chunks,
+            "version": VERSION,
+        }
+    finally:
+        if own:
+            fp.close()
+
+
+# -------------------------------------------------------------- detection
+def is_binary_trace(source: Union[str, Path, bytes]) -> bool:
+    """True when ``source`` (path or bytes) starts with the format magic."""
+    if isinstance(source, bytes):
+        return source[:len(MAGIC)] == MAGIC
+    path = Path(source)
+    try:
+        with open(path, "rb") as fp:
+            return fp.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Load a trace file in either format, autodetected by magic bytes."""
+    path = Path(path)
+    if is_binary_trace(path):
+        return read_file(path)
+    return Trace.from_json(path.read_text())
+
+
+def trace_info(path: Union[str, Path]) -> dict:
+    """Inspect a trace file (either format) without a full decode.
+
+    For binary traces this is the :func:`read_summary` seek-scan; for JSON
+    the whole file must be parsed (there is no cheap scan — which is part
+    of why the binary format exists).
+    """
+    path = Path(path)
+    if is_binary_trace(path):
+        s = read_summary(path)
+        return {
+            "format": "binary",
+            "version": s["version"],
+            "file_bytes": path.stat().st_size,
+            "records": s["record_count"],
+            "end_markers": s["marker_count"],
+            "chunks": s["chunks"],
+            "kinds": len(s["kinds"]),
+            "exec_time": s["exec_time"],
+            "meta": s["meta"],
+        }
+    trace = Trace.from_json(path.read_text())
+    return {
+        "format": "json",
+        "version": None,
+        "file_bytes": path.stat().st_size,
+        "records": len(trace.records),
+        "end_markers": len(trace.end_markers),
+        "chunks": 1,
+        "kinds": len({r.kind for r in trace.records}
+                     | {r.key[2] for r in trace.records}),
+        "exec_time": trace.exec_time,
+        "meta": trace.meta,
+    }

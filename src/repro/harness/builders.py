@@ -48,12 +48,20 @@ def make_optical(
 def electrical_factory(cfg: NocConfig, seed: int) -> NetworkFactory:
     """Factory of fresh (sim, electrical net) pairs — replay passes need a
     clean network per pass."""
-    return lambda: make_electrical(cfg, seed)
+    factory = lambda: make_electrical(cfg, seed)  # noqa: E731
+    # The generational engine has no electrical model; replay_trace uses the
+    # absence of an OnocConfig here to reject engine="generational" early.
+    factory.onoc = None
+    return factory
 
 
 def optical_factory(cfg: OnocConfig, seed: int) -> NetworkFactory:
     """Factory of fresh (sim, optical net) pairs."""
-    return lambda: make_optical(cfg, seed)
+    factory = lambda: make_optical(cfg, seed)  # noqa: E731
+    # Advertise the target config so replay_trace(engine="generational") can
+    # run the vectorized path without instantiating a live network.
+    factory.onoc = cfg
+    return factory
 
 
 def run_execution_driven(

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.config import (
+    ENGINE_EVENT,
     ExperimentConfig,
     NocConfig,
     OnocConfig,
@@ -81,7 +82,8 @@ class AccuracyRow:
 
 
 def accuracy_experiment(
-    exp: ExperimentConfig, workload: str, scale: float = 1.0
+    exp: ExperimentConfig, workload: str, scale: float = 1.0,
+    engine: str = ENGINE_EVENT,
 ) -> AccuracyRow:
     """Capture on the electrical baseline, replay both modes on the ONOC,
     compare against the execution-driven ONOC reference."""
@@ -90,8 +92,10 @@ def accuracy_experiment(
                                                  scale=scale)
     assert trace is not None and ref_trace is not None
     factory = optical_factory(exp.onoc, exp.seed)
-    naive = replay_trace(trace, factory, TraceConfig(mode=TRACE_NAIVE))
-    sc = replay_trace(trace, factory, TraceConfig(mode=TRACE_SELF_CORRECTING))
+    naive = replay_trace(trace, factory,
+                         TraceConfig(mode=TRACE_NAIVE, engine=engine))
+    sc = replay_trace(trace, factory,
+                      TraceConfig(mode=TRACE_SELF_CORRECTING, engine=engine))
     return AccuracyRow(
         workload=workload,
         ref_exec_time=ref_res.exec_time_cycles,
@@ -189,7 +193,8 @@ def scaled_experiment(cores: int, seed: int) -> ExperimentConfig:
 
 
 def scalability_point(
-    cores: int, seed: int, workload: str, with_accuracy: bool = True
+    cores: int, seed: int, workload: str, with_accuracy: bool = True,
+    engine: str = ENGINE_EVENT,
 ) -> dict:
     """One core-count point of the Fig. 9 scalability sweep."""
     exp = scaled_experiment(cores, seed)
@@ -201,7 +206,7 @@ def scalability_point(
         "speedup_x": round(cs.speedup, 3),
     }
     if with_accuracy:
-        acc = accuracy_experiment(exp, workload)
+        acc = accuracy_experiment(exp, workload, engine=engine)
         entry["naive_err_%"] = round(acc.naive.exec_time_error_pct, 2)
         entry["selfcorr_err_%"] = round(
             acc.self_correcting.exec_time_error_pct, 2)
@@ -260,7 +265,8 @@ class SimTimeRow:
 
 
 def simtime_experiment(
-    exp: ExperimentConfig, workload: str, scale: float = 1.0
+    exp: ExperimentConfig, workload: str, scale: float = 1.0,
+    engine: str = ENGINE_EVENT,
 ) -> SimTimeRow:
     """Wall-clock comparison on the *optical* target network: full-system
     execution-driven vs trace replays ("not substantially extend the total
@@ -271,8 +277,10 @@ def simtime_experiment(
                                          capture=False, scale=scale)
     assert trace is not None
     factory = optical_factory(exp.onoc, exp.seed)
-    naive = replay_trace(trace, factory, TraceConfig(mode=TRACE_NAIVE))
-    sc = replay_trace(trace, factory, TraceConfig(mode=TRACE_SELF_CORRECTING))
+    naive = replay_trace(trace, factory,
+                         TraceConfig(mode=TRACE_NAIVE, engine=engine))
+    sc = replay_trace(trace, factory,
+                      TraceConfig(mode=TRACE_SELF_CORRECTING, engine=engine))
     return SimTimeRow(
         workload=workload,
         exec_driven_s=ref_res.wall_clock_s,

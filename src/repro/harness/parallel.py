@@ -58,8 +58,9 @@ from typing import Any, Callable, Iterable, Optional, Sequence, Union
 from repro import obs
 
 #: Bump when simulator semantics change so stale cached results are never
-#: returned for the new code.  (PR 1: tuple-keyed event kernel.)
-CACHE_SALT = "repro-kernel-v2"
+#: returned for the new code.  (v2: tuple-keyed event kernel; v3: replay
+#: engine selection — results now depend on TraceConfig.engine.)
+CACHE_SALT = "repro-kernel-v3"
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -11,11 +11,19 @@ Three layers, each usable on its own:
   (via ``SweepRunner``), fault-severity matrices, failure shrinking and
   repro-JSON serialization,
 * :mod:`repro.validate.golden` — checked-in golden corpus with pinned
-  accuracy numbers (``tests/golden/``).
+  accuracy numbers (``tests/golden/``),
+* :mod:`repro.validate.engines` — generational-vs-event replay engine
+  differential over the golden corpus (``repro validate --engines``).
 
 CLI entry point: ``repro validate`` (see ``docs/VALIDATION.md``).
 """
 
+from repro.validate.engines import (
+    EngineCell,
+    EngineReport,
+    check_engines,
+    compare_engines,
+)
 from repro.validate.differential import (
     DifferentialReport,
     FaultMatrixReport,
@@ -65,6 +73,10 @@ from repro.validate.scenario import (
 
 __all__ = [
     "ALL_INVARIANTS",
+    "EngineCell",
+    "EngineReport",
+    "check_engines",
+    "compare_engines",
     "DifferentialReport",
     "DropDepEdges",
     "ErrorEnvelope",

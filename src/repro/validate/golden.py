@@ -121,6 +121,13 @@ def regen_golden(golden_dir: Path) -> list[Path]:
     golden_dir.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
     envelopes: dict = {"format": GOLDEN_FORMAT, "scenarios": {}}
+    env_path = golden_dir / ENVELOPES_FILE
+    if env_path.exists():
+        # Curated analysis notes (e.g. the radix->awgr outlier study) are
+        # hand-written and survive a regen.
+        notes = json.loads(env_path.read_text()).get("notes")
+        if notes:
+            envelopes["notes"] = notes
     for scenario in GOLDEN_SCENARIOS:
         trace = _capture(scenario)
         trace_bytes = (trace.to_json() + "\n").encode()
@@ -135,7 +142,6 @@ def regen_golden(golden_dir: Path) -> list[Path]:
             measure_gap_scaling_dip(golden_dir), 4),
         "gap_scaling_slack_pct": inv.GAP_SCALING_SLACK_PCT,
     }
-    env_path = golden_dir / ENVELOPES_FILE
     env_path.write_text(
         json.dumps(envelopes, indent=2, sort_keys=True) + "\n")
     written.append(env_path)

@@ -91,6 +91,55 @@ def test_analyze_command(tmp_path, capsys):
     assert "workload=randshare" in out
 
 
+# --------------------------------------------------------- trace utilities
+def _capture_small(tmp_path, capsys):
+    out_file = tmp_path / "t.json"
+    run_cli(capsys, "capture", "--workload", "randshare",
+            "--out", str(out_file), *SMALL)
+    return out_file
+
+
+def test_trace_convert_json_to_binary_and_back(tmp_path, capsys):
+    from repro.core import Trace, tracebin
+
+    src = _capture_small(tmp_path, capsys)
+    out = run_cli(capsys, "trace", "convert", str(src))
+    assert "-> " in out and ".rtrc" in out
+    rtrc = src.with_suffix(".rtrc")
+    assert tracebin.is_binary_trace(rtrc)
+
+    back = tmp_path / "back.json"
+    out = run_cli(capsys, "trace", "convert", str(rtrc),
+                  "--to", "json", "--out", str(back))
+    assert "json" in out
+    # Lossless through the CLI: canonical JSON matches the original capture.
+    assert (Trace.from_json(back.read_text()).to_json()
+            == Trace.from_json(src.read_text()).to_json())
+
+
+def test_trace_info_both_containers(tmp_path, capsys):
+    src = _capture_small(tmp_path, capsys)
+    run_cli(capsys, "trace", "convert", str(src))
+
+    info_json = run_cli(capsys, "trace", "info", str(src))
+    info_bin = run_cli(capsys, "trace", "info", str(src.with_suffix(".rtrc")))
+    for out in (info_json, info_bin):
+        assert "records" in out
+        assert "meta.workload" in out and "randshare" in out
+    assert "json" in info_json
+    assert "binary" in info_bin
+
+
+def test_replay_generational_engine_on_binary_trace(tmp_path, capsys):
+    src = _capture_small(tmp_path, capsys)
+    run_cli(capsys, "trace", "convert", str(src))
+    out = run_cli(capsys, "replay",
+                  "--trace", str(src.with_suffix(".rtrc")),
+                  "--target", "crossbar", "--engine", "generational", *SMALL)
+    assert "predicted exec time" in out
+    assert "0 unreplayed" in out
+
+
 def test_build_experiment_respects_flags():
     args = make_parser().parse_args(
         ["info", "--cores", "16", "--seed", "11", "--wavelengths", "32"])

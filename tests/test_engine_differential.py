@@ -1,0 +1,105 @@
+"""Generational vs event-driven replay: per-commit differential subset.
+
+The full 40-cell matrix (all gap policies + the fault slice) backs
+``repro validate --engines`` and the CI validation leg; this file runs the
+fast subset on every commit plus targeted unit checks of the generational
+engine's contract — exact schedule equality where the windowed solver
+promises it, envelope-level equality everywhere else, and the dispatch
+rules around ``TraceConfig.engine``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+import pytest
+
+from repro.config import (
+    ENGINE_GENERATIONAL,
+    ONOC_TOPOLOGIES,
+    OnocConfig,
+    TRACE_NAIVE,
+    TRACE_SELF_CORRECTING,
+    TraceConfig,
+)
+from repro.core import Trace, replay_trace
+from repro.core.trace import EndMarker, TraceRecord
+from repro.harness.builders import electrical_factory, optical_factory
+from repro.validate.engines import check_engines
+from repro.validate.golden import GOLDEN_SCENARIOS, _trace_path
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+NODES = 16
+
+
+def test_fast_engine_differential_passes():
+    """One naive + two self-correcting cells per golden scenario, plus the
+    binary/JSON container-identity check — the per-commit gate."""
+    report = check_engines(GOLDEN_DIR, fast=True)
+    assert report.cells, "empty differential matrix"
+    failed = [c.describe() for c in report.cells if not c.passed]
+    assert report.passed, "\n".join(failed + report.format_failures)
+
+
+def _chain_trace(n=40, nodes=4) -> Trace:
+    """A contended request chain bouncing across all node pairs."""
+    records = []
+    t = 0
+    for i in range(n):
+        src, dst = i % nodes, (i + 1) % nodes
+        records.append(TraceRecord(
+            msg_id=i, key=(src, dst, "data", i, 0), src=src, dst=dst,
+            size_bytes=64 if i % 3 else 512, kind="data",
+            t_inject=t, t_deliver=t + 30,
+            cause_id=i - 1 if i else -1, gap=5 if i else t))
+        t += 35
+    return Trace(records=records,
+                 end_markers=[EndMarker(0, t + 10, n - 1, 10)],
+                 exec_time=t + 10)
+
+
+@pytest.mark.parametrize("topology", sorted(ONOC_TOPOLOGIES))
+@pytest.mark.parametrize("mode", [TRACE_NAIVE, TRACE_SELF_CORRECTING])
+def test_engines_agree_per_message_on_chain(topology, mode):
+    """On a pure dependency chain there is no FIFO-tie freedom (and no
+    circuit contention, covering circuit_mesh's contention-free closed
+    form), so the two engines must agree *per message*, not just at the
+    envelope."""
+    trace = _chain_trace()
+    onoc = OnocConfig(num_nodes=4, topology=topology)
+    cfg = TraceConfig(mode=mode)
+    ev = replay_trace(trace, optical_factory(onoc, 3), cfg)
+    gen = replay_trace(trace, optical_factory(onoc, 3),
+                       dataclasses.replace(cfg, engine=ENGINE_GENERATIONAL))
+    assert gen.extra["engine"] == "generational"
+    assert gen.injections == ev.injections
+    assert gen.deliveries == ev.deliveries
+    assert gen.exec_time_estimate == ev.exec_time_estimate
+
+
+def test_generational_requires_optical_factory():
+    from repro.config import default_16core_config
+
+    trace = _chain_trace()
+    exp = default_16core_config()
+    with pytest.raises(ValueError, match="optical target"):
+        replay_trace(trace, electrical_factory(exp.noc, 1),
+                     TraceConfig(mode=TRACE_NAIVE,
+                                 engine=ENGINE_GENERATIONAL))
+
+
+def test_generational_binary_and_json_identical_on_golden():
+    scenario = GOLDEN_SCENARIOS[0]
+    trace = Trace.from_json(_trace_path(GOLDEN_DIR, scenario).read_text())
+    rt = Trace.from_binary(trace.to_binary())
+    onoc = OnocConfig(num_nodes=scenario.cores,
+                      num_wavelengths=scenario.wavelengths,
+                      topology=scenario.target)
+    cfg = TraceConfig(mode=TRACE_SELF_CORRECTING,
+                      engine=ENGINE_GENERATIONAL)
+    a = replay_trace(trace, optical_factory(onoc, scenario.seed), cfg)
+    b = replay_trace(rt, optical_factory(onoc, scenario.seed), cfg)
+    assert a.exec_time_estimate == b.exec_time_estimate
+    assert a.injections == b.injections
+    assert a.deliveries == b.deliveries

@@ -103,6 +103,56 @@ def test_strict_replay_check():
     assert inv.REPLAY_CHANNEL_ORDER in strict
 
 
+# --------------------------------- circuit_mesh waiter re-queue pinning
+def test_circuit_waiter_requeues_at_back_of_fifo():
+    """Pin the allocator model behind ``in_order_channels = False``.
+
+    A torn-down segment wakes its head waiter, but the wakeup re-*attempts*
+    acquisition rather than receiving a reservation.  If a third circuit
+    acquires the freed segment in the same cycle, the woken waiter re-queues
+    at the *back* of the segment FIFO — behind a same-pair circuit that
+    arrived after it.  This is the documented greedy re-arbitration model
+    (docs/METHODOLOGY.md §3); flipping to place-keeping handoff would let
+    ``in_order_channels`` be True and must update doc + this test together.
+    """
+    from repro.config import OnocConfig
+    from repro.engine import Simulator
+    from repro.net import Message
+    from repro.onoc.circuit import CircuitSwitchedMesh, _SetupWalker
+
+    sim = Simulator(seed=1)
+    net = CircuitSwitchedMesh(sim, OnocConfig(num_nodes=4))
+    path = net._xy_path(0, 3)          # two hops on the 2x2 mesh
+    assert len(path) == 2
+    seg = net._segment(path[0])
+
+    def walker(cid):
+        msg = Message(src=0, dst=3, size_bytes=64)
+        msg.inject_time = 0
+        return _SetupWalker(cid, msg, list(path))
+
+    # Circuit 1 holds the contended segment; W blocks behind it.
+    seg.holder = 1
+    w = walker(2)
+    net._advance(w)
+    assert list(seg.waiters) == [w]
+
+    # Teardown frees the segment and wakes W — but thief V's same-cycle
+    # _advance runs first and acquires it (greedy re-arbitration).
+    seg.holder = None
+    seg.waiters.clear()                # W popped by the teardown wakeup
+    v = walker(3)
+    net._advance(v)
+    assert seg.holder == v.cid
+
+    # A later same-pair circuit X queues before W's re-attempt lands...
+    x = walker(4)
+    net._advance(x)
+    # ...so W, re-attempting, joins the FIFO *behind* X: same-pair reorder.
+    net._advance(w)
+    assert list(seg.waiters) == [x, w]
+
+
 # ------------------------------------------- empirical backend behaviour
 @pytest.mark.parametrize("topology", ["awgr", "swmr_crossbar", "crossbar"])
 def test_in_order_backends_capture_strict_fifo_traces(topology):

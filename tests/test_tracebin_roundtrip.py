@@ -1,0 +1,154 @@
+"""Binary trace container round-trips and rejection paths (satellite 3).
+
+``docs/TRACE_FORMAT.md`` promises the binary container is a lossless
+re-encoding of the canonical JSON form.  This file pins that promise three
+ways: byte-stability of binary -> JSON -> binary on the golden corpus,
+hard rejection of damaged payloads (truncation, bad magic, future
+versions, corrupt blocks), and a hypothesis identity over generated
+dependency DAGs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import struct
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import tracebin
+from repro.core.trace import EndMarker, Trace, TraceRecord
+from repro.core.tracebin import MAGIC, TraceBinError, VERSION
+from repro.validate.golden import GOLDEN_SCENARIOS, _trace_path
+
+from tests.test_properties_trace import traces
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def _golden(scenario) -> Trace:
+    return Trace.from_json(_trace_path(GOLDEN_DIR, scenario).read_text())
+
+
+def _sample() -> Trace:
+    records = [
+        TraceRecord(msg_id=0, key=(0, 1, "req_read", 0, 0), src=0, dst=1,
+                    size_bytes=64, kind="req_read", t_inject=5, t_deliver=20,
+                    cause_id=-1, gap=5),
+        TraceRecord(msg_id=1, key=(1, 0, "reply", 0, 0), src=1, dst=0,
+                    size_bytes=512, kind="reply", t_inject=23, t_deliver=60,
+                    cause_id=0, gap=3),
+    ]
+    return Trace(records=records,
+                 end_markers=[EndMarker(0, 70, 1, 10), EndMarker(1, 30, 0, 10)],
+                 exec_time=70, meta={"workload": "sample", "seed": 1})
+
+
+# ------------------------------------------------------------- round-trips
+
+@pytest.mark.parametrize("scenario", GOLDEN_SCENARIOS, ids=lambda s: s.name)
+def test_golden_corpus_binary_json_binary_is_byte_stable(scenario):
+    trace = _golden(scenario)
+    blob = trace.to_binary()
+    back = Trace.from_binary(blob)
+    # Lossless through the JSON container and byte-stable through the
+    # binary one, in both compositions.
+    assert back.to_json() == trace.to_json()
+    assert Trace.from_json(back.to_json()).to_binary() == blob
+    assert back.to_binary() == blob
+
+
+def test_round_trip_preserves_every_field():
+    trace = _sample()
+    back = Trace.from_binary(trace.to_binary())
+    assert back.records == trace.records
+    assert back.end_markers == trace.end_markers
+    assert back.exec_time == trace.exec_time
+    assert back.meta == trace.meta
+
+
+def test_empty_trace_round_trips():
+    trace = Trace(records=[], end_markers=[], exec_time=0, meta={"k": "v"})
+    back = Trace.from_binary(trace.to_binary())
+    assert len(back) == 0
+    assert back.meta == {"k": "v"}
+
+
+def test_chunking_is_invisible():
+    """The chunk size is a container knob, not part of the content."""
+    trace = _sample()
+    one_per_chunk = tracebin.dumps(trace, chunk_records=1)
+    assert Trace.from_binary(one_per_chunk).to_json() == trace.to_json()
+
+
+# --------------------------------------------------------- rejection paths
+
+def test_bad_magic_rejected():
+    blob = bytearray(_sample().to_binary())
+    blob[:4] = b"JUNK"
+    with pytest.raises(TraceBinError, match="bad magic"):
+        Trace.from_binary(bytes(blob))
+
+
+def test_json_payload_is_not_a_binary_trace():
+    with pytest.raises(TraceBinError, match="bad magic"):
+        Trace.from_binary(_sample().to_json().encode())
+
+
+def test_version_mismatch_rejected():
+    blob = bytearray(_sample().to_binary())
+    struct.pack_into("<I", blob, len(MAGIC), VERSION + 1)
+    with pytest.raises(TraceBinError, match="version"):
+        Trace.from_binary(bytes(blob))
+
+
+def test_truncated_header_rejected():
+    blob = _sample().to_binary()
+    for cut in (0, 3, len(MAGIC) + 1):
+        with pytest.raises(TraceBinError):
+            Trace.from_binary(blob[:cut])
+
+
+def test_truncated_body_rejected_at_every_cut():
+    """No prefix of a valid trace may load (the END block is mandatory)."""
+    blob = _sample().to_binary()
+    for cut in range(len(MAGIC) + 4, len(blob), 7):
+        with pytest.raises(TraceBinError):
+            Trace.from_binary(blob[:cut])
+
+
+def test_unknown_block_type_rejected():
+    blob = bytearray(_sample().to_binary())
+    # First block starts right after the fixed header.
+    blob[len(MAGIC) + 4] = 99
+    with pytest.raises(TraceBinError, match="unknown block"):
+        Trace.from_binary(bytes(blob))
+
+
+def test_corrupt_record_payload_rejected():
+    trace = _sample()
+    blob = trace.to_binary()
+    # Flip a byte in the middle of the RECORDS block region; any of the
+    # possible corruptions must surface as TraceBinError or a validation
+    # ValueError — never a silently different trace.
+    mid = len(blob) // 2
+    blob = blob[:mid] + bytes([blob[mid] ^ 0xFF]) + blob[mid + 1:]
+    try:
+        back = Trace.from_binary(blob)
+    except (TraceBinError, ValueError):
+        return  # rejected: the common case
+    # Corruption that survives decoding + validation must at least be
+    # *visible* — it can never alias back to the original content.
+    assert back.to_json() != trace.to_json()
+
+
+# ------------------------------------------------------------- hypothesis
+
+@given(traces())
+@settings(max_examples=60, deadline=None)
+def test_binary_round_trip_identity_on_generated_traces(trace):
+    back = Trace.from_binary(trace.to_binary())
+    assert back.records == trace.records
+    assert back.end_markers == trace.end_markers
+    assert back.exec_time == trace.exec_time
+    assert back.to_json() == trace.to_json()
