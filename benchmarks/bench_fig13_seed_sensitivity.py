@@ -5,51 +5,27 @@ is repeated for several master seeds (different workload jitter, different
 race timing) and summarised as mean ± max per mode.  Expected shape:
 self-correction's error stays in the low single digits for every seed while
 naive replay stays high for every seed — the gap is structural, not noise.
+
+Thin loader over ``benchmarks/experiments/fig13_seed_sensitivity.yaml``.
 """
 
 from __future__ import annotations
 
-import statistics
+from conftest import run_experiment_config, save_and_print
 
-from conftest import save_and_print
-
-from repro.harness import format_table, seed_accuracy_point
-
-SEEDS = (7, 11, 23)
-WORKLOADS = ("lu", "randshare")
+from repro.harness import format_table
 
 
-def run(runner, exp):
-    points = runner.map(seed_accuracy_point,
-                        [(exp, wl, seed) for wl in WORKLOADS
-                         for seed in SEEDS])
-    by_workload = {}
-    for r in points:
-        by_workload.setdefault(r.workload, []).append(r)
-    rows = []
-    for wl in WORKLOADS:
-        naive_errs = [r.naive.exec_time_error_pct for r in by_workload[wl]]
-        sc_errs = [r.self_correcting.exec_time_error_pct
-                   for r in by_workload[wl]]
-        rows.append({
-            "workload": wl,
-            "seeds": len(SEEDS),
-            "naive_mean_%": round(statistics.mean(naive_errs), 2),
-            "naive_max_%": round(max(naive_errs), 2),
-            "selfcorr_mean_%": round(statistics.mean(sc_errs), 2),
-            "selfcorr_max_%": round(max(sc_errs), 2),
-        })
-    return rows
-
-
-def test_fig13_seed_sensitivity(benchmark, exp_cfg, results_dir,
-                                sweep_runner):
-    rows = benchmark.pedantic(run, args=(sweep_runner, exp_cfg), rounds=1,
-                              iterations=1)
+def test_fig13_seed_sensitivity(benchmark, results_dir, sweep_runner):
+    out = benchmark.pedantic(
+        run_experiment_config,
+        args=("fig13_seed_sensitivity.yaml", sweep_runner),
+        rounds=1, iterations=1)
+    seeds = tuple(out.resolved.parameters["seeds"])
     text = format_table(
-        rows, title=f"Fig. 13: Accuracy across seeds {SEEDS}")
+        out.rows, title=f"Fig. 13: Accuracy across seeds {seeds}")
     save_and_print(results_dir, "fig13_seed_sensitivity", text)
 
-    for r in rows:
+    for r in out.rows:
         assert r["selfcorr_max_%"] < 8.0, r["workload"]
         assert r["selfcorr_mean_%"] < r["naive_mean_%"] / 4, r["workload"]

@@ -6,50 +6,31 @@ onto the ONOC and judged against an execution-driven ONOC reference.
 Expected shape: naive errors in the tens of percent (it replays the
 electrical network's timing), self-correction in the low single digits
 ("high precision").
+
+Thin loader over ``benchmarks/experiments/fig4_accuracy.yaml`` — the
+declarative layer compiles the same sweep tasks the old hand-written
+driver built, so cached results keep hitting; this file keeps the CLI
+(pytest-benchmark), the rendered table, and the shape assertions.
 """
 
 from __future__ import annotations
 
-from conftest import ALL_WORKLOADS, save_and_print
+from conftest import run_experiment_config, save_and_print
 
-from repro.harness import accuracy_rows_parallel, format_table
-
-
-def run_all(runner, exp):
-    return accuracy_rows_parallel(runner, exp, ALL_WORKLOADS)
+from repro.harness import format_table
 
 
-def test_fig4_exec_time_accuracy(benchmark, exp_cfg, results_dir,
-                                 sweep_runner):
-    rows_raw = benchmark.pedantic(run_all, args=(sweep_runner, exp_cfg),
-                                  rounds=1, iterations=1)
-    rows = [{
-        "workload": r.workload,
-        "ref_exec": r.ref_exec_time,
-        "naive_est": r.naive_estimate,
-        "naive_err_%": round(r.naive.exec_time_error_pct, 2),
-        "selfcorr_est": r.self_correcting_estimate,
-        "selfcorr_err_%": round(r.self_correcting.exec_time_error_pct, 2),
-        "messages": r.extra["trace_messages"],
-    } for r in rows_raw]
-    gmean_naive = _gmean([r["naive_err_%"] + 1 for r in rows]) - 1
-    gmean_sc = _gmean([r["selfcorr_err_%"] + 1 for r in rows]) - 1
-    rows.append({"workload": "gmean", "ref_exec": "",
-                 "naive_est": "", "naive_err_%": round(gmean_naive, 2),
-                 "selfcorr_est": "", "selfcorr_err_%": round(gmean_sc, 2),
-                 "messages": ""})
+def test_fig4_exec_time_accuracy(benchmark, results_dir, sweep_runner):
+    out = benchmark.pedantic(run_experiment_config,
+                             args=("fig4_accuracy.yaml", sweep_runner),
+                             rounds=1, iterations=1)
     text = format_table(
-        rows, title="Fig. 4: Execution-time error, naive vs self-correcting")
+        out.rows,
+        title="Fig. 4: Execution-time error, naive vs self-correcting")
     save_and_print(results_dir, "fig4_accuracy", text)
 
     # Shape: self-correction must beat naive per workload and be precise.
-    for r in rows_raw:
+    for r in out.results:
         assert (r.self_correcting.exec_time_error_pct
                 <= r.naive.exec_time_error_pct), r.workload
         assert r.self_correcting.exec_time_error_pct < 8.0, r.workload
-
-
-def _gmean(xs):
-    import math
-
-    return math.exp(sum(math.log(x) for x in xs) / len(xs))

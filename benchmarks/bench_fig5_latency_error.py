@@ -6,44 +6,22 @@ mean-latency error plus the per-message MAPE and matched-message counts.
 Expected shape: self-correction tracks the mean closely; per-message MAPE is
 noisier for both modes (arbitration-order noise on short control messages)
 but clearly better under self-correction for the bursty workloads.
+
+Thin loader over ``benchmarks/experiments/fig5_latency_error.yaml``.
 """
 
 from __future__ import annotations
 
-from conftest import save_and_print
+from conftest import run_experiment_config, save_and_print
 
-from repro.config import TraceConfig
-from repro.core import compare_to_reference, replay_trace
-from repro.harness import format_table, optical_factory, run_execution_driven
-
-WORKLOADS = ("fft", "lu", "prodcons", "randshare")
+from repro.harness import format_table
 
 
-def run_all(exp):
-    rows = []
-    for wl in WORKLOADS:
-        _, trace, _ = run_execution_driven(exp, wl, "electrical")
-        _, ref_trace, _ = run_execution_driven(exp, wl, "optical")
-        factory = optical_factory(exp.onoc, exp.seed)
-        for mode in ("naive", "self_correcting"):
-            rep = compare_to_reference(
-                replay_trace(trace, factory, TraceConfig(mode=mode)),
-                ref_trace,
-            )
-            rows.append({
-                "workload": wl,
-                "mode": mode,
-                "mean_lat_err_%": round(rep.mean_latency_error_pct, 2),
-                "per_msg_mape_%": round(rep.latency_mape_pct, 1),
-                "matched": rep.matched_messages,
-                "unmatched": rep.unmatched_messages,
-            })
-    return rows
-
-
-def test_fig5_latency_error(benchmark, exp_cfg, results_dir):
-    rows = benchmark.pedantic(run_all, args=(exp_cfg,), rounds=1,
-                              iterations=1)
+def test_fig5_latency_error(benchmark, results_dir, sweep_runner):
+    out = benchmark.pedantic(run_experiment_config,
+                             args=("fig5_latency_error.yaml", sweep_runner),
+                             rounds=1, iterations=1)
+    rows = out.rows
     text = format_table(
         rows, title="Fig. 5: Per-message latency fidelity on the ONOC")
     save_and_print(results_dir, "fig5_latency_error", text)

@@ -5,44 +5,29 @@ timeline from measured latencies, repeat.  Expected shape: the estimate
 moves from the naive (capture-network) timeline toward the execution-driven
 ONOC time within a handful of passes, then flattens; the online model's
 single pass remains the accuracy reference.
+
+Thin loader over ``benchmarks/experiments/fig6_convergence.yaml``.
 """
 
 from __future__ import annotations
 
-from conftest import save_and_print
+from conftest import run_experiment_config, save_and_print
 
-from repro.harness import convergence_experiment, format_table
-
-WORKLOADS = ("lu", "radix", "randshare")
+from repro.harness import format_table
 
 
-def run_all(exp):
-    out = {}
-    for wl in WORKLOADS:
-        history, ref = convergence_experiment(exp, wl, max_iterations=8)
-        out[wl] = (history, ref)
-    return out
-
-
-def test_fig6_convergence(benchmark, exp_cfg, results_dir):
-    data = benchmark.pedantic(run_all, args=(exp_cfg,), rounds=1,
-                              iterations=1)
-    rows = []
-    for wl, (history, ref) in data.items():
-        for h in history:
-            rows.append({
-                "workload": wl,
-                "iteration": h.iteration,
-                "estimate": h.exec_time_estimate,
-                "ref_exec": ref,
-                "err_%": round(abs(h.exec_time_estimate - ref) / ref * 100, 2),
-            })
+def test_fig6_convergence(benchmark, results_dir, sweep_runner):
+    out = benchmark.pedantic(run_experiment_config,
+                             args=("fig6_convergence.yaml", sweep_runner),
+                             rounds=1, iterations=1)
     text = format_table(
-        rows, title="Fig. 6: Iterative self-correction convergence")
+        out.rows, title="Fig. 6: Iterative self-correction convergence")
     save_and_print(results_dir, "fig6_convergence", text)
 
-    for wl, (history, ref) in data.items():
+    workloads = out.resolved.parameters["workloads"]
+    max_iterations = out.resolved.parameters["max_iterations"]
+    for wl, (history, ref) in zip(workloads, out.results):
         first = abs(history[0].exec_time_estimate - ref) / ref
         last = abs(history[-1].exec_time_estimate - ref) / ref
         assert last < first, f"{wl}: iteration did not reduce error"
-        assert len(history) <= 8
+        assert len(history) <= max_iterations

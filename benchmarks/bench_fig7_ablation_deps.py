@@ -15,41 +15,31 @@ error (neighbor_gap reaches it *exactly* — the anchor chain telescopes to
 the captured schedule), and full annotations beat none — demonstrating that
 the dependency annotations are what buys the precision, and the neighbor
 re-derivation is what keeps partial annotations usable.
+
+Thin loader over ``benchmarks/experiments/fig7_ablation_deps.yaml``.
 """
 
 from __future__ import annotations
 
-from conftest import save_and_print
+from conftest import run_experiment_config, save_and_print
 
-from repro.harness import ablation_dep_fraction, format_table
-
-FRACTIONS = (1.0, 0.75, 0.5, 0.25, 0.0)
-WORKLOAD = "randshare"
-POLICIES = ("captured", "neighbor_gap")
+from repro.harness import format_table
 
 
-def run(exp):
-    return {policy: ablation_dep_fraction(exp, WORKLOAD, FRACTIONS,
-                                          gap_policy=policy)
-            for policy in POLICIES}
-
-
-def test_fig7_dependency_ablation(benchmark, exp_cfg, results_dir):
-    by_policy = benchmark.pedantic(run, args=(exp_cfg,), rounds=1,
-                                   iterations=1)
-    rows = [{
-        "kept_deps": frac,
-        **{f"{policy}_exec_err_%": round(rep.exec_time_error_pct, 2)
-           for policy in POLICIES
-           for f2, rep in by_policy[policy] if f2 == frac},
-    } for frac, _ in by_policy[POLICIES[0]]]
+def test_fig7_dependency_ablation(benchmark, results_dir, sweep_runner):
+    out = benchmark.pedantic(run_experiment_config,
+                             args=("fig7_ablation_deps.yaml", sweep_runner),
+                             rounds=1, iterations=1)
+    workload = out.resolved.parameters["workload"]
+    policies = out.resolved.parameters["policies"]
+    by_policy = dict(zip(policies, out.results))
     text = format_table(
-        rows,
-        title=f"Fig. 7: Accuracy vs dependency completeness ({WORKLOAD}), "
+        out.rows,
+        title=f"Fig. 7: Accuracy vs dependency completeness ({workload}), "
               "by degraded-gap policy")
     save_and_print(results_dir, "fig7_ablation_deps", text)
 
-    for policy in POLICIES:
+    for policy in policies:
         errs = {frac: rep.exec_time_error_pct
                 for frac, rep in by_policy[policy]}
         assert errs[1.0] < errs[0.0], \

@@ -5,34 +5,29 @@ making the target progressively faster than the electrical capture network.
 Expected shape: the naive replay's error *grows* with the mismatch (its
 timeline is the capture network's), while self-correction stays flat and
 small — the property that makes the trace reusable across the design space.
+
+Thin loader over ``benchmarks/experiments/fig8_ablation_mismatch.yaml``.
 """
 
 from __future__ import annotations
 
-from conftest import save_and_print
+from conftest import run_experiment_config, save_and_print
 
-from repro.harness import ablation_network_mismatch, format_table
-
-WAVELENGTHS = (4, 16, 64, 256)
-WORKLOAD = "lu"
+from repro.harness import format_table
 
 
-def run(exp):
-    return ablation_network_mismatch(exp, WORKLOAD, WAVELENGTHS)
-
-
-def test_fig8_network_mismatch(benchmark, exp_cfg, results_dir):
-    rows_raw = benchmark.pedantic(run, args=(exp_cfg,), rounds=1, iterations=1)
-    rows = [{
-        "wavelengths": wl,
-        "naive_err_%": round(n.exec_time_error_pct, 2),
-        "selfcorr_err_%": round(s.exec_time_error_pct, 2),
-    } for wl, n, s in rows_raw]
+def test_fig8_network_mismatch(benchmark, results_dir, sweep_runner):
+    out = benchmark.pedantic(
+        run_experiment_config,
+        args=("fig8_ablation_mismatch.yaml", sweep_runner),
+        rounds=1, iterations=1)
+    workload = out.resolved.parameters["workload"]
     text = format_table(
-        rows, title=f"Fig. 8: Accuracy vs target-network mismatch ({WORKLOAD})")
+        out.rows,
+        title=f"Fig. 8: Accuracy vs target-network mismatch ({workload})")
     save_and_print(results_dir, "fig8_ablation_mismatch", text)
 
-    for wl, naive_rep, sc_rep in rows_raw:
+    for wl, naive_rep, sc_rep in out.results[0]:
         assert sc_rep.exec_time_error_pct <= naive_rep.exec_time_error_pct + 1.5, f"{wl} λ"
         if wl >= 64:
             # Faster-than-capture targets (the paper's direction): precise.

@@ -4,34 +4,29 @@ Repeats the case study and the accuracy experiment at 16, 36 and 64 cores.
 Expected shape: the ONOC's speedup holds or grows with the machine (the
 electrical mesh's average hop count grows with sqrt(N), the crossbar's
 latency does not), and self-correction accuracy does not degrade with scale.
+
+Thin loader over ``benchmarks/experiments/fig9_scalability.yaml``; the
+``--engine`` pytest flag flows in as a parameter override.
 """
 
 from __future__ import annotations
 
-from conftest import save_and_print
+from conftest import run_experiment_config, save_and_print
 
-from repro.harness import format_table, scalability_point, task
-
-CORE_COUNTS = (16, 36, 64)
-WORKLOAD = "fft"
+from repro.harness import format_table
 
 
-def run_all(runner, seed: int, engine: str = "event"):
-    # accuracy needs 4 extra runs per point; bound the wall clock at 64 cores
-    return runner.run([
-        task(scalability_point, cores, seed, WORKLOAD,
-             with_accuracy=cores <= 36, engine=engine)
-        for cores in CORE_COUNTS
-    ])
-
-
-def test_fig9_scalability(benchmark, exp_cfg, results_dir, sweep_runner,
+def test_fig9_scalability(benchmark, results_dir, sweep_runner,
                           replay_engine):
-    rows = benchmark.pedantic(
-        run_all, args=(sweep_runner, exp_cfg.seed, replay_engine),
+    out = benchmark.pedantic(
+        run_experiment_config,
+        args=("fig9_scalability.yaml", sweep_runner),
+        kwargs={"engine": replay_engine},
         rounds=1, iterations=1)
+    rows = out.results
+    workload = out.resolved.parameters["workload"]
     text = format_table(
-        rows, title=f"Fig. 9: Scalability ({WORKLOAD}, {replay_engine})")
+        rows, title=f"Fig. 9: Scalability ({workload}, {replay_engine})")
     save_and_print(results_dir, "fig9_scalability", text)
 
     speedups = [r["speedup_x"] for r in rows]

@@ -25,7 +25,6 @@ be flaky).
 
 from __future__ import annotations
 
-import argparse
 import heapq
 import json
 import pathlib
@@ -238,14 +237,15 @@ def test_kernel_fastpath_smoke(tmp_path):
 
 
 def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--events", type=int, default=400_000,
-                    help="events per workload per trial")
-    ap.add_argument("--repeat", type=int, default=5,
-                    help="trials per kernel (best-of)")
-    ap.add_argument("--out",
-                    default=str(pathlib.Path(__file__).parent / "results"
-                                / "BENCH_kernel.json"))
+    from conftest import standalone_parser
+
+    ap = standalone_parser(
+        __doc__.splitlines()[0],
+        events=(400_000, "events per workload per trial"),
+        repeat=(5, "trials per kernel (best-of)"),
+        out=(str(pathlib.Path(__file__).parent / "results"
+                 / "BENCH_kernel.json"), None),
+    )
     args = ap.parse_args()
     report = run_bench(args.events, args.repeat)
     write_report(report, pathlib.Path(args.out))

@@ -24,8 +24,6 @@ test only — timing assertions on shared CI boxes would be flaky.
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
 import time
@@ -110,18 +108,12 @@ def test_bench_smoke():
 
 
 def main() -> None:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--events", type=int, default=400_000)
-    ap.add_argument("--repeat", type=int, default=5)
-    ap.add_argument("--out", type=pathlib.Path, default=None)
+    from conftest import standalone_parser, write_json_report
+
+    ap = standalone_parser(__doc__, events=400_000, repeat=5)
     args = ap.parse_args()
     report = run_bench(args.events, args.repeat)
-    text = json.dumps(report, indent=2)
-    print(text)
-    if args.out:
-        args.out.parent.mkdir(parents=True, exist_ok=True)
-        args.out.write_text(text + "\n")
-        print(f"wrote {args.out}")
+    write_json_report(report, args.out, sort_keys=False)
 
 
 if __name__ == "__main__":

@@ -29,7 +29,6 @@ records the full-size ratio).
 
 from __future__ import annotations
 
-import argparse
 import json
 import pathlib
 import random
@@ -269,13 +268,15 @@ def test_replay_vector_smoke(results_dir):
 # -------------------------------------------------------------- standalone
 
 def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--messages", type=int, default=120_000)
-    ap.add_argument("--repeat", type=int, default=3)
-    ap.add_argument("--rss-sizes", default="25000,50000,100000,200000")
-    ap.add_argument("--quick", action="store_true",
-                    help="small trace, one repeat (the CI smoke shape)")
-    ap.add_argument("--out", default=None)
+    from conftest import standalone_parser, write_json_report
+
+    ap = standalone_parser(
+        __doc__,
+        messages=120_000,
+        repeat=3,
+        rss_sizes="25000,50000,100000,200000",
+        quick=(False, "small trace, one repeat (the CI smoke shape)"),
+    )
     args = ap.parse_args()
     if args.quick:
         args.messages = 8000
@@ -283,13 +284,7 @@ def main() -> int:
         args.rss_sizes = "4000,16000"
     sizes = [int(s) for s in args.rss_sizes.split(",")]
     report = run(args.messages, args.repeat, sizes)
-    text = json.dumps(report, indent=2, sort_keys=True)
-    print(text)
-    if args.out:
-        out = pathlib.Path(args.out)
-        out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(text + "\n")
-        print(f"wrote {out}", file=sys.stderr)
+    write_json_report(report, args.out)
     ok = report["speedup_x"] >= (1.0 if args.quick else 5.0)
     return 0 if ok else 1
 

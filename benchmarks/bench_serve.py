@@ -22,9 +22,7 @@ test only — timing assertions on shared CI boxes would be flaky.
 
 from __future__ import annotations
 
-import argparse
 import asyncio
-import json
 import pathlib
 import sys
 import tempfile
@@ -125,24 +123,22 @@ def test_serve_bench_smoke(tmp_path):
 
 
 def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--requests", type=int, default=400)
-    ap.add_argument("--distinct", type=int, default=40,
-                    help="distinct payloads (requests/distinct = dup factor)")
-    ap.add_argument("--clients", type=int, default=8)
-    ap.add_argument("--workers", type=int, default=4)
-    ap.add_argument("--sleep-s", type=float, default=0.0,
-                    help="per-job busy time (0 isolates service overhead)")
-    ap.add_argument("--out", default=None, help="write the JSON report here")
+    from conftest import standalone_parser, write_json_report
+
+    ap = standalone_parser(
+        __doc__.splitlines()[0],
+        requests=400,
+        distinct=(40, "distinct payloads (requests/distinct = dup factor)"),
+        clients=8,
+        workers=4,
+        sleep_s=(0.0, "per-job busy time (0 isolates service overhead)"),
+    )
     args = ap.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="bench-serve-") as cache_dir:
         report = run_bench(args.requests, args.distinct, args.clients,
                            args.workers, args.sleep_s, cache_dir)
-    text = json.dumps(report, indent=2, sort_keys=True)
-    print(text)
-    if args.out:
-        pathlib.Path(args.out).write_text(text + "\n")
+    write_json_report(report, args.out)
     return 0
 
 

@@ -7,38 +7,31 @@ one-off electrical capture run, and both replay modes.  Expected shape:
 replays are at least as fast as the execution-driven reference (they skip
 the core/cache/directory machinery), so amortised over the design points an
 architect sweeps, the trace flow wins.
+
+Thin loader over ``benchmarks/experiments/table2_simtime.yaml``; the
+``--engine`` pytest flag flows in as a parameter override.
 """
 
 from __future__ import annotations
 
-from conftest import ALL_WORKLOADS, save_and_print
+from conftest import run_experiment_config, save_and_print
 
-from repro.harness import format_table, simtime_experiment
-
-
-def run_all(exp, engine: str = "event"):
-    return [simtime_experiment(exp, wl, engine=engine)
-            for wl in ALL_WORKLOADS]
+from repro.harness import format_table
 
 
-def test_table2_simulation_time(benchmark, exp_cfg, results_dir,
+def test_table2_simulation_time(benchmark, results_dir, sweep_runner,
                                 replay_engine):
-    rows_raw = benchmark.pedantic(run_all, args=(exp_cfg, replay_engine),
-                                  rounds=1, iterations=1)
-    rows = [{
-        "workload": r.workload,
-        "exec_driven_s": round(r.exec_driven_s, 3),
-        "capture_run_s": round(r.capture_overhead_s, 3),
-        "naive_replay_s": round(r.naive_replay_s, 3),
-        "selfcorr_replay_s": round(r.self_correcting_s, 3),
-        "replay_speedup_x": round(r.replay_speedup, 2),
-    } for r in rows_raw]
+    out = benchmark.pedantic(
+        run_experiment_config,
+        args=("table2_simtime.yaml", sweep_runner),
+        kwargs={"engine": replay_engine},
+        rounds=1, iterations=1)
     text = format_table(
-        rows, title="Table 2: Wall-clock simulation time per methodology "
-                    f"({replay_engine} engine)")
+        out.rows, title="Table 2: Wall-clock simulation time per methodology "
+                        f"({replay_engine} engine)")
     save_and_print(results_dir, "table2_simtime", text)
 
     # Shape: self-correcting replay must not substantially extend the
     # simulation time vs the execution-driven ONOC run (claim: <= ~1.5x).
-    for r in rows_raw:
+    for r in out.results:
         assert r.self_correcting_s <= 1.5 * r.exec_driven_s + 0.05, r.workload

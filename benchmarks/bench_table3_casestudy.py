@@ -5,34 +5,26 @@ system on both interconnects.  The paper used a single case study; we sweep
 all six kernels.  Expected shape: the optical crossbar wins on every
 workload, most on communication-bound all-to-all/hotspot patterns (fft, lu)
 and least on nearest-neighbour traffic (stencil).
+
+Thin loader over ``benchmarks/experiments/table3_case_study.yaml``.
 """
 
 from __future__ import annotations
 
-from conftest import ALL_WORKLOADS, save_and_print
+from conftest import run_experiment_config, save_and_print
 
-from repro.harness import case_study, format_table
-
-
-def run_all(exp):
-    return [case_study(exp, wl) for wl in ALL_WORKLOADS]
+from repro.harness import format_table
 
 
-def test_table3_case_study(benchmark, exp_cfg, results_dir):
-    rows_raw = benchmark.pedantic(run_all, args=(exp_cfg,), rounds=1,
-                                  iterations=1)
-    rows = [{
-        "workload": r.workload,
-        "exec_electrical": r.exec_electrical,
-        "exec_optical": r.exec_optical,
-        "speedup_x": round(r.speedup, 3),
-        "lat_elec": round(r.avg_latency_electrical, 1),
-        "lat_opt": round(r.avg_latency_optical, 1),
-        "lat_reduction_%": round(r.latency_reduction_pct, 1),
-    } for r in rows_raw]
-    text = format_table(rows, title="Table 3: Case study, ONOC vs baseline NoC")
+def test_table3_case_study(benchmark, results_dir, sweep_runner):
+    out = benchmark.pedantic(
+        run_experiment_config,
+        args=("table3_case_study.yaml", sweep_runner),
+        rounds=1, iterations=1)
+    text = format_table(out.rows,
+                        title="Table 3: Case study, ONOC vs baseline NoC")
     save_and_print(results_dir, "table3_casestudy", text)
 
-    for r in rows_raw:
+    for r in out.results:
         assert r.speedup > 1.0, f"{r.workload}: ONOC should win"
         assert r.avg_latency_optical < r.avg_latency_electrical, r.workload

@@ -6,36 +6,28 @@ Energy of each network over the application's execution.  Expected shape
 sized for the worst-case loss path plus thermal ring tuning) dominates at
 the modest utilisation of a 16-core coherence workload — the
 energy-proportionality problem the later ONOC literature attacks.
+
+Thin loader over ``benchmarks/experiments/table4_power.yaml``.
 """
 
 from __future__ import annotations
 
-from conftest import save_and_print
+from conftest import run_experiment_config, save_and_print
 
-from repro.harness import format_table, power_experiment
-
-WORKLOADS = ("fft", "randshare")
+from repro.harness import format_table
 
 
-def run_all(exp):
-    return {wl: power_experiment(exp, wl) for wl in WORKLOADS}
-
-
-def test_table4_power(benchmark, exp_cfg, results_dir):
-    data = benchmark.pedantic(run_all, args=(exp_cfg,), rounds=1,
-                              iterations=1)
-    rows = []
-    for wl, (r_e, r_o) in data.items():
-        for rep in (r_e, r_o):
-            row = {"workload": wl, **rep.as_row()}
-            row["static_pct"] = round(
-                100 * rep.static_energy_pj
-                / (rep.static_energy_pj + rep.total_dynamic_pj), 1)
-            rows.append(row)
-    text = format_table(rows, title="Table 4: Energy, ONOC vs electrical NoC")
+def test_table4_power(benchmark, results_dir, sweep_runner):
+    out = benchmark.pedantic(
+        run_experiment_config,
+        args=("table4_power.yaml", sweep_runner),
+        rounds=1, iterations=1)
+    text = format_table(out.rows,
+                        title="Table 4: Energy, ONOC vs electrical NoC")
     save_and_print(results_dir, "table4_power", text)
 
-    for wl, (r_e, r_o) in data.items():
+    workloads = out.resolved.parameters["workloads"]
+    for wl, (r_e, r_o) in zip(workloads, out.results):
         assert r_e.total_energy_uj > 0 and r_o.total_energy_uj > 0
         # the documented caveat: optical static power dominates at this scale
         assert r_o.static_energy_pj > r_o.total_dynamic_pj, wl

@@ -4,47 +4,24 @@ Coarse DSENT-class area of the electrical baseline and every optical
 architecture.  Expected shape: the MWSR crossbar's N²λ modulator rings make
 it the area hog; the passive AWGR is the leanest optical option; the
 electrical mesh is small at 16 nodes but its buffers grow with VC resources.
+
+Thin loader over ``benchmarks/experiments/table5_area.yaml`` (the area
+arithmetic itself lives in :func:`repro.harness.experiments.area_rows`).
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from conftest import save_and_print
+from conftest import run_experiment_config, save_and_print
 
 from repro.harness import format_table
-from repro.onoc import (
-    awgr_ring_census,
-    crossbar_ring_census,
-    mesh_ring_census,
-)
-from repro.onoc.swmr import swmr_ring_census
-from repro.power import electrical_area, optical_area
 
 
-def _flat(report, rings_count=""):
-    detail = ", ".join(f"{k} {v:.3f}" for k, v in report.components.items())
-    return {"network": report.name, "rings": rings_count,
-            "breakdown_mm2": detail,
-            "total_mm2": round(report.total_mm2, 3)}
-
-
-def run(exp):
-    o = exp.onoc
-    rows = [_flat(electrical_area(exp.noc))]
-    for topology, census in (
-        ("crossbar", crossbar_ring_census(o.num_nodes, o.num_wavelengths)),
-        ("swmr_crossbar", swmr_ring_census(o.num_nodes, o.num_wavelengths)),
-        ("awgr", awgr_ring_census(o.num_nodes, o.num_wavelengths)),
-        ("circuit_mesh", mesh_ring_census(o.num_nodes, o.num_wavelengths)),
-    ):
-        cfg = replace(o, topology=topology)
-        rows.append(_flat(optical_area(cfg, census), census.total))
-    return rows
-
-
-def test_table5_area(benchmark, exp_cfg, results_dir):
-    rows = benchmark.pedantic(run, args=(exp_cfg,), rounds=1, iterations=1)
+def test_table5_area(benchmark, results_dir, sweep_runner):
+    out = benchmark.pedantic(
+        run_experiment_config,
+        args=("table5_area.yaml", sweep_runner),
+        rounds=1, iterations=1)
+    rows = out.rows
     text = format_table(rows, title="Table 5: Area (mm^2)")
     save_and_print(results_dir, "table5_area", text)
 

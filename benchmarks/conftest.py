@@ -9,6 +9,7 @@ EXPERIMENTS.md can reference the regenerated numbers.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -18,6 +19,7 @@ from repro.config import default_16core_config
 from repro.harness import SweepRunner
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+EXPERIMENTS_DIR = pathlib.Path(__file__).parent / "experiments"
 
 
 def pytest_addoption(parser):
@@ -71,6 +73,62 @@ def save_and_print(results_dir: pathlib.Path, name: str, text: str) -> None:
 
 
 # All eight application kernels (the paper's case study used one real
-# application; we sweep the full suite).
-ALL_WORKLOADS = ("fft", "lu", "radix", "stencil", "prodcons", "randshare",
-                 "barnes", "cholesky")
+# application; we sweep the full suite).  Canonically defined next to the
+# experiment catalog so configs and benches can never disagree.
+from repro.exp.catalog import ALL_WORKLOADS  # noqa: E402,F401
+
+
+def run_experiment_config(name: str, runner: SweepRunner, **overrides):
+    """Resolve and run one ``benchmarks/experiments/`` config.
+
+    The paper-figure benches are thin loaders over this: the config states
+    *what* to run, :mod:`repro.exp` compiles it to the same content-keyed
+    sweep tasks the old hand-written drivers built (so caches keep hitting),
+    and the returned :class:`repro.exp.RunOutcome` carries the table rows,
+    the flat metric snapshot, and the raw per-task results the shape
+    assertions inspect.
+    """
+    from repro.exp import resolve_config, run_experiment
+
+    cfg = resolve_config(EXPERIMENTS_DIR / name, overrides or None)
+    return run_experiment(cfg, runner)
+
+
+def standalone_parser(description: str, **flags):
+    """Shared argparse boilerplate for the standalone kernel/serve benches.
+
+    ``flags`` maps a flag name to its default, or to ``(default, help)``;
+    booleans become ``store_true`` switches.  The common ``--out`` (report
+    destination, default: print only) is always appended — pass
+    ``out=(default, help)`` to override it.
+    """
+    import argparse
+
+    ap = argparse.ArgumentParser(description=description)
+    if "out" not in flags:
+        flags["out"] = (None, "write the JSON report here "
+                              "(default: print only)")
+    for name, spec in flags.items():
+        default, help_text = spec if isinstance(spec, tuple) else (spec, None)
+        opt = "--" + name.replace("_", "-")
+        if isinstance(default, bool):
+            ap.add_argument(opt, action="store_true", help=help_text)
+        elif default is None:
+            ap.add_argument(opt, default=None, help=help_text)
+        else:
+            ap.add_argument(opt, type=type(default), default=default,
+                            help=help_text)
+    return ap
+
+
+def write_json_report(report: dict, out=None, sort_keys: bool = True) -> str:
+    """Print a JSON report and optionally persist it (shared by the
+    standalone benches' ``--out`` handling)."""
+    text = json.dumps(report, indent=2, sort_keys=sort_keys)
+    print(text)
+    if out:
+        out = pathlib.Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+    return text

@@ -17,6 +17,10 @@ Subcommands::
     cache      inspect or clear the sweep result cache
     metrics    pretty-print a metrics JSON written with --metrics-out
     info       print the resolved configuration (Table-1 style)
+    exp        declarative experiment layer: list the catalog and configs,
+               run a YAML/JSON config (archiving provenance), diff two
+               archives (``--gate`` for CI regression checks) — see
+               docs/EXPERIMENTS_LAYER.md
 
 Sweep-shaped subcommands (``sweep``, ``accuracy``) accept ``--jobs N`` to
 shard independent simulations across processes and ``--cache-dir DIR`` (or
@@ -473,6 +477,94 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_exp_list(args: argparse.Namespace) -> int:
+    from repro import exp as E
+
+    rows = []
+    for name in E.experiment_names():
+        base = E.get_experiment(name)
+        rows.append({
+            "experiment": name,
+            "parameters": len(base.schema.specs),
+            "description": base.description.split(".")[0] + ".",
+        })
+    print(format_table(rows, title="Experiment catalog"))
+    configs_root = pathlib.Path(args.configs)
+    if not configs_root.is_dir():
+        print(f"\n(no config directory {configs_root})")
+        return 0
+    crows = []
+    for path in E.discover_configs(configs_root):
+        try:
+            cfg = E.resolve_config(path)
+        except E.SchemaError as exc:
+            crows.append({"config": str(path), "experiment": "ERROR",
+                          "hash": "", "note": str(exc)[:60]})
+            continue
+        crows.append({"config": str(path), "experiment": cfg.experiment,
+                      "hash": cfg.config_hash[:10], "note": ""})
+    print()
+    print(format_table(crows, title=f"Configs under {configs_root}"))
+    return 0
+
+
+def cmd_exp_run(args: argparse.Namespace) -> int:
+    from repro import exp as E
+
+    overrides = E.parse_set_override(args.set or [])
+    cfg = E.resolve_config(args.config, overrides)
+    tasks = E.compile_config(cfg)
+    print(f"{cfg.name}: experiment={cfg.experiment} "
+          f"hash={cfg.config_hash[:10]} tasks={len(tasks)}")
+    if args.dry_run:
+        for t in tasks:
+            print(f"  {t.fn}  key={t.cache_key()[:12]}")
+        return 0
+
+    if args.serve:
+        from repro.serve import DEFAULT_PORT, ServeClient
+
+        host, _, port = args.serve.partition(":")
+        client = ServeClient(host=host or "127.0.0.1",
+                             port=int(port) if port else DEFAULT_PORT)
+        executor: object = E.ServeExecutor(client, timeout_s=args.timeout)
+    else:
+        client = None
+        executor = _runner(args)
+    try:
+        out = E.run_experiment(cfg, executor,
+                               archive_root=args.archive_root,
+                               baseline_out=args.baseline_out)
+    finally:
+        if client is not None:
+            client.close()
+    print(format_table(out.rows, title=f"{cfg.name} ({cfg.experiment})"))
+    if out.stats is not None:
+        print(f"tasks: {out.stats.executed} executed, {out.stats.cached} "
+              f"cached, {out.elapsed_s:.1f}s")
+    if out.archive_dir is not None:
+        print(f"archive: {out.archive_dir}")
+    if args.baseline_out:
+        print(f"baseline: {args.baseline_out}")
+    return 0
+
+
+def cmd_exp_diff(args: argparse.Namespace) -> int:
+    from repro import exp as E
+
+    a = E.load_archive(args.a)
+    b = E.load_archive(args.b)
+    gate = None
+    if args.tol is not None:
+        base_gate = a.gate
+        gate = E.GateSpec(args.tol, dict(base_gate.tolerances))
+    report = E.diff_archives(a, b, gate=gate)
+    print(E.format_diff(report, gated=args.gate))
+    if args.gate and not report.gate_ok:
+        return 1
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -682,6 +774,57 @@ def make_parser() -> argparse.ArgumentParser:
                    help="comma-separated kernel list")
     p.add_argument("--out", default="report.md")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "exp",
+        help="declarative experiments: list / run / diff "
+             "(see docs/EXPERIMENTS_LAYER.md)")
+    esub = p.add_subparsers(dest="exp_op", required=True)
+
+    ep = esub.add_parser("list",
+                         help="list the experiment catalog and the configs "
+                              "found under --configs")
+    ep.add_argument("--configs", default="benchmarks/experiments",
+                    help="config directory to scan "
+                         "(default benchmarks/experiments)")
+    ep.set_defaults(fn=cmd_exp_list)
+
+    ep = esub.add_parser(
+        "run",
+        help="run one YAML/JSON config and archive the outcome")
+    _add_obs_flags(ep)
+    _add_sweep_flags(ep)
+    ep.add_argument("config", help="config file (.yaml/.yml/.json)")
+    ep.add_argument("--set", action="append", metavar="KEY=VALUE",
+                    help="override one parameter (JSON-parsed value; "
+                         "repeatable)")
+    ep.add_argument("--archive-root", default=None, metavar="DIR",
+                    help="write a provenance archive directory under DIR")
+    ep.add_argument("--baseline-out", default=None, metavar="FILE",
+                    help="also write the manifest alone to FILE (the "
+                         "checked-in-baseline format)")
+    ep.add_argument("--serve", default=None, metavar="HOST:PORT",
+                    help="submit the compiled tasks to a repro.serve node "
+                         "instead of running locally")
+    ep.add_argument("--timeout", type=float, default=None,
+                    help="per-task deadline when using --serve")
+    ep.add_argument("--dry-run", action="store_true",
+                    help="print the compiled task list and exit")
+    ep.set_defaults(fn=cmd_exp_run)
+
+    ep = esub.add_parser(
+        "diff",
+        help="diff two archives (or baseline manifests): parameter deltas "
+             "+ per-metric relative change")
+    ep.add_argument("a", help="reference archive dir or baseline file")
+    ep.add_argument("b", help="candidate archive dir or baseline file")
+    ep.add_argument("--gate", action="store_true",
+                    help="apply the tolerance policy and exit non-zero on "
+                         "any out-of-tolerance metric")
+    ep.add_argument("--tol", type=float, default=None, metavar="PCT",
+                    help="override the default tolerance (percent) while "
+                         "keeping per-metric glob rules")
+    ep.set_defaults(fn=cmd_exp_diff)
 
     return parser
 

@@ -1,0 +1,94 @@
+"""Declarative experiment layer: configs, archives, diffs.
+
+The batch front end of the repository.  A YAML/JSON config names a base
+experiment from the catalog and overrides its typed parameters (optionally
+extending another config); it compiles to the same content-addressed
+:class:`~repro.harness.SweepTask` list the hand-written benches build, runs
+through a :class:`~repro.harness.SweepRunner` or a ``repro.serve`` node,
+and leaves behind a provenance archive that ``repro exp diff`` can compare
+— and gate — against any other run.
+
+    from repro.exp import resolve_config, run_experiment
+    from repro.harness import SweepRunner
+
+    cfg = resolve_config("benchmarks/experiments/fig4_accuracy.yaml")
+    out = run_experiment(cfg, SweepRunner(workers=4), archive_root="runs")
+"""
+
+from repro.exp.archive import (
+    ARCHIVE_SCHEMA,
+    Archive,
+    ArchiveError,
+    load_archive,
+    load_rows,
+    provenance,
+    write_archive,
+    write_baseline,
+)
+from repro.exp.catalog import (
+    ALL_WORKLOADS,
+    BaseExperiment,
+    experiment_names,
+    get_experiment,
+    metrics_from_rows,
+)
+from repro.exp.config import (
+    ConfigFileError,
+    GateSpec,
+    ResolvedConfig,
+    config_hash,
+    discover_configs,
+    load_config_file,
+    parse_set_override,
+    resolve_config,
+)
+from repro.exp.diff import (
+    DiffReport,
+    MetricDelta,
+    ParamDelta,
+    diff_archives,
+    format_diff,
+)
+from repro.exp.runner import (
+    RunOutcome,
+    ServeExecutor,
+    compile_config,
+    run_experiment,
+)
+from repro.exp.schema import ParamSchema, ParamSpec, SchemaError, specs
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "ARCHIVE_SCHEMA",
+    "Archive",
+    "ArchiveError",
+    "BaseExperiment",
+    "ConfigFileError",
+    "DiffReport",
+    "GateSpec",
+    "MetricDelta",
+    "ParamDelta",
+    "ParamSchema",
+    "ParamSpec",
+    "ResolvedConfig",
+    "RunOutcome",
+    "SchemaError",
+    "ServeExecutor",
+    "compile_config",
+    "config_hash",
+    "diff_archives",
+    "discover_configs",
+    "experiment_names",
+    "format_diff",
+    "get_experiment",
+    "load_archive",
+    "load_config_file",
+    "load_rows",
+    "metrics_from_rows",
+    "parse_set_override",
+    "provenance",
+    "resolve_config",
+    "run_experiment",
+    "write_archive",
+    "write_baseline",
+]

@@ -1,0 +1,231 @@
+"""Self-describing provenance archives for experiment runs.
+
+Every ``repro exp run`` writes one archive directory::
+
+    <root>/<name>-<config_hash[:10]>-<timestamp>/
+        manifest.json           # everything diffable, in one file
+        config.resolved.json    # the flattened, validated config
+        result.json             # table rows + codec-encoded raw results
+        metrics.json            # repro.obs registry snapshot (null if off)
+        artifacts/
+            table.txt           # the rendered result table
+
+``manifest.json`` alone is sufficient for ``repro exp diff``: it carries
+the experiment name, the resolved parameters, the config content hash, the
+flat metric snapshot derived from the results, the gate policy, and the
+provenance block (git revision, host, python).  A checked-in *baseline* is
+just a manifest written to a standalone file (``repro exp run
+--baseline-out``), so archives and baselines are diffed by the same code.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import socket
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.exp.config import GateSpec, ResolvedConfig
+from repro.exp.schema import SchemaError
+
+#: Bumped when the manifest layout changes incompatibly.
+ARCHIVE_SCHEMA = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+class ArchiveError(SchemaError):
+    """An archive directory or baseline file is missing or malformed."""
+
+
+def git_revision(cwd: Union[str, Path, None] = None) -> dict:
+    """Best-effort git provenance: revision plus a dirty flag.
+
+    Archives must be writable from an export tarball too, so a missing git
+    binary or repository degrades to ``{"rev": "unknown"}`` rather than
+    failing the run.
+    """
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if rev.returncode != 0:
+            return {"rev": "unknown"}
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return {
+            "rev": rev.stdout.strip(),
+            "dirty": bool(status.stdout.strip()),
+        }
+    except (OSError, subprocess.TimeoutExpired):
+        return {"rev": "unknown"}
+
+
+def provenance(cwd: Union[str, Path, None] = None) -> dict:
+    """The environment block every manifest records."""
+    return {
+        "git": git_revision(cwd),
+        "host": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+@dataclass(frozen=True)
+class Archive:
+    """A loaded archive (or baseline manifest) — what ``diff`` consumes."""
+
+    name: str
+    experiment: str
+    config_hash: str
+    parameters: dict[str, Any]
+    metrics: dict[str, float]
+    gate: GateSpec
+    manifest: dict = field(default_factory=dict, repr=False)
+    path: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return self.path or self.name
+
+
+def build_manifest(
+    resolved: ResolvedConfig,
+    metrics: dict[str, float],
+    obs_snapshot: Optional[dict] = None,
+    sweep_stats: Optional[dict] = None,
+    created: Optional[float] = None,
+) -> dict:
+    return {
+        "archive_schema": ARCHIVE_SCHEMA,
+        "name": resolved.name,
+        "experiment": resolved.experiment,
+        "config_hash": resolved.config_hash,
+        "created_unix": time.time() if created is None else created,
+        "provenance": provenance(),
+        "parameters": _jsonable(resolved.parameters),
+        "metrics": dict(metrics),
+        "gate": resolved.gate.as_dict(),
+        "chain": list(resolved.chain),
+        "sweep": sweep_stats or {},
+        "obs_enabled": obs_snapshot is not None,
+    }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, list):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    return value
+
+
+def archive_dir_name(resolved: ResolvedConfig, created: float) -> str:
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(created))
+    return f"{resolved.name}-{resolved.config_hash[:10]}-{stamp}"
+
+
+def write_archive(
+    archive_dir: Union[str, Path],
+    resolved: ResolvedConfig,
+    rows: list[dict],
+    metrics: dict[str, float],
+    raw_encoded: Any,
+    table_text: str,
+    obs_snapshot: Optional[dict] = None,
+    sweep_stats: Optional[dict] = None,
+    created: Optional[float] = None,
+) -> Path:
+    """Write one complete archive directory; returns its path.
+
+    ``raw_encoded`` must already be codec-encoded
+    (:func:`repro.harness.encode_value`), i.e. what the sweep produced.
+    """
+    archive_dir = Path(archive_dir)
+    archive_dir.mkdir(parents=True, exist_ok=True)
+    manifest = build_manifest(
+        resolved, metrics, obs_snapshot, sweep_stats, created
+    )
+    _dump(archive_dir / MANIFEST_NAME, manifest)
+    _dump(archive_dir / "config.resolved.json", resolved.as_dict())
+    _dump(archive_dir / "result.json", {"rows": rows, "raw": raw_encoded})
+    _dump(archive_dir / "metrics.json", obs_snapshot)
+    artifacts = archive_dir / "artifacts"
+    artifacts.mkdir(exist_ok=True)
+    (artifacts / "table.txt").write_text(table_text)
+    return archive_dir
+
+
+def write_baseline(
+    baseline_path: Union[str, Path], manifest: dict
+) -> Path:
+    """Write a standalone baseline file (a manifest, nothing else)."""
+    baseline_path = Path(baseline_path)
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    _dump(baseline_path, manifest)
+    return baseline_path
+
+
+def _dump(path: Path, payload: Any) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_archive(path: Union[str, Path]) -> Archive:
+    """Load an archive directory *or* a standalone baseline manifest file."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME if path.is_dir() else path
+    if not manifest_path.is_file():
+        raise ArchiveError(f"{path}: no {MANIFEST_NAME} (not an archive?)")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArchiveError(f"{manifest_path}: invalid JSON: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ArchiveError(f"{manifest_path}: manifest must be an object")
+    schema = manifest.get("archive_schema")
+    if schema != ARCHIVE_SCHEMA:
+        raise ArchiveError(
+            f"{manifest_path}: archive_schema {schema!r} unsupported "
+            f"(expected {ARCHIVE_SCHEMA})"
+        )
+    missing = [
+        k
+        for k in ("name", "experiment", "config_hash", "parameters", "metrics")
+        if k not in manifest
+    ]
+    if missing:
+        raise ArchiveError(f"{manifest_path}: manifest missing {missing}")
+    return Archive(
+        name=str(manifest["name"]),
+        experiment=str(manifest["experiment"]),
+        config_hash=str(manifest["config_hash"]),
+        parameters=dict(manifest["parameters"]),
+        metrics=dict(manifest["metrics"]),
+        gate=GateSpec.from_dict(manifest.get("gate") or {}, str(manifest_path)),
+        manifest=manifest,
+        path=str(path),
+    )
+
+
+def load_rows(path: Union[str, Path]) -> list[dict]:
+    """The table rows of an archive directory (not available on baselines)."""
+    path = Path(path)
+    result_path = path / "result.json"
+    if not result_path.is_file():
+        raise ArchiveError(f"{path}: no result.json (baseline file?)")
+    return json.loads(result_path.read_text())["rows"]

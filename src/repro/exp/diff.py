@@ -1,0 +1,180 @@
+"""Machine diff of two experiment archives (or baselines).
+
+``diff_archives(a, b)`` compares parameters first (what was *asked for*)
+and metrics second (what *came out*), reporting per-metric relative change.
+In gate mode each metric's change is judged against the tolerance policy
+(:class:`repro.exp.config.GateSpec`): a glob tolerance of ``None`` exempts
+the metric (wall-clock timings), a number is the allowed absolute relative
+change in percent — inclusive, so a change of exactly the tolerance
+passes.  Metrics present on one side only fail the gate, as does comparing
+archives of different experiments.
+
+The CI bench-regression tier is this module in a loop: run the smoke
+configs, ``diff --gate`` each fresh archive against its checked-in
+baseline, exit non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exp.archive import Archive
+from repro.exp.config import GateSpec
+
+
+@dataclass(frozen=True)
+class ParamDelta:
+    key: str
+    a: object
+    b: object
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    metric: str
+    a: Optional[float]
+    b: Optional[float]
+    #: Relative change b vs a in percent; None when undefined (one side
+    #: missing) and +/-inf when a == 0 != b.
+    rel_change_pct: Optional[float]
+    #: Tolerance applied by the gate; None = exempt.
+    tolerance_pct: Optional[float]
+    #: False iff the gate rejects this metric.
+    ok: bool
+
+    @property
+    def changed(self) -> bool:
+        return self.a != self.b
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    a_label: str
+    b_label: str
+    experiment_a: str
+    experiment_b: str
+    config_hash_equal: bool
+    param_deltas: list[ParamDelta] = field(default_factory=list)
+    metric_deltas: list[MetricDelta] = field(default_factory=list)
+
+    @property
+    def experiments_match(self) -> bool:
+        return self.experiment_a == self.experiment_b
+
+    @property
+    def changed_metrics(self) -> list[MetricDelta]:
+        return [m for m in self.metric_deltas if m.changed]
+
+    @property
+    def gate_failures(self) -> list[MetricDelta]:
+        return [m for m in self.metric_deltas if not m.ok]
+
+    @property
+    def gate_ok(self) -> bool:
+        return self.experiments_match and not self.gate_failures
+
+
+def _rel_change_pct(a: float, b: float) -> float:
+    if a == b:
+        return 0.0
+    if a == 0:
+        return math.copysign(math.inf, b)
+    return (b - a) / abs(a) * 100.0
+
+
+def diff_archives(
+    a: Archive, b: Archive, gate: Optional[GateSpec] = None
+) -> DiffReport:
+    """Diff archive ``b`` against reference ``a``.
+
+    ``gate`` defaults to ``a``'s own gate spec (the reference/baseline
+    declares what may move).
+    """
+    gate = gate if gate is not None else a.gate
+
+    param_deltas = [
+        ParamDelta(key, a.parameters.get(key), b.parameters.get(key))
+        for key in sorted(set(a.parameters) | set(b.parameters))
+        if a.parameters.get(key) != b.parameters.get(key)
+    ]
+
+    metric_deltas: list[MetricDelta] = []
+    for name in sorted(set(a.metrics) | set(b.metrics)):
+        va, vb = a.metrics.get(name), b.metrics.get(name)
+        tol = gate.tolerance_for(name)
+        if va is None or vb is None:
+            # A metric that appears or disappears is a shape change; only an
+            # exemption lets it through.
+            metric_deltas.append(
+                MetricDelta(name, va, vb, None, tol, ok=tol is None)
+            )
+            continue
+        rel = _rel_change_pct(va, vb)
+        ok = tol is None or abs(rel) <= tol
+        metric_deltas.append(MetricDelta(name, va, vb, rel, tol, ok))
+
+    return DiffReport(
+        a_label=a.label,
+        b_label=b.label,
+        experiment_a=a.experiment,
+        experiment_b=b.experiment,
+        config_hash_equal=a.config_hash == b.config_hash,
+        param_deltas=param_deltas,
+        metric_deltas=metric_deltas,
+    )
+
+
+def format_diff(report: DiffReport, gated: bool = False) -> str:
+    """Human-readable rendering (what ``repro exp diff`` prints)."""
+    lines = [f"A: {report.a_label}", f"B: {report.b_label}"]
+    if not report.experiments_match:
+        lines.append(
+            f"EXPERIMENT MISMATCH: {report.experiment_a!r} vs "
+            f"{report.experiment_b!r}"
+        )
+    lines.append(
+        "config hash: "
+        + ("identical" if report.config_hash_equal else "DIFFERENT")
+    )
+
+    if report.param_deltas:
+        lines.append(f"parameter deltas ({len(report.param_deltas)}):")
+        for d in report.param_deltas:
+            lines.append(f"  {d.key}: {d.a!r} -> {d.b!r}")
+    else:
+        lines.append("parameter deltas: none")
+
+    changed = report.changed_metrics
+    lines.append(
+        f"metrics: {len(report.metric_deltas)} compared, "
+        f"{len(changed)} changed"
+    )
+    for m in changed:
+        if m.rel_change_pct is None:
+            side = "A" if m.b is None else "B"
+            value = m.a if m.b is None else m.b
+            lines.append(f"  {m.metric}: only in {side} ({value})")
+        else:
+            lines.append(
+                f"  {m.metric}: {m.a} -> {m.b} ({m.rel_change_pct:+.3f}%)"
+            )
+        if gated and not m.ok:
+            tol = "exempt" if m.tolerance_pct is None else (
+                f"tolerance {m.tolerance_pct}%"
+            )
+            lines[-1] += f"  [GATE FAIL, {tol}]"
+
+    if gated:
+        failures = report.gate_failures
+        if report.gate_ok:
+            lines.append("gate: PASS")
+        else:
+            reason = (
+                "experiment mismatch"
+                if not report.experiments_match
+                else f"{len(failures)} metric(s) out of tolerance"
+            )
+            lines.append(f"gate: FAIL ({reason})")
+    return "\n".join(lines)

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Optional
 
-from repro.config import ExperimentConfig, NocConfig, OnocConfig
+from repro.config import ExperimentConfig, NocConfig, OnocConfig, SystemConfig
 from repro.core import Trace, TraceCapture
 from repro.engine import Simulator
 from repro.net import NetworkAdapter
@@ -62,6 +63,44 @@ def optical_factory(cfg: OnocConfig, seed: int) -> NetworkFactory:
     # run the vectorized path without instantiating a live network.
     factory.onoc = cfg
     return factory
+
+
+def experiment_from_params(
+    cores: int = 16,
+    seed: int = 7,
+    wavelengths: int = 64,
+    topology: Optional[str] = None,
+    onoc: Optional[dict] = None,
+    noc: Optional[dict] = None,
+    system: Optional[dict] = None,
+) -> ExperimentConfig:
+    """Build an :class:`ExperimentConfig` from flat scalar parameters.
+
+    The shared front end for every declarative entry point — the CLI, the
+    serve JSON operations, and :mod:`repro.exp` configs — so they all
+    resolve the same parameters to the same (hence cache-key-identical)
+    config.  The optional ``onoc`` / ``noc`` / ``system`` dicts override
+    individual config fields and are validated by the config dataclasses
+    themselves (a bad combination raises ``ConfigError``).
+    """
+    side = math.isqrt(cores)
+    if side * side != cores:
+        raise ValueError(f"cores must be a perfect square, got {cores}")
+    onoc_kwargs: dict = {"num_nodes": cores, "num_wavelengths": wavelengths}
+    if topology is not None:
+        onoc_kwargs["topology"] = topology
+    onoc_kwargs.update(onoc or {})
+    noc_kwargs: dict = {"width": side, "height": side}
+    noc_kwargs.update(noc or {})
+    sys_kwargs: dict = {"num_cores": cores,
+                        "num_mem_ctrls": max(1, cores // 4)}
+    sys_kwargs.update(system or {})
+    return ExperimentConfig(
+        system=SystemConfig(**sys_kwargs),
+        noc=NocConfig(**noc_kwargs),
+        onoc=OnocConfig(**onoc_kwargs),
+        seed=seed,
+    )
 
 
 def run_execution_driven(

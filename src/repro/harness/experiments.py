@@ -220,6 +220,64 @@ def seed_accuracy_point(
     return accuracy_experiment(exp.with_seed(seed), workload)
 
 
+# ---------------------------------------------------------------- Fig. 5
+def latency_fidelity_rows(
+    exp: ExperimentConfig, workload: str, scale: float = 1.0
+) -> list[dict]:
+    """Per-message latency fidelity of both replay modes for one workload:
+    the two Fig. 5 table rows (naive, self_correcting)."""
+    _, trace, _ = run_execution_driven(exp, workload, "electrical", scale=scale)
+    _, ref_trace, _ = run_execution_driven(exp, workload, "optical",
+                                           scale=scale)
+    assert trace is not None and ref_trace is not None
+    factory = optical_factory(exp.onoc, exp.seed)
+    rows = []
+    for mode in (TRACE_NAIVE, TRACE_SELF_CORRECTING):
+        rep = compare_to_reference(
+            replay_trace(trace, factory, TraceConfig(mode=mode)), ref_trace)
+        rows.append({
+            "workload": workload,
+            "mode": mode,
+            "mean_lat_err_%": round(rep.mean_latency_error_pct, 2),
+            "per_msg_mape_%": round(rep.latency_mape_pct, 1),
+            "matched": rep.matched_messages,
+            "unmatched": rep.unmatched_messages,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------- Table 5
+def area_rows(exp: ExperimentConfig) -> list[dict]:
+    """Area of the electrical baseline and every optical architecture
+    (Table 5), as flat table rows."""
+    from repro.onoc import (
+        awgr_ring_census,
+        crossbar_ring_census,
+        mesh_ring_census,
+    )
+    from repro.onoc.swmr import swmr_ring_census
+    from repro.power import electrical_area, optical_area
+
+    def flat(report, rings_count=""):
+        detail = ", ".join(f"{k} {v:.3f}"
+                           for k, v in report.components.items())
+        return {"network": report.name, "rings": rings_count,
+                "breakdown_mm2": detail,
+                "total_mm2": round(report.total_mm2, 3)}
+
+    o = exp.onoc
+    rows = [flat(electrical_area(exp.noc))]
+    for topology, census in (
+        ("crossbar", crossbar_ring_census(o.num_nodes, o.num_wavelengths)),
+        ("swmr_crossbar", swmr_ring_census(o.num_nodes, o.num_wavelengths)),
+        ("awgr", awgr_ring_census(o.num_nodes, o.num_wavelengths)),
+        ("circuit_mesh", mesh_ring_census(o.num_nodes, o.num_wavelengths)),
+    ):
+        cfg = replace(o, topology=topology)
+        rows.append(flat(optical_area(cfg, census), census.total))
+    return rows
+
+
 # ---------------------------------------------------------------- Fig. 6
 def convergence_experiment(
     exp: ExperimentConfig,

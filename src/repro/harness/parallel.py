@@ -218,6 +218,15 @@ def task(fn: Union[str, Callable], *args: Any, **kwargs: Any) -> SweepTask:
     return SweepTask.make(fn, *args, **kwargs)
 
 
+def decode_task_call(t: SweepTask) -> tuple[str, tuple, dict]:
+    """Decode a task back into ``(fn_ref, args, kwargs)``.
+
+    For front ends that take live arguments rather than encoded tasks —
+    :meth:`repro.serve.ServeClient.submit`, notably — so a compiled
+    :class:`SweepTask` can be re-submitted without re-deriving the call."""
+    return t.fn, tuple(decode_value(t.args)), dict(decode_value(t.kwargs))
+
+
 def _execute_encoded(
     fn_ref: str, enc_args: Any, enc_kwargs: Any, with_obs: bool = False
 ) -> Any:

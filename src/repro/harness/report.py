@@ -118,4 +118,18 @@ def generate_report(
 
     lines.append(f"*Report generated in {time.perf_counter() - t0:.1f}s "
                  "of simulation.*\n")
+    lines.append(provenance_footer() + "\n")
     return "\n".join(lines)
+
+
+def provenance_footer() -> str:
+    """One-line provenance stamp shared by reports and experiment archives
+    (``repro.exp`` appends it to every archived table)."""
+    from repro.exp.archive import provenance
+
+    p = provenance()
+    rev = p["git"].get("rev", "unknown")
+    if p["git"].get("dirty"):
+        rev += "-dirty"
+    return (f"*Provenance: git {rev} | {p['host']} | "
+            f"python {p['python']} | {p['platform']}*")

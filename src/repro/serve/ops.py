@@ -18,12 +18,11 @@ can instead encode dataclasses directly with
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import asdict
-from typing import Any, Optional
+from typing import Any
 
-from repro.config import ExperimentConfig, NocConfig, OnocConfig, SystemConfig
+from repro.harness.builders import experiment_from_params as _experiment_from_params
 
 #: Default alias -> dotted-reference registry.
 DEFAULT_OPERATIONS: dict[str, str] = {
@@ -38,6 +37,18 @@ DEFAULT_OPERATIONS: dict[str, str] = {
     "accuracy_json": "repro.serve.ops:accuracy_json",
     "casestudy": "repro.harness.experiments:case_study",
     "load_latency_point": "repro.harness.experiments:load_latency_point",
+    # The rest of the sweep-task surface compiled by repro.exp configs, so
+    # an experiment config can submit its tasks to a serve node unchanged
+    # (same dotted refs, same args, same content keys as a local run).
+    "simtime": "repro.harness.experiments:simtime_experiment",
+    "power": "repro.harness.experiments:power_experiment",
+    "convergence": "repro.harness.experiments:convergence_experiment",
+    "ablation_deps": "repro.harness.experiments:ablation_dep_fraction",
+    "ablation_mismatch": "repro.harness.experiments:ablation_network_mismatch",
+    "scalability_point": "repro.harness.experiments:scalability_point",
+    "seed_accuracy_point": "repro.harness.experiments:seed_accuracy_point",
+    "latency_fidelity": "repro.harness.experiments:latency_fidelity_rows",
+    "area_rows": "repro.harness.experiments:area_rows",
 }
 
 
@@ -51,42 +62,6 @@ def echo(value: Any = None, sleep_s: float = 0.0) -> Any:
     if sleep_s:
         time.sleep(sleep_s)
     return value
-
-
-def _experiment_from_params(
-    cores: int = 16,
-    seed: int = 7,
-    wavelengths: int = 64,
-    topology: Optional[str] = None,
-    onoc: Optional[dict] = None,
-    noc: Optional[dict] = None,
-    system: Optional[dict] = None,
-) -> ExperimentConfig:
-    """Build an :class:`ExperimentConfig` from flat JSON parameters.
-
-    Mirrors the CLI's ``build_experiment`` defaults; the optional ``onoc`` /
-    ``noc`` / ``system`` dicts override individual config fields and are
-    validated by the config dataclasses themselves (a bad combination raises
-    ``ConfigError`` — in a worker, surfaced with its original traceback).
-    """
-    side = math.isqrt(cores)
-    if side * side != cores:
-        raise ValueError(f"cores must be a perfect square, got {cores}")
-    onoc_kwargs: dict = {"num_nodes": cores, "num_wavelengths": wavelengths}
-    if topology is not None:
-        onoc_kwargs["topology"] = topology
-    onoc_kwargs.update(onoc or {})
-    noc_kwargs: dict = {"width": side, "height": side}
-    noc_kwargs.update(noc or {})
-    sys_kwargs: dict = {"num_cores": cores,
-                        "num_mem_ctrls": max(1, cores // 4)}
-    sys_kwargs.update(system or {})
-    return ExperimentConfig(
-        system=SystemConfig(**sys_kwargs),
-        noc=NocConfig(**noc_kwargs),
-        onoc=OnocConfig(**onoc_kwargs),
-        seed=seed,
-    )
 
 
 def resolve_config(**params: Any) -> dict:

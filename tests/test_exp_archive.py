@@ -1,0 +1,141 @@
+"""Provenance archive round-trip tests (repro.exp.archive).
+
+An archive directory must be self-describing: the manifest alone carries
+everything ``repro exp diff`` needs (experiment, config hash, parameters,
+metrics, gate), and a baseline file is just a manifest written standalone.
+These tests pin the on-disk layout and the failure modes of loading
+damaged or foreign files.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exp import load_archive, load_rows, provenance, write_archive
+from repro.exp.archive import (
+    ARCHIVE_SCHEMA,
+    ArchiveError,
+    archive_dir_name,
+    build_manifest,
+    git_revision,
+    write_baseline,
+)
+from repro.exp.config import GateSpec, ResolvedConfig
+
+
+def make_resolved(**params):
+    merged = {"cores": 4, "seed": 3, "wavelengths": 16}
+    merged.update(params)
+    return ResolvedConfig(
+        name="unit",
+        description="unit fixture",
+        experiment="area",
+        parameters=merged,
+        gate=GateSpec(2.0, {"*.wall_clock_s": None}),
+        chain=("base/area.yaml", "unit.yaml"),
+        path="unit.yaml",
+    )
+
+
+ROWS = [{"network": "mesh", "total_mm2": 1.5}]
+METRICS = {"mesh.total_mm2": 1.5}
+
+
+# ------------------------------------------------------------- provenance
+def test_provenance_block_shape():
+    p = provenance()
+    assert set(p) == {"git", "host", "platform", "python"}
+    assert p["git"]["rev"]  # this repo is git-initialised
+
+
+def test_git_revision_degrades_outside_a_repo(tmp_path):
+    assert git_revision(cwd=tmp_path) == {"rev": "unknown"}
+
+
+# ------------------------------------------------------ archive round-trip
+def test_write_then_load_archive(tmp_path):
+    resolved = make_resolved()
+    adir = write_archive(
+        tmp_path / "a",
+        resolved,
+        rows=ROWS,
+        metrics=METRICS,
+        raw_encoded=[{"network": "mesh"}],
+        table_text="| mesh |\n",
+        sweep_stats={"executed": 1, "cached": 0},
+        created=1700000000.0,
+    )
+    # the four fixed files plus the artifacts dir
+    names = {p.name for p in adir.iterdir()}
+    assert names == {"manifest.json", "config.resolved.json",
+                     "result.json", "metrics.json", "artifacts"}
+    assert (adir / "artifacts" / "table.txt").read_text() == "| mesh |\n"
+
+    arch = load_archive(adir)
+    assert arch.experiment == "area"
+    assert arch.config_hash == resolved.config_hash
+    assert arch.parameters == {"cores": 4, "seed": 3, "wavelengths": 16}
+    assert arch.metrics == METRICS
+    assert arch.gate.default_tolerance_pct == 2.0
+    assert arch.gate.tolerance_for("x.wall_clock_s") is None
+    assert arch.manifest["sweep"] == {"executed": 1, "cached": 0}
+    assert arch.manifest["created_unix"] == 1700000000.0
+    assert load_rows(adir) == ROWS
+
+
+def test_manifest_parameters_are_jsonable(tmp_path):
+    # tuple-valued parameters must serialize (and reload as lists)
+    resolved = make_resolved(workloads=("fft", "lu"))
+    adir = write_archive(tmp_path / "a", resolved, ROWS, METRICS, [], "t")
+    arch = load_archive(adir)
+    assert arch.parameters["workloads"] == ["fft", "lu"]
+
+
+def test_baseline_file_round_trip(tmp_path):
+    resolved = make_resolved()
+    manifest = build_manifest(resolved, METRICS, created=1700000000.0)
+    out = tmp_path / "BENCH_exp_unit.json"
+    write_baseline(out, manifest)
+    arch = load_archive(out)
+    assert arch.name == "unit"
+    assert arch.config_hash == resolved.config_hash
+    assert arch.metrics == METRICS
+    # baselines carry no result.json
+    with pytest.raises(ArchiveError, match="result.json"):
+        load_rows(tmp_path)
+
+
+def test_archive_dir_name_is_stable():
+    resolved = make_resolved()
+    name = archive_dir_name(resolved, 1700000000.0)
+    assert name == f"unit-{resolved.config_hash[:10]}-20231114T221320"
+
+
+# ----------------------------------------------------------- failure modes
+def test_load_rejects_non_archive_dir(tmp_path):
+    with pytest.raises(ArchiveError, match="manifest.json"):
+        load_archive(tmp_path)
+
+
+def test_load_rejects_bad_json(tmp_path):
+    f = tmp_path / "m.json"
+    f.write_text("{nope")
+    with pytest.raises(ArchiveError, match="invalid JSON"):
+        load_archive(f)
+
+
+def test_load_rejects_wrong_schema_version(tmp_path):
+    f = tmp_path / "m.json"
+    f.write_text(json.dumps({"archive_schema": ARCHIVE_SCHEMA + 1}))
+    with pytest.raises(ArchiveError, match="unsupported"):
+        load_archive(f)
+
+
+def test_load_rejects_missing_keys(tmp_path):
+    f = tmp_path / "m.json"
+    f.write_text(json.dumps(
+        {"archive_schema": ARCHIVE_SCHEMA, "name": "x"}))
+    with pytest.raises(ArchiveError, match="missing"):
+        load_archive(f)

@@ -1,0 +1,147 @@
+"""Archive diffing + gate policy tests (repro.exp.diff).
+
+Hand-built archive pairs, no simulation: parameter deltas, the relative
+change math (including the zero-baseline edge), missing-metric semantics,
+glob tolerances with first-match-wins exemptions, and the inclusive
+tolerance boundary that decides CI pass/fail.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exp import diff_archives, format_diff
+from repro.exp.archive import Archive
+from repro.exp.config import GateSpec
+
+
+def make_archive(metrics, params=None, gate=None, experiment="area",
+                 config_hash="deadbeef", name="unit"):
+    return Archive(
+        name=name,
+        experiment=experiment,
+        config_hash=config_hash,
+        parameters=params or {"cores": 4, "seed": 3},
+        metrics=metrics,
+        gate=gate or GateSpec(0.0, {}),
+    )
+
+
+# ---------------------------------------------------------------- GateSpec
+def test_tolerance_glob_first_match_wins():
+    g = GateSpec(1.0, {"fft.*": 5.0, "*.wall_clock_s": None, "*": 2.0})
+    assert g.tolerance_for("fft.err") == 5.0
+    assert g.tolerance_for("fft.wall_clock_s") == 5.0  # first match wins
+    assert g.tolerance_for("lu.wall_clock_s") is None  # exempt
+    assert g.tolerance_for("lu.err") == 2.0
+    assert GateSpec(3.0, {}).tolerance_for("anything") == 3.0
+
+
+def test_gate_spec_dict_round_trip():
+    g = GateSpec(1.5, {"a.*": None, "b.*": 2.0})
+    assert GateSpec.from_dict(g.as_dict()) == g
+
+
+# ------------------------------------------------------------- basic diffs
+def test_identical_archives_diff_clean():
+    a = make_archive({"m": 1.0})
+    b = make_archive({"m": 1.0})
+    rep = diff_archives(a, b)
+    assert rep.param_deltas == []
+    assert rep.changed_metrics == []
+    assert rep.config_hash_equal
+    assert rep.gate_ok
+    text = format_diff(rep, gated=True)
+    assert "parameter deltas: none" in text
+    assert "gate: PASS" in text
+
+
+def test_parameter_deltas_reported_both_directions():
+    a = make_archive({"m": 1.0}, params={"cores": 4, "scale": 1.0})
+    b = make_archive({"m": 1.0}, params={"cores": 16, "engine": "vector"},
+                     config_hash="feedface")
+    rep = diff_archives(a, b)
+    deltas = {d.key: (d.a, d.b) for d in rep.param_deltas}
+    assert deltas == {
+        "cores": (4, 16),
+        "scale": (1.0, None),
+        "engine": (None, "vector"),
+    }
+    assert not rep.config_hash_equal
+
+
+def test_relative_change_math():
+    a = make_archive({"m": 100.0, "n": -2.0})
+    b = make_archive({"m": 110.0, "n": -1.0})
+    rep = diff_archives(a, b)
+    by = {d.metric: d for d in rep.metric_deltas}
+    assert by["m"].rel_change_pct == 10.0
+    assert by["n"].rel_change_pct == 50.0  # change relative to |a|
+
+
+def test_zero_baseline_is_infinite_change():
+    a = make_archive({"m": 0.0})
+    b = make_archive({"m": 0.5})
+    (d,) = diff_archives(a, b).metric_deltas
+    assert d.rel_change_pct == math.inf
+    assert not d.ok  # no finite tolerance admits an infinite change
+    down = make_archive({"m": -0.5})
+    (d2,) = diff_archives(a, down).metric_deltas
+    assert d2.rel_change_pct == -math.inf
+
+
+# -------------------------------------------------------------- gate edges
+def test_tolerance_boundary_is_inclusive():
+    gate = GateSpec(10.0, {})
+    a = make_archive({"m": 100.0}, gate=gate)
+    assert diff_archives(a, make_archive({"m": 110.0})).gate_ok
+    assert diff_archives(a, make_archive({"m": 90.0})).gate_ok
+    assert not diff_archives(a, make_archive({"m": 110.1})).gate_ok
+
+
+def test_reference_gate_applies_by_default():
+    # the baseline (A side) declares what may move
+    a = make_archive({"m": 100.0}, gate=GateSpec(50.0, {}))
+    b = make_archive({"m": 120.0}, gate=GateSpec(0.0, {}))
+    assert diff_archives(a, b).gate_ok
+    # an explicit gate overrides both
+    assert not diff_archives(a, b, gate=GateSpec(5.0, {})).gate_ok
+
+
+def test_exempt_metric_never_fails_gate():
+    gate = GateSpec(0.0, {"*.wall_clock_s": None})
+    a = make_archive({"x.wall_clock_s": 1.0, "x.err": 2.0}, gate=gate)
+    b = make_archive({"x.wall_clock_s": 9.0, "x.err": 2.0})
+    rep = diff_archives(a, b)
+    assert rep.gate_ok
+    assert len(rep.changed_metrics) == 1  # still reported as changed
+
+
+def test_missing_metric_fails_unless_exempt():
+    a = make_archive({"m": 1.0, "gone.wall_clock_s": 1.0},
+                     gate=GateSpec(100.0, {"*.wall_clock_s": None}))
+    b = make_archive({"m": 1.0, "new": 3.0})
+    rep = diff_archives(a, b)
+    by = {d.metric: d for d in rep.metric_deltas}
+    assert by["gone.wall_clock_s"].ok  # exempt, may disappear
+    assert not by["new"].ok  # shape change, tolerance cannot admit it
+    assert by["new"].rel_change_pct is None
+    assert not rep.gate_ok
+    assert "only in B" in format_diff(rep)
+
+
+def test_experiment_mismatch_fails_gate():
+    a = make_archive({"m": 1.0}, experiment="area")
+    b = make_archive({"m": 1.0}, experiment="power")
+    rep = diff_archives(a, b)
+    assert not rep.experiments_match
+    assert not rep.gate_ok
+    assert "EXPERIMENT MISMATCH" in format_diff(rep)
+
+
+def test_gated_rendering_marks_failures():
+    a = make_archive({"m": 100.0}, gate=GateSpec(1.0, {}))
+    b = make_archive({"m": 150.0})
+    text = format_diff(diff_archives(a, b), gated=True)
+    assert "GATE FAIL" in text
+    assert "gate: FAIL" in text

@@ -1,0 +1,201 @@
+"""End-to-end repro.exp runs + compile/cache-key identity + CLI surface.
+
+Two properties carry the whole layer:
+
+* a config run produces a self-describing archive, and two runs of the
+  same config diff to zero parameter deltas and zero changed metrics;
+* the tasks a config compiles to are cache-key-identical to the hand
+  construction the original bench scripts performed, so the declarative
+  layer reuses every previously cached simulation result.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import default_16core_config
+from repro.exp import (
+    compile_config,
+    diff_archives,
+    load_archive,
+    resolve_config,
+    run_experiment,
+)
+from repro.harness import SweepRunner, task
+from repro.harness.experiments import (
+    accuracy_experiment,
+    area_rows,
+    scalability_point,
+)
+
+SMALL = {"cores": 4, "seed": 3, "wavelengths": 16}
+
+
+def write_cfg(tmp_path, payload, name="cfg.json"):
+    p = tmp_path / name
+    p.write_text(json.dumps(payload))
+    return p
+
+
+@pytest.fixture()
+def runner(tmp_path):
+    return SweepRunner(workers=1, cache_dir=tmp_path / "cache")
+
+
+# -------------------------------------------------- compile-time identity
+def test_area_compiles_to_legacy_task():
+    cfg = resolve_config("benchmarks/experiments/base/area.yaml")
+    (t,) = compile_config(cfg)
+    legacy = task(area_rows, default_16core_config().with_seed(7))
+    assert t.cache_key() == legacy.cache_key()
+
+
+def test_accuracy_compiles_to_legacy_tasks(tmp_path):
+    p = write_cfg(
+        tmp_path,
+        {"experiment": "accuracy",
+         "parameters": {"workloads": ["fft", "lu"], "scale": 0.5}},
+    )
+    tasks = compile_config(resolve_config(p))
+    exp = default_16core_config().with_seed(7)
+    # the original bench passed scale always, engine only when non-default
+    legacy = [task(accuracy_experiment, exp, wl, scale=0.5)
+              for wl in ("fft", "lu")]
+    assert [t.cache_key() for t in tasks] == [
+        t.cache_key() for t in legacy]
+
+
+def test_scalability_compiles_to_legacy_tasks(tmp_path):
+    p = write_cfg(
+        tmp_path,
+        {"experiment": "scalability",
+         "parameters": {"core_counts": [4, 64], "accuracy_max_cores": 36}},
+    )
+    tasks = compile_config(resolve_config(p))
+    legacy = [
+        task(scalability_point, 4, 7, "fft", with_accuracy=True,
+             engine="event"),
+        task(scalability_point, 64, 7, "fft", with_accuracy=False,
+             engine="event"),
+    ]
+    assert [t.cache_key() for t in tasks] == [
+        t.cache_key() for t in legacy]
+
+
+# ------------------------------------------------------- end-to-end runs
+def test_run_writes_archive_and_baseline(tmp_path, runner):
+    p = write_cfg(tmp_path, {"experiment": "area", "parameters": SMALL})
+    cfg = resolve_config(p)
+    out = run_experiment(
+        cfg, runner,
+        archive_root=tmp_path / "archives",
+        baseline_out=tmp_path / "baseline.json",
+    )
+    assert out.archive_dir is not None
+    assert out.rows and out.metrics
+    assert out.stats.executed == 1
+
+    arch = load_archive(out.archive_dir)
+    assert arch.experiment == "area"
+    assert arch.config_hash == cfg.config_hash
+    assert arch.manifest["provenance"]["git"]["rev"]
+    assert arch.manifest["sweep"]["executed"] == 1
+    table = (out.archive_dir / "artifacts" / "table.txt").read_text()
+    assert "mm2" in table
+
+    # baseline is the same manifest, standalone
+    base = load_archive(tmp_path / "baseline.json")
+    assert base.config_hash == arch.config_hash
+    assert base.metrics == arch.metrics
+
+
+def test_same_config_runs_diff_clean(tmp_path, runner):
+    p = write_cfg(tmp_path, {"experiment": "area", "parameters": SMALL})
+    cfg = resolve_config(p)
+    a = run_experiment(cfg, runner, archive_root=tmp_path / "a")
+    b = run_experiment(cfg, runner, archive_root=tmp_path / "b")
+    assert b.stats.cached == 1  # second run replays from the result cache
+
+    rep = diff_archives(load_archive(a.archive_dir),
+                        load_archive(b.archive_dir))
+    assert rep.param_deltas == []
+    assert rep.changed_metrics == []
+    assert rep.config_hash_equal
+    assert rep.gate_ok
+
+
+def test_perturbed_metric_fails_gate(tmp_path, runner):
+    p = write_cfg(tmp_path, {"experiment": "area", "parameters": SMALL})
+    cfg = resolve_config(p)
+    out = run_experiment(cfg, runner, archive_root=tmp_path / "arch",
+                         baseline_out=tmp_path / "base.json")
+    baseline = json.loads((tmp_path / "base.json").read_text())
+    metric = next(iter(baseline["metrics"]))
+    baseline["metrics"][metric] *= 1.25  # drift beyond any 0% tolerance
+    (tmp_path / "bad.json").write_text(json.dumps(baseline))
+
+    rep = diff_archives(load_archive(tmp_path / "bad.json"), out.archive)
+    assert not rep.gate_ok
+    assert [d.metric for d in rep.gate_failures] == [metric]
+
+
+# ------------------------------------------------------------------- CLI
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+def test_cli_exp_list(capsys):
+    rc, out = run_cli(capsys, "exp", "list")
+    assert rc == 0
+    assert "accuracy" in out and "area" in out
+    assert "fig4_accuracy" in out  # discovered configs listed with hashes
+
+
+def test_cli_exp_run_dry(tmp_path, capsys):
+    p = write_cfg(tmp_path, {"experiment": "area", "parameters": SMALL})
+    rc, out = run_cli(capsys, "exp", "run", str(p), "--dry-run")
+    assert rc == 0
+    assert "tasks=1" in out
+    assert "key=" in out  # each task listed with its cache key prefix
+
+
+def test_cli_exp_run_and_gated_diff(tmp_path, capsys):
+    p = write_cfg(tmp_path, {"experiment": "area", "parameters": SMALL})
+    baseline = tmp_path / "base.json"
+    rc, out = run_cli(
+        capsys, "exp", "run", str(p),
+        "--cache-dir", str(tmp_path / "cache"),
+        "--archive-root", str(tmp_path / "archives"),
+        "--baseline-out", str(baseline),
+    )
+    assert rc == 0
+    archives = list((tmp_path / "archives").iterdir())
+    assert len(archives) == 1
+
+    rc, out = run_cli(capsys, "exp", "diff", str(baseline),
+                      str(archives[0]), "--gate")
+    assert rc == 0
+    assert "gate: PASS" in out
+
+    # perturb a baseline metric -> gated diff exits nonzero
+    payload = json.loads(baseline.read_text())
+    metric = next(iter(payload["metrics"]))
+    payload["metrics"][metric] *= 2.0
+    baseline.write_text(json.dumps(payload))
+    rc, out = run_cli(capsys, "exp", "diff", str(baseline),
+                      str(archives[0]), "--gate")
+    assert rc == 1
+    assert "gate: FAIL" in out
+
+
+def test_cli_exp_run_set_override_rejects_typo(tmp_path):
+    from repro.exp import SchemaError
+
+    p = write_cfg(tmp_path, {"experiment": "area", "parameters": SMALL})
+    with pytest.raises(SchemaError, match="unknown parameter"):
+        main(["exp", "run", str(p), "--dry-run", "--set", "coers=8"])
