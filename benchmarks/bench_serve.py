@@ -16,6 +16,15 @@ Standalone::
         --requests 400 --distinct 40 --clients 8 \
         --out benchmarks/results/BENCH_serve.json
 
+``--fabric`` switches to the **multi-node soak**: an in-process N-node
+serve fabric (consistent-hash routing, cross-node dedup, peer fetch)
+driven closed-loop at a ladder of offered loads.  Each rung reports p50
+and p99 submit latency, throughput, and the shed rate, so the output is
+a latency/shed curve vs offered load::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --fabric \
+        --out benchmarks/results/BENCH_serve_fabric.json
+
 Under pytest this runs with a small request count as a structural smoke
 test only — timing assertions on shared CI boxes would be flaky.
 """
@@ -23,6 +32,7 @@ test only — timing assertions on shared CI boxes would be flaky.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import pathlib
 import sys
 import tempfile
@@ -31,7 +41,7 @@ import time
 if __package__ in (None, ""):
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from repro.serve import AsyncServeClient, SimulationServer
+from repro.serve import AsyncServeClient, Shed, SimulationServer
 
 
 async def _drive(server: SimulationServer, clients: int, requests: int,
@@ -57,13 +67,15 @@ def _phase(stats_before: dict, stats_after: dict, wall_s: float,
            requests: int) -> dict:
     delta = {k: stats_after[k] - stats_before.get(k, 0)
              for k in stats_after}
-    served = delta["executed"] + delta["cache_hits"] + delta["dedup_hits"]
+    served = (delta["executed"] + delta["cache_hits"]
+              + delta["dedup_hits"] + delta["lru_hits"])
     return {
         "wall_s": round(wall_s, 4),
         "requests_per_sec": round(requests / wall_s, 1) if wall_s else 0.0,
         "executed": delta["executed"],
         "dedup_hits": delta["dedup_hits"],
         "cache_hits": delta["cache_hits"],
+        "lru_hits": delta["lru_hits"],
         "dedup_hit_rate_pct": round(100 * delta["dedup_hits"] / served, 1)
         if served else 0.0,
         "shed": delta["shed"],
@@ -103,6 +115,130 @@ def run_bench(requests: int, distinct: int, clients: int, workers: int,
 
 
 # --------------------------------------------------------------------------
+# Multi-node fabric soak: latency/shed curves vs offered load.
+# --------------------------------------------------------------------------
+
+
+async def _start_fabric(nodes: int, workers: int, max_pending: int,
+                        cache_root: str) -> list[SimulationServer]:
+    """An in-process fabric: node 0 seeds, the rest join through it.
+
+    Each node gets its *own* cache directory so cross-node traffic
+    (forwarding, peer fetch) is real work, not a shared-disk shortcut.
+    """
+    servers: list[SimulationServer] = []
+    for i in range(nodes):
+        peers = [f"127.0.0.1:{servers[0].port}"] if servers else []
+        s = SimulationServer(
+            port=0, node_id=f"bn{i}", workers=workers,
+            max_pending=max_pending,
+            cache_dir=str(pathlib.Path(cache_root) / f"node{i}"),
+            peers=peers)
+        await s.start()
+        servers.append(s)
+    while not all(len(s.membership.members) == nodes for s in servers):
+        await asyncio.sleep(0.01)
+    return servers
+
+
+def _percentile_ms(sorted_s: list, q: float) -> float:
+    if not sorted_s:
+        return 0.0
+    idx = min(len(sorted_s) - 1, int(q * (len(sorted_s) - 1) + 0.5))
+    return round(sorted_s[idx] * 1000, 3)
+
+
+async def _soak_level(servers: list, offered: int, requests: int,
+                      distinct: int, sleep_s: float, tag: str) -> dict:
+    """One rung of the load ladder: ``offered`` closed-loop submitters.
+
+    Every submitter owns a connection to a node (round-robin over the
+    fabric) and fires its next request as soon as the previous one
+    finishes, so ``offered`` is the steady-state concurrency.  Shed
+    responses count against the rung instead of being retried — the
+    curve should show where admission control starts refusing.
+    """
+    clients = [await AsyncServeClient.connect(
+        port=servers[i % len(servers)].port) for i in range(offered)]
+    latencies: list = []
+    shed = 0
+    seq = itertools.count()
+
+    async def submitter(c: AsyncServeClient) -> None:
+        nonlocal shed
+        while True:
+            i = next(seq)
+            if i >= requests:
+                return
+            payload = {"soak": tag, "i": i % distinct}
+            t0 = time.perf_counter()
+            try:
+                await c.submit("echo", payload, sleep_s=sleep_s)
+                latencies.append(time.perf_counter() - t0)
+            except Shed:
+                shed += 1
+
+    before = {k: 0 for k in servers[0].table.stats.as_dict()}
+    for s in servers:
+        for k, v in s.table.stats.as_dict().items():
+            before[k] += v
+    t0 = time.perf_counter()
+    try:
+        await asyncio.gather(*[submitter(c) for c in clients])
+    finally:
+        for c in clients:
+            await c.close()
+    wall_s = time.perf_counter() - t0
+    fabric = {k: -v for k, v in before.items()}
+    for s in servers:
+        for k, v in s.table.stats.as_dict().items():
+            fabric[k] += v
+    latencies.sort()
+    return {
+        "offered": offered,
+        "completed": len(latencies),
+        "shed": shed,
+        "shed_rate_pct": round(100 * shed / requests, 2),
+        "p50_ms": _percentile_ms(latencies, 0.50),
+        "p99_ms": _percentile_ms(latencies, 0.99),
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(len(latencies) / wall_s, 1)
+        if wall_s else 0.0,
+        "fabric": {k: fabric[k] for k in
+                   ("executed", "dedup_hits", "lru_hits", "cache_hits",
+                    "forwarded", "forward_failed", "peer_fetch_hits",
+                    "peer_fetch_misses")},
+    }
+
+
+def run_fabric_bench(nodes: int, workers: int, max_pending: int,
+                     levels: list, requests: int, distinct: int,
+                     sleep_s: float, cache_root: str) -> dict:
+    """The soak: one fabric, a ladder of offered loads, curve per rung."""
+
+    async def _main() -> dict:
+        servers = await _start_fabric(nodes, workers, max_pending,
+                                      cache_root)
+        try:
+            report = {
+                "nodes": nodes, "workers_per_node": workers,
+                "max_pending": max_pending, "requests_per_level": requests,
+                "distinct": distinct, "sleep_s": sleep_s,
+                "levels": [],
+            }
+            for offered in levels:
+                report["levels"].append(await _soak_level(
+                    servers, offered, requests, distinct, sleep_s,
+                    tag=f"L{offered}"))
+            return report
+        finally:
+            for s in servers:
+                await s.aclose()
+
+    return asyncio.run(_main())
+
+
+# --------------------------------------------------------------------------
 # Pytest smoke: structure + dedup/cache accounting, no timing assertions.
 # --------------------------------------------------------------------------
 
@@ -115,11 +251,33 @@ def test_serve_bench_smoke(tmp_path):
     assert cold["executed"] == 8
     assert cold["dedup_hits"] == 32
     assert cold["shed"] == 0
-    # Warm: nothing executes; the on-disk cache answers every fresh job.
+    # Warm: nothing executes; the cache tiers (hot LRU in front of the
+    # on-disk store) answer every request without touching a worker.
     assert warm["executed"] == 0
-    assert warm["cache_hits"] + warm["dedup_hits"] == 40
-    assert warm["cache_hits"] >= 8
+    assert warm["lru_hits"] + warm["cache_hits"] + warm["dedup_hits"] == 40
+    assert warm["lru_hits"] + warm["cache_hits"] >= 8
     assert report["phases"]["cold"]["requests_per_sec"] > 0
+
+
+def test_serve_fabric_soak_smoke(tmp_path):
+    """Structural smoke for the multi-node soak: the ladder runs, every
+    request is accounted for (completed or shed), the percentiles are
+    ordered, and the fabric actually routed cross-node work."""
+    report = run_fabric_bench(nodes=3, workers=1, max_pending=32,
+                              levels=[2, 6], requests=36, distinct=12,
+                              sleep_s=0.005, cache_root=str(tmp_path))
+    assert [lv["offered"] for lv in report["levels"]] == [2, 6]
+    for lv in report["levels"]:
+        assert lv["completed"] + lv["shed"] == 36
+        assert 0 < lv["p50_ms"] <= lv["p99_ms"]
+        assert lv["throughput_rps"] > 0
+        assert lv["shed_rate_pct"] == round(100 * lv["shed"] / 36, 2)
+    routed = sum(lv["fabric"]["forwarded"] for lv in report["levels"])
+    assert routed > 0                   # keys really route across nodes
+    served = sum(lv["fabric"]["executed"] + lv["fabric"]["lru_hits"]
+                 + lv["fabric"]["cache_hits"] + lv["fabric"]["dedup_hits"]
+                 for lv in report["levels"])
+    assert served >= sum(lv["completed"] for lv in report["levels"])
 
 
 def main(argv=None) -> int:
@@ -132,12 +290,25 @@ def main(argv=None) -> int:
         clients=8,
         workers=4,
         sleep_s=(0.0, "per-job busy time (0 isolates service overhead)"),
+        fabric=(False, "run the multi-node soak instead of the single-node "
+                       "throughput phases"),
+        nodes=(3, "[fabric] node count"),
+        max_pending=(16, "[fabric] per-node admission queue bound"),
+        levels=("4,8,16,32,64", "[fabric] offered-load ladder "
+                                "(closed-loop submitter counts)"),
     )
     args = ap.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="bench-serve-") as cache_dir:
-        report = run_bench(args.requests, args.distinct, args.clients,
-                           args.workers, args.sleep_s, cache_dir)
+        if args.fabric:
+            levels = [int(x) for x in str(args.levels).split(",") if x]
+            report = run_fabric_bench(
+                args.nodes, args.workers, args.max_pending, levels,
+                args.requests, args.distinct,
+                args.sleep_s or 0.01, cache_dir)
+        else:
+            report = run_bench(args.requests, args.distinct, args.clients,
+                               args.workers, args.sleep_s, cache_dir)
     write_json_report(report, args.out)
     return 0
 

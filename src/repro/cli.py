@@ -377,16 +377,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if cache_dir is None and args.cache:
         cache_dir = default_cache_dir()
     port = args.port if args.port is not None else DEFAULT_PORT
+    peers = [p for chunk in (args.peers or "").split(",")
+             if (p := chunk.strip())]
     server = SimulationServer(
         host=args.host, port=port, workers=args.workers,
         max_pending=args.max_pending, job_timeout_s=args.timeout,
-        cache_dir=str(cache_dir) if cache_dir else None, salt=args.salt)
+        cache_dir=str(cache_dir) if cache_dir else None, salt=args.salt,
+        node_id=args.node_id, peers=peers, lru_entries=args.lru_entries)
 
     async def _run() -> None:
         await server.start()
+        fabric = (f", fabric node {server.node_id} "
+                  f"({len(server.membership.members)} members)"
+                  if peers or args.node_id else "")
         print(f"repro.serve listening on {server.host}:{server.port} "
               f"({server.workers} workers, max {server.max_pending} pending, "
-              f"cache {'on: ' + str(cache_dir) if cache_dir else 'off'})",
+              f"cache {'on: ' + str(cache_dir) if cache_dir else 'off'}"
+              f"{fabric})",
               flush=True)
         server.install_signal_handlers()
         await server.wait_closed()
@@ -716,6 +723,14 @@ def make_parser() -> argparse.ArgumentParser:
                    help="cache under the default location or $REPRO_CACHE_DIR")
     p.add_argument("--salt", default="",
                    help="extra cache-key salt (matches SweepRunner's)")
+    p.add_argument("--peers", default="",
+                   help="comma-separated host:port list of fabric peers; "
+                        "this node announces itself to them and joins the "
+                        "consistent-hash ring (see docs/SERVING.md)")
+    p.add_argument("--node-id", default=None,
+                   help="stable fabric node id (default: host:port)")
+    p.add_argument("--lru-entries", type=int, default=1024,
+                   help="hot in-memory result-cache entries (default 1024)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(

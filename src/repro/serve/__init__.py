@@ -33,8 +33,11 @@ from repro.serve.client import (
     Shed,
 )
 from repro.serve.jobs import Job, JobTable, ServiceStats
+from repro.serve.lru import LRUCache, LRUStats
 from repro.serve.ops import DEFAULT_OPERATIONS
+from repro.serve.peer import Membership, PeerLink, parse_addr
 from repro.serve.pool import JobFailure, JobTimeout, WorkerDied, WorkerPool
+from repro.serve.ring import DEFAULT_VNODES, HashRing
 from repro.serve.protocol import (
     DEFAULT_PORT,
     PROTOCOL_VERSION,
@@ -47,12 +50,18 @@ __all__ = [
     "AsyncServeClient",
     "DEFAULT_OPERATIONS",
     "DEFAULT_PORT",
+    "DEFAULT_VNODES",
+    "HashRing",
     "Job",
     "JobFailed",
     "JobFailure",
     "JobTable",
     "JobTimeout",
+    "LRUCache",
+    "LRUStats",
+    "Membership",
     "PROTOCOL_VERSION",
+    "PeerLink",
     "ProtocolError",
     "RemoteError",
     "ServeClient",
@@ -63,4 +72,5 @@ __all__ = [
     "SimulationServer",
     "WorkerDied",
     "WorkerPool",
+    "parse_addr",
 ]

@@ -15,6 +15,20 @@ Failure surfacing: a failed job raises :class:`JobFailed` whose message
 *includes the original worker-side traceback*, so remote failures read like
 local ones.  Admission-control refusals raise :class:`Shed` — catch it and
 back off.
+
+Connection-failure semantics (``retries`` on :meth:`AsyncServeClient.open`
+and :meth:`AsyncServeClient.submit`) distinguish two cases that earlier
+drafts lumped together under ``OSError``:
+
+* **Refused / dropped before any response** — the server never observed
+  the request (connect refused, or the connection died before a single
+  event arrived for it).  Retrying with backoff is safe and transparent.
+* **Reset mid-response** — the server *accepted* the submit: a stream
+  subscription exists server-side and the job may be running.  Blindly
+  resubmitting would open a second subscription (and re-enter admission
+  control) for work already in flight, so the client raises
+  :class:`ServerClosed` instead and lets the caller decide — a resubmit
+  is cheap (content-keyed dedup/cache absorb it) but must be deliberate.
 """
 
 from __future__ import annotations
@@ -92,17 +106,35 @@ class AsyncServeClient:
         self._ids = itertools.count(1)
         self._reader_task: Optional[asyncio.Task] = None
         self._wlock = asyncio.Lock()
+        self._conn_lock = asyncio.Lock()    # serializes reconnects
 
     @classmethod
     async def connect(cls, host: str = "127.0.0.1",
-                      port: int = P.DEFAULT_PORT) -> "AsyncServeClient":
+                      port: int = P.DEFAULT_PORT,
+                      retries: int = 0,
+                      backoff_base_s: float = 0.05) -> "AsyncServeClient":
         c = cls(host, port)
-        await c.open()
+        await c.open(retries=retries, backoff_base_s=backoff_base_s)
         return c
 
-    async def open(self) -> None:
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port, limit=P.MAX_LINE_BYTES)
+    async def open(self, retries: int = 0,
+                   backoff_base_s: float = 0.05) -> None:
+        """Connect; optionally retry *refused* connections with backoff.
+
+        Only ``ConnectionRefusedError`` is retried — nothing was sent, so
+        retrying is always safe (a server still binding its socket).  Any
+        other ``OSError`` (unreachable host, reset during the handshake)
+        propagates on the first occurrence.
+        """
+        for attempt in range(1, retries + 2):
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port, limit=P.MAX_LINE_BYTES)
+                break
+            except ConnectionRefusedError:
+                if attempt > retries:
+                    raise
+                await asyncio.sleep(backoff_base_s * (2 ** (attempt - 1)))
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     async def __aenter__(self) -> "AsyncServeClient":
@@ -114,9 +146,9 @@ class AsyncServeClient:
         await self.close()
 
     async def close(self) -> None:
-        if self._reader_task is not None:
-            self._reader_task.cancel()
-            self._reader_task = None
+        task, self._reader_task = self._reader_task, None
+        if task is not None:
+            task.cancel()
         if self._writer is not None:
             try:
                 self._writer.close()
@@ -124,11 +156,20 @@ class AsyncServeClient:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
             self._writer = None
+        self._reader = None
+        # Wake every waiter so nothing hangs on a dead connection (the
+        # demoted reader task no longer broadcasts).
+        for q in self._pending.values():
+            q.put_nowait({"event": "__closed__"})
 
     async def _read_loop(self) -> None:
+        # Bind the reader at spawn: after a reconnect this task must keep
+        # draining *its* connection (or exit), never the successor's.
+        reader = self._reader
+        me = asyncio.current_task()
         try:
             while True:
-                line = await self._reader.readline()
+                line = await reader.readline()
                 if not line:
                     break
                 event = P.decode_frame(line)
@@ -138,11 +179,21 @@ class AsyncServeClient:
         except (asyncio.CancelledError, ConnectionResetError):
             pass
         finally:
-            # Wake every waiter so nothing hangs on a dead connection.
-            for q in self._pending.values():
-                q.put_nowait({"event": "__closed__"})
+            # Wake every waiter so nothing hangs on a dead connection —
+            # but only while this task is still the active reader.  A
+            # demoted task broadcasting would falsely close requests
+            # already riding the replacement connection.
+            if self._reader_task is me:
+                for q in self._pending.values():
+                    q.put_nowait({"event": "__closed__"})
 
     async def _request(self, frame: dict) -> asyncio.Queue:
+        # Fail fast on a connection already known dead: the read loop's
+        # __closed__ broadcast has already happened, so a queue registered
+        # now would never be woken.
+        if (self._writer is None or self._writer.is_closing()
+                or self._reader_task is None or self._reader_task.done()):
+            raise ConnectionResetError("connection is closed")
         req = next(self._ids)
         frame["req"] = req
         q: asyncio.Queue = asyncio.Queue()
@@ -170,6 +221,8 @@ class AsyncServeClient:
         quiet: bool = True,
         timeout_s: Optional[float] = None,
         on_event: Optional[Callable[[dict], None]] = None,
+        retries: int = 0,
+        backoff_base_s: float = 0.05,
         **kwargs: Any,
     ) -> Any:
         """Run operation ``fn`` remotely; returns the decoded result.
@@ -177,22 +230,71 @@ class AsyncServeClient:
         Raises :class:`JobFailed` (original worker traceback attached),
         :class:`Shed` (admission control), or :class:`ServerClosed`.
         ``on_event`` observes every event (accepted/state/terminal).
+
+        With ``retries > 0`` connection failures are retried with
+        exponential backoff — but only while the failure is provably
+        *pre-acceptance* (connect refused, or the connection dropped
+        before any event arrived for this request): the server never saw
+        the submit, so resubmitting is safe.  Once any event has been
+        received, a dropped connection raises :class:`ServerClosed` —
+        the submit stream is a live server-side subscription, and
+        resubmitting it blindly is not idempotent (see module docstring).
         """
         enc_args, enc_kwargs = _encode_call(args, kwargs)
-        frame = P.submit_frame(0, fn, enc_args, enc_kwargs, quiet=quiet,
-                               timeout_s=timeout_s)
-        q = await self._request(frame)
+        for attempt in range(1, retries + 2):
+            frame = P.submit_frame(0, fn, enc_args, enc_kwargs, quiet=quiet,
+                                   timeout_s=timeout_s)
+            try:
+                q = await self._request_reconnecting(frame)
+            except ConnectionRefusedError:
+                if attempt > retries:
+                    raise
+                await asyncio.sleep(backoff_base_s * (2 ** (attempt - 1)))
+                continue
+            received = False
+            try:
+                while True:
+                    event = await q.get()
+                    if event.get("event") == "__closed__":
+                        if received or attempt > retries:
+                            raise ServerClosed(
+                                "connection closed mid-job"
+                                if received else
+                                "connection closed before the submit "
+                                "was acknowledged; retries exhausted")
+                        break   # pre-acceptance drop: safe to resubmit
+                    received = True
+                    if on_event is not None:
+                        on_event(event)
+                    if event.get("event") in P.TERMINAL_EVENTS:
+                        return _terminal_to_result(event)
+            finally:
+                self._pending.pop(frame["req"], None)
+            await asyncio.sleep(backoff_base_s * (2 ** (attempt - 1)))
+        raise ServerClosed("submit retries exhausted")  # pragma: no cover
+
+    async def _request_reconnecting(self, frame: dict) -> asyncio.Queue:
+        """:meth:`_request`, reopening a dead connection first.
+
+        A send that fails with a reset/broken pipe is mapped to
+        ``ConnectionRefusedError`` — the request produced no response, so
+        callers treat it exactly like a refused connect (retryable).
+        """
+        # Concurrent submits multiplex one client; the lock makes the
+        # dead-check + reopen atomic so racing requests share a single
+        # replacement connection instead of opening one each.
+        async with self._conn_lock:
+            if (self._writer is None or self._writer.is_closing()
+                    or self._reader_task is None
+                    or self._reader_task.done()):
+                await self.close()
+                await self.open()
         try:
-            while True:
-                event = await q.get()
-                if event.get("event") == "__closed__":
-                    raise ServerClosed("connection closed mid-job")
-                if on_event is not None:
-                    on_event(event)
-                if event.get("event") in P.TERMINAL_EVENTS:
-                    return _terminal_to_result(event)
-        finally:
-            self._pending.pop(frame["req"], None)
+            return await self._request(frame)
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            self._pending.pop(frame.get("req"), None)
+            await self.close()
+            raise ConnectionRefusedError(str(exc)) from exc
 
     async def ping(self) -> dict:
         return await self._one_shot({"op": P.OP_PING})

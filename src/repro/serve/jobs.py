@@ -51,7 +51,8 @@ class Job:
     attempts: int = 0
     subscribers: int = 1           # requests currently attached
     coalesced: int = 0             # duplicate submits absorbed (lifetime)
-    cached: bool = False           # result came from the on-disk cache
+    cached: bool = False           # result came from a cache tier
+    peer_fetched: bool = False     # ...specifically from a peer node
     created_s: float = 0.0         # event-loop clock timestamps
     started_s: float = 0.0
     finished_s: float = 0.0
@@ -113,6 +114,7 @@ class ServiceStats:
     submitted: int = 0             # submit requests admitted (incl. dedup)
     executed: int = 0              # jobs that actually ran on the pool
     cache_hits: int = 0            # jobs answered from the on-disk cache
+    lru_hits: int = 0              # submits answered from the hot LRU tier
     dedup_hits: int = 0            # submits coalesced onto in-flight jobs
     completed: int = 0
     failed: int = 0
@@ -120,6 +122,10 @@ class ServiceStats:
     shed: int = 0                  # submits refused by admission control
     retries: int = 0               # worker-death retries
     cancelled: int = 0
+    forwarded: int = 0             # submits routed to the key's owner node
+    forward_failed: int = 0        # forwards that fell back to local run
+    peer_fetch_hits: int = 0       # cache misses answered by a peer fetch
+    peer_fetch_misses: int = 0     # peer fetches that found nothing
 
     def as_dict(self) -> dict:
         return dict(vars(self))

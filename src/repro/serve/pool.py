@@ -28,6 +28,7 @@ returns can be stored directly in the shared :class:`repro.harness.ResultCache`.
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -84,6 +85,25 @@ def _run_guarded(fn_ref: str, enc_args: Any, enc_kwargs: Any,
         }}
 
 
+def _mp_context():
+    """A start method whose workers do not inherit the server's sockets.
+
+    The default ``fork`` method duplicates every open file descriptor
+    into the worker, connection sockets included.  A worker forked while
+    connections are open then *pins* them: when the server closes its
+    side no FIN is ever sent (the worker's duplicate keeps the TCP
+    connection ESTABLISHED), so peers and clients blocked on the socket
+    never learn the node is gone — fatal for a fabric whose failure
+    detection is "the connection died".  ``forkserver`` (and ``spawn``)
+    start workers from a clean exec'd process, so the only descriptors
+    they hold are their own work pipes.
+    """
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
 class WorkerPool:
     """Async facade over a replaceable ProcessPoolExecutor.
 
@@ -115,7 +135,8 @@ class WorkerPool:
     # ----------------------------------------------------------- executor
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=_mp_context())
         return self._executor
 
     def _recycle(self) -> None:

@@ -24,6 +24,24 @@ connection):
 ``{"op": "ping", "req": 4}``        liveness probe.
 ``{"op": "drain", "req": 5}``       begin graceful drain (what SIGTERM does).
 
+Fabric ops (node <-> node; protocol v2, see :mod:`repro.serve.peer`):
+
+``{"op": "submit", ..., "fwd": true}``
+    A submit forwarded by a peer that is not the key's owner.  The
+    receiving node executes locally and never re-forwards — the marker
+    breaks routing loops while membership views disagree.
+``{"op": "peer_fetch", "req": 6, "key": "<sha256 hex>"}``
+    Ask a peer for its cached result under a content key (both tiers:
+    in-memory LRU, then disk).  Answered with one ``peer_result`` event:
+    ``{"event": "peer_result", "hit": bool, "result": <encoded>|null}``.
+    A fetch never triggers computation on the answering node.
+``{"op": "membership", "req": 7, "action": "join"|"leave"|"sync",
+"node": "<id>", "addr": "host:port", "members": [[node, addr], ...]}``
+    Gossip membership.  ``join`` adds the announcing node, ``leave``
+    removes it (graceful drain announces this), ``sync`` merges the
+    carried member view.  Answered with one ``membership`` event carrying
+    the receiver's full post-merge view.
+
 Server -> client events for a ``submit`` (all tagged with ``req``):
 
 ``{"event": "accepted", "job": "<key12>", "deduped": bool, ...}``
@@ -54,7 +72,9 @@ from typing import Any, Optional
 DEFAULT_PORT = 7433
 
 #: Protocol revision, reported by ping/status and checked by clients.
-PROTOCOL_VERSION = 1
+#: v2 adds the fabric surface: the ``fwd`` submit marker, ``peer_fetch``,
+#: and ``membership`` (all additive; v1 clients interoperate unchanged).
+PROTOCOL_VERSION = 2
 
 #: Cap on one NDJSON line (requests and events).  Large simulation results
 #: stay well under this; the cap bounds memory per connection.
@@ -66,7 +86,16 @@ OP_STATUS = "status"
 OP_JOBS = "jobs"
 OP_PING = "ping"
 OP_DRAIN = "drain"
-OPS = (OP_SUBMIT, OP_STATUS, OP_JOBS, OP_PING, OP_DRAIN)
+OP_PEER_FETCH = "peer_fetch"
+OP_MEMBERSHIP = "membership"
+OPS = (OP_SUBMIT, OP_STATUS, OP_JOBS, OP_PING, OP_DRAIN,
+       OP_PEER_FETCH, OP_MEMBERSHIP)
+
+# Membership actions.
+MEMBER_JOIN = "join"
+MEMBER_LEAVE = "leave"
+MEMBER_SYNC = "sync"
+MEMBER_ACTIONS = (MEMBER_JOIN, MEMBER_LEAVE, MEMBER_SYNC)
 
 # Event names.
 EV_ACCEPTED = "accepted"
@@ -79,6 +108,8 @@ EV_PONG = "pong"
 EV_STATUS = "status"
 EV_JOBS = "jobs"
 EV_DRAINING = "draining"
+EV_PEER_RESULT = "peer_result"      # answer to peer_fetch
+EV_MEMBERSHIP = "membership"        # answer to a membership exchange
 
 #: Events that end a submit stream.
 TERMINAL_EVENTS = (EV_DONE, EV_FAILED, EV_SHED, EV_ERROR)
@@ -138,7 +169,8 @@ def decode_frame(line: bytes) -> dict:
 
 def submit_frame(req: int, fn: str, enc_args: Any, enc_kwargs: Any,
                  quiet: bool = False,
-                 timeout_s: Optional[float] = None) -> dict:
+                 timeout_s: Optional[float] = None,
+                 fwd: bool = False) -> dict:
     """Build a submit request (args/kwargs already codec-encoded)."""
     frame: dict = {"op": OP_SUBMIT, "req": req, "fn": fn,
                    "args": enc_args, "kwargs": enc_kwargs}
@@ -146,7 +178,21 @@ def submit_frame(req: int, fn: str, enc_args: Any, enc_kwargs: Any,
         frame["quiet"] = True
     if timeout_s is not None:
         frame["timeout_s"] = timeout_s
+    if fwd:
+        frame["fwd"] = True
     return frame
+
+
+def peer_fetch_frame(req: int, key: str) -> dict:
+    """Build a peer cache-fetch request for a content key."""
+    return {"op": OP_PEER_FETCH, "req": req, "key": key}
+
+
+def membership_frame(req: int, action: str, node: str, addr: str,
+                     members: list) -> dict:
+    """Build a membership gossip frame (``members`` is [[node, addr], ...])."""
+    return {"op": OP_MEMBERSHIP, "req": req, "action": action,
+            "node": node, "addr": addr, "members": members}
 
 
 def event_frame(req: Any, event: str, **fields: Any) -> dict:

@@ -29,6 +29,21 @@ Robustness under load:
   work, lets in-flight jobs finish and their results reach every waiting
   subscriber, then closes the listener and exits.  A second SIGTERM hard
   stops.
+
+The fabric (``peers=[...]`` / ``repro serve --peers``): N peer nodes form
+a shared-nothing cluster routed by a consistent-hash ring over the same
+content keys (:mod:`repro.serve.ring`).  A submit landing on a non-owner
+is **forwarded** to the key's owner (its event stream relayed back
+verbatim, tagged ``via``), so identical requests entering *any* node
+coalesce on one execution — cross-node single-flight.  Reads go through
+a **two-tier cache**: a hot in-memory LRU (:mod:`repro.serve.lru`) in
+front of the on-disk :class:`ResultCache`, and on a double miss the owner
+asks its peers for the key (**peer-fetch**) before paying for recompute.
+Membership is gossiped (:mod:`repro.serve.peer`): joins announce
+themselves and propagate, graceful drains announce ``leave`` before
+finishing, and an unreachable forward target is removed locally — the
+ring re-shards and the submit falls back to local execution, so a dead
+node degrades throughput, never correctness.
 """
 
 from __future__ import annotations
@@ -37,7 +52,7 @@ import asyncio
 import json
 import signal
 import time
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro import obs
 from repro.harness.parallel import (
@@ -56,9 +71,12 @@ from repro.serve.jobs import (
     RUNNING,
     TIMEOUT,
 )
+from repro.serve.lru import DEFAULT_MAX_BYTES, DEFAULT_MAX_ENTRIES, LRUCache
 from repro.serve.ops import DEFAULT_OPERATIONS
+from repro.serve.peer import Membership, PeerLink
 from repro.serve.pool import JobFailure, JobTimeout, WorkerDied, WorkerPool
 from repro.serve.protocol import RemoteError
+from repro.serve.ring import DEFAULT_VNODES
 
 
 class SimulationServer:
@@ -82,6 +100,12 @@ class SimulationServer:
         operations: Optional[dict[str, str]] = None,
         max_retries: int = 3,
         backoff_base_s: float = 0.05,
+        node_id: Optional[str] = None,
+        peers: Optional[Sequence[str]] = None,
+        vnodes: int = DEFAULT_VNODES,
+        lru_entries: int = DEFAULT_MAX_ENTRIES,
+        lru_bytes: int = DEFAULT_MAX_BYTES,
+        peer_fetch: bool = True,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -98,6 +122,17 @@ class SimulationServer:
         self._max_retries = max_retries
         self._backoff_base_s = backoff_base_s
 
+        # Fabric state.  node_id defaults to "host:port" once the socket
+        # is bound; membership (self + gossip-learned peers) and the ring
+        # are built in start().
+        self.node_id = node_id
+        self.seed_peers: list[str] = list(peers or [])
+        self.vnodes = vnodes
+        self.peer_fetch = peer_fetch
+        self.membership: Optional[Membership] = None
+        self.lru = LRUCache(max_entries=lru_entries, max_bytes=lru_bytes)
+        self._links: dict[str, PeerLink] = {}
+
         self.table = JobTable()
         self.pool: Optional[WorkerPool] = None
         self.draining = False
@@ -106,8 +141,10 @@ class SimulationServer:
         self._job_tasks: set[asyncio.Task] = set()
         self._conn_tasks: set[asyncio.Task] = set()
         self._stream_tasks: set[asyncio.Task] = set()
+        self._gossip_tasks: set[asyncio.Task] = set()
         self._closed = asyncio.Event()
         self._with_obs = False
+        self._counters = None
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> "SimulationServer":
@@ -122,6 +159,18 @@ class SimulationServer:
             self._on_connection, self.host, self.port,
             limit=P.MAX_LINE_BYTES)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.node_id is None:
+            self.node_id = f"{self.host}:{self.port}"
+        self.membership = Membership(self.node_id,
+                                     f"{self.host}:{self.port}",
+                                     vnodes=self.vnodes)
+        scope = obs.metrics(f"serve.{self.node_id}")
+        self._counters = {
+            name: scope.counter(name)
+            for name in ("forwarded", "forward_failed", "peer_fetch_hits",
+                         "peer_fetch_misses", "lru_hits", "shed")
+        }
+        await self._announce_join()
         self._started_s = time.monotonic()
         return self
 
@@ -154,6 +203,11 @@ class SimulationServer:
         asyncio.ensure_future(self._drain())
 
     async def _drain(self) -> None:
+        # Graceful re-shard: tell every peer we are leaving *before*
+        # draining, so new keys stop routing here while in-flight jobs
+        # finish.  Best effort — an unreachable peer will discover the
+        # departure through forward-failure detection instead.
+        await self._announce_leave()
         # In-flight jobs run to completion; their terminal events are
         # published to subscriber queues before the tasks finish.
         while self._job_tasks:
@@ -171,6 +225,11 @@ class SimulationServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for t in list(self._gossip_tasks):
+            t.cancel()
+        for link in list(self._links.values()):
+            await link.aclose()
+        self._links.clear()
         for t in list(self._conn_tasks):
             t.cancel()
         for t in list(self._job_tasks):
@@ -190,9 +249,114 @@ class SimulationServer:
         self.install_signal_handlers()
         await self.wait_closed()
 
+    # ------------------------------------------------------------- fabric
+    def _count(self, name: str, n: int = 1) -> None:
+        """Increment the node's obs counter ``serve.<node_id>.<name>``."""
+        if self._counters is not None:
+            self._counters[name].inc(n)
+
+    def _link(self, addr: str) -> PeerLink:
+        link = self._links.get(addr)
+        if link is None:
+            link = self._links[addr] = PeerLink(addr)
+        return link
+
+    async def _announce_join(self) -> None:
+        """Introduce this node to its seed peers and whoever they know.
+
+        Walks outward from the configured ``peers`` list: every answered
+        announcement merges the peer's member view, and newly learned
+        members get announced to as well, so a join converges in one pass
+        even when the seeds only know a subset of the fabric.  Peers that
+        are not up yet are skipped — they will learn about us when *they*
+        join through any node that heard this announcement.
+        """
+        assert self.membership is not None
+        announced = {self.membership.self_addr}
+        pending = list(self.seed_peers)
+        unreached: list[str] = []
+        while pending:
+            addr = pending.pop()
+            if addr in announced:
+                continue
+            announced.add(addr)
+            view = await self._link(addr).announce(
+                P.MEMBER_JOIN, self.node_id, self.membership.self_addr,
+                self.membership.view())
+            if view is not None:
+                self.membership.merge(view)
+                pending.extend(a for _, a in self.membership.view()
+                               if a not in announced)
+            elif addr in self.seed_peers:
+                unreached.append(addr)
+        if unreached:
+            t = asyncio.ensure_future(self._retry_join(unreached))
+            self._gossip_tasks.add(t)
+            t.add_done_callback(self._gossip_tasks.discard)
+
+    async def _retry_join(self, addrs: list, base_s: float = 0.25,
+                          attempts: int = 6) -> None:
+        """Keep knocking on configured seeds that were not up yet.
+
+        Two nodes started simultaneously race their listeners: the
+        one-shot join announcement can hit a seed whose socket is not
+        bound yet, and a *seed* never joins anyone itself, so without a
+        retry the fabric stays silently partitioned.  Seeds are explicit
+        operator configuration, so they get a bounded retry window
+        (~16 s of exponential backoff); transitively learned members
+        remain one-shot — they reach us through gossip.
+        """
+        for attempt in range(attempts):
+            await asyncio.sleep(base_s * (2 ** attempt))
+            if self.draining or self._closed.is_set():
+                return
+            assert self.membership is not None
+            still: list[str] = []
+            for addr in addrs:
+                view = await self._link(addr).announce(
+                    P.MEMBER_JOIN, self.node_id, self.membership.self_addr,
+                    self.membership.view())
+                if view is None:
+                    still.append(addr)
+                else:
+                    self.membership.merge(view)
+            if not still:
+                return
+            addrs = still
+
+    async def _announce_leave(self) -> None:
+        if self.membership is None:
+            return
+        for node in self.membership.others():
+            addr = self.membership.addr_of(node)
+            if addr:
+                await self._link(addr).announce(
+                    P.MEMBER_LEAVE, self.node_id, self.membership.self_addr,
+                    [])
+
+    def _spawn_gossip(self) -> None:
+        """Push the current view to every known member (fire and forget)."""
+        t = asyncio.ensure_future(self._gossip_sync())
+        self._gossip_tasks.add(t)
+        t.add_done_callback(self._gossip_tasks.discard)
+
+    async def _gossip_sync(self) -> None:
+        if self.membership is None:
+            return
+        view = self.membership.view()
+        for node in self.membership.others():
+            addr = self.membership.addr_of(node)
+            if addr:
+                reply = await self._link(addr).announce(
+                    P.MEMBER_SYNC, self.node_id, self.membership.self_addr,
+                    view)
+                if reply is not None:
+                    self.membership.merge(reply)
+
     # ------------------------------------------------------------- status
     def status(self) -> dict:
         pool = self.pool
+        m = self.membership
         return {
             "version": P.PROTOCOL_VERSION,
             "uptime_s": round(time.monotonic() - self._started_s, 3)
@@ -202,6 +366,11 @@ class SimulationServer:
             "max_pending": self.max_pending,
             "depth": self.table.depth,
             "cache": self.cache is not None,
+            "node": self.node_id,
+            "members": m.view() if m is not None else [],
+            "membership_version": m.version if m is not None else 0,
+            "lru": {"entries": len(self.lru), "bytes": self.lru.bytes,
+                    **self.lru.stats.as_dict()},
             "pool": {
                 "retries": pool.retries if pool else 0,
                 "recycles": pool.recycles if pool else 0,
@@ -287,6 +456,10 @@ class SimulationServer:
             self.begin_drain()
             await send(P.event_frame(req, P.EV_DRAINING,
                                      depth=self.table.depth))
+        elif op == P.OP_PEER_FETCH:
+            await self._handle_peer_fetch(req, frame, send)
+        elif op == P.OP_MEMBERSHIP:
+            await self._handle_membership(req, frame, send)
         else:
             await send(P.event_frame(req, P.EV_ERROR,
                                      error=f"unknown op {op!r}"))
@@ -315,6 +488,7 @@ class SimulationServer:
     async def _handle_submit(self, req, frame: dict, send) -> None:
         if self.draining:
             self.table.stats.shed += 1
+            self._count("shed")
             await send(P.event_frame(req, P.EV_SHED, reason="draining",
                                      depth=self.table.depth))
             return
@@ -325,9 +499,35 @@ class SimulationServer:
             return
         key = task.cache_key(self.salt + obs.cache_token())
 
+        # Hot tier: an LRU hit answers immediately on any node — owner or
+        # not — without touching admission control, the ring, or a worker.
+        encoded = self.lru.get(key)
+        if encoded is not None:
+            self.table.stats.lru_hits += 1
+            self._count("lru_hits")
+            await send(P.event_frame(req, P.EV_ACCEPTED, job=key[:12],
+                                     deduped=False, depth=self.table.depth,
+                                     tier="lru"))
+            await send(P.event_frame(req, P.EV_DONE, job=key[:12],
+                                     result=self._unwrap_obs(encoded),
+                                     cached=True, attempts=0, elapsed_s=0.0))
+            return
+
+        # Routing: a submit for a key another node owns is forwarded there
+        # (cross-node single-flight), unless it already *was* forwarded —
+        # the fwd marker breaks loops while membership views disagree.
+        if self.membership is not None and not frame.get("fwd"):
+            owner = self.membership.owner(key)
+            if owner != self.node_id:
+                if await self._forward_submit(req, frame, send, key, owner):
+                    return
+                # Unreachable owner: drop it from the ring (re-shard) and
+                # run the job here — degraded placement, same answer.
+
         in_flight = key in self.table.active
         if not in_flight and self.table.depth >= self.max_pending:
             self.table.stats.shed += 1
+            self._count("shed")
             await send(P.event_frame(
                 req, P.EV_SHED, depth=self.table.depth,
                 reason=f"queue full ({self.table.depth}/{self.max_pending})"))
@@ -356,9 +556,82 @@ class SimulationServer:
             job.unsubscribe(queue)
             job.subscribers -= 1
 
+    async def _forward_submit(self, req, frame: dict, send, key: str,
+                              owner: str) -> bool:
+        """Relay a submit to the key's owner; True once terminal relayed.
+
+        The owner's ``done`` result warms this node's LRU, so a hot key
+        answers locally next time no matter which node it lands on.
+        """
+        addr = self.membership.addr_of(owner)
+        if addr is None:
+            return False
+        self.table.stats.forwarded += 1
+        self._count("forwarded")
+
+        async def relay(event: dict) -> None:
+            if event.get("event") == P.EV_DONE and "result" in event:
+                self.lru.put(key, event["result"])
+            await send(event)
+
+        fwd = dict(frame)
+        fwd["req"] = req
+        ok = await self._link(addr).forward_submit(fwd, relay,
+                                                   via=self.node_id)
+        if not ok:
+            self.table.stats.forward_failed += 1
+            self._count("forward_failed")
+            self.membership.remove(owner)
+        return ok
+
+    async def _handle_peer_fetch(self, req, frame: dict, send) -> None:
+        """Answer a peer's cache probe from either tier; never computes."""
+        key = frame.get("key")
+        encoded = None
+        if isinstance(key, str) and key:
+            encoded = self.lru.get(key)
+            if encoded is None and self.cache is not None:
+                blob = self.cache.load(key)
+                if blob is not None:
+                    encoded = blob["result"]
+        await send(P.event_frame(req, P.EV_PEER_RESULT, key=key,
+                                 hit=encoded is not None, result=encoded,
+                                 node=self.node_id))
+
+    async def _handle_membership(self, req, frame: dict, send) -> None:
+        action = frame.get("action")
+        node = frame.get("node")
+        addr = frame.get("addr")
+        changed = False
+        if self.membership is not None:
+            if action == P.MEMBER_LEAVE:
+                if isinstance(node, str):
+                    changed = self.membership.remove(node)
+            elif action in (P.MEMBER_JOIN, P.MEMBER_SYNC):
+                if (action == P.MEMBER_JOIN and isinstance(node, str)
+                        and isinstance(addr, str)):
+                    changed = self.membership.add(node, addr)
+                changed = self.membership.merge(
+                    frame.get("members") or []) or changed
+                # A join that taught us something propagates: push the
+                # merged view to everyone so the fabric converges without
+                # the joiner having to know every member up front.
+                if changed and action == P.MEMBER_JOIN:
+                    self._spawn_gossip()
+            else:
+                await send(P.event_frame(
+                    req, P.EV_ERROR,
+                    error=f"unknown membership action {action!r}"))
+                return
+        await send(P.event_frame(
+            req, P.EV_MEMBERSHIP, node=self.node_id,
+            members=self.membership.view() if self.membership else [],
+            version=self.membership.version if self.membership else 0,
+            changed=changed))
+
     # ---------------------------------------------------------------- jobs
     async def _run_job(self, job: Job, timeout_s: Optional[float]) -> None:
-        """Execute one fresh job: cache, then pool; publish the terminal."""
+        """Execute one fresh job: caches, then peers, then the pool."""
         # On-disk cache first — a completed identical request (from this
         # service or any SweepRunner sweep) answers without a worker.
         if self.cache is not None:
@@ -366,8 +639,28 @@ class SimulationServer:
             if blob is not None:
                 job.cached = True
                 self.table.stats.cache_hits += 1
+                self.lru.put(job.key, blob["result"])
                 self._complete(job, blob["result"])
                 return
+        # Peer-fetch before recompute: after a membership change this node
+        # may own keys a peer already computed — ask the fabric before
+        # paying for a worker.  Any failure just reads as a miss.
+        if self.peer_fetch and self.membership is not None \
+                and self.membership.others():
+            fetched = await self._peer_fetch(job.key)
+            if fetched is not None:
+                job.cached = True
+                job.peer_fetched = True
+                self.table.stats.peer_fetch_hits += 1
+                self._count("peer_fetch_hits")
+                if self.cache is not None:
+                    self.cache.store(job.key, job.task, fetched,
+                                     salt=self.salt + obs.cache_token())
+                self.lru.put(job.key, fetched)
+                self._complete(job, fetched)
+                return
+            self.table.stats.peer_fetch_misses += 1
+            self._count("peer_fetch_misses")
         try:
             # Jobs admitted before a drain began still run to completion;
             # drain only blocks new submissions.
@@ -413,15 +706,35 @@ class SimulationServer:
         if self.cache is not None:
             self.cache.store(job.key, job.task, encoded,
                              salt=self.salt + obs.cache_token())
+        self.lru.put(job.key, encoded)
         self._complete(job, encoded)
 
-    def _complete(self, job: Job, encoded: Any) -> None:
-        """Record success and publish the terminal ``done`` event.
+    async def _peer_fetch(self, key: str) -> Any:
+        """Ask each other member for ``key``; first hit wins, else None."""
+        for node in self.membership.others():
+            addr = self.membership.addr_of(node)
+            if addr is None:
+                continue
+            encoded = await self._link(addr).peer_fetch(key)
+            if encoded is not None:
+                return encoded
+        return None
 
-        Under instrumentation the encoded payload is the SweepRunner-style
-        ``{"result", "obs"}`` wrapper (fresh or cached): the snapshot merges
-        into the service registry and clients receive the bare result.
+    def _unwrap_obs(self, encoded: Any) -> Any:
+        """Strip the ``{"result", "obs"}`` instrumentation wrapper.
+
+        Under instrumentation the encoded payload (fresh, cached, or
+        peer-fetched) carries the worker's registry snapshot: it merges
+        into the service registry and the caller gets the bare result.
         """
+        if self._with_obs and isinstance(encoded, dict) \
+                and set(encoded) == {"result", "obs"}:
+            obs.registry().merge_snapshot(encoded["obs"])
+            return encoded["result"]
+        return encoded
+
+    def _complete(self, job: Job, encoded: Any) -> None:
+        """Record success and publish the terminal ``done`` event."""
         if self._with_obs and isinstance(encoded, dict) \
                 and set(encoded) == {"result", "obs"}:
             job.obs_snapshot = encoded["obs"]

@@ -16,6 +16,22 @@ from repro.noc import ElectricalNetwork
 from repro.onoc import build_optical_network
 
 
+# Hang insurance, mainly for the socket-heavy serve/fabric suites: a
+# deadlocked await should fail with dumped stacks, not wedge the whole
+# run.  Applied only when pytest-timeout is actually installed (it ships
+# in the [dev] extras; bare environments still run the suite), and only
+# to tests that don't declare their own tighter @pytest.mark.timeout.
+DEFAULT_TEST_TIMEOUT_S = 120
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.pluginmanager.hasplugin("timeout"):
+        return
+    for item in items:
+        if item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(DEFAULT_TEST_TIMEOUT_S))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator(seed=1234)

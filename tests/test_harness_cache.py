@@ -8,6 +8,7 @@ miss-on-damage semantics, and the CLI front end over it.
 from __future__ import annotations
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -23,6 +24,16 @@ def add(a: int, b: int) -> int:
 
 def make_task(a: int, b: int):
     return task(add, a, b)
+
+
+def _race_writer(cache_dir: str, label: str, rounds: int, barrier) -> None:
+    """Child-process body: hammer one key with this writer's blobs."""
+    cache = ResultCache(cache_dir)
+    t = make_task(20, 22)
+    key = t.cache_key()
+    barrier.wait()
+    for i in range(rounds):
+        cache.store(key, t, {"writer": label, "round": i})
 
 
 # ---------------------------------------------------------- ResultCache
@@ -74,6 +85,59 @@ def test_info_and_clear(tmp_path):
     assert cache.info()["bytes"] > 0
     assert cache.clear() == 4
     assert cache.info()["entries"] == 0
+
+
+def test_concurrent_cross_process_writers_converge(tmp_path):
+    """Two separate processes racing ``store`` on the same key while this
+    process ``load``s concurrently: readers only ever observe a complete,
+    self-consistent blob (or a miss before the first publish lands), the
+    final state is exactly one valid entry belonging wholly to one writer,
+    and no ``.tmp`` intermediates leak.  This is the atomicity contract
+    the serve fabric leans on: peer nodes and sweep runners share one
+    cache directory with no coordination beyond ``os.replace``."""
+    t = make_task(20, 22)
+    key = t.cache_key()
+    rounds = 150
+    ctx = multiprocessing.get_context("spawn")
+    barrier = ctx.Barrier(3)             # 2 writers + this process
+    writers = [
+        ctx.Process(target=_race_writer,
+                    args=(str(tmp_path), label, rounds, barrier))
+        for label in ("a", "b")
+    ]
+    for p in writers:
+        p.start()
+    try:
+        cache = ResultCache(tmp_path)
+        barrier.wait(timeout=60)
+        observed = 0
+        while any(p.is_alive() for p in writers):
+            blob = cache.load(key)
+            if blob is None:             # only legal before the 1st publish
+                assert observed == 0
+                continue
+            # Never a torn read: whatever we see parses, matches the key,
+            # and is one writer's blob in its entirety.
+            assert blob["key"] == key
+            assert blob["result"]["writer"] in ("a", "b")
+            assert 0 <= blob["result"]["round"] < rounds
+            observed += 1
+        for p in writers:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+    finally:
+        for p in writers:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=10)
+
+    # Converged: exactly one well-formed entry, last write wins whole.
+    final = cache.load(key)
+    assert final is not None
+    assert final["result"] == {"writer": final["result"]["writer"],
+                               "round": rounds - 1}
+    assert sorted(p.name for p in tmp_path.glob("*")) == [f"{key}.json"]
+    assert observed > 0                  # the race actually overlapped
 
 
 def test_obs_token_partitions_keys(tmp_path):

@@ -1,0 +1,284 @@
+"""Chaos tests for the serve fabric: seeded kills, restarts, drain churn.
+
+The invariant under test is *zero lost jobs*: whatever a node does —
+dies mid-stream, refuses connections, drains away — every submitted job
+either completes with the correct (byte-identical) result via a survivor,
+or fails with a *typed* response the client can act on (``Shed`` with a
+reason, ``ServerClosed``); never a hang, never a wrong answer.
+
+All failure injection is seeded (``random.Random(SEED)``) so a failing
+run replays exactly.  Clusters are the in-process kind from
+``test_serve_fabric`` — real sockets, real gossip, real kills via
+``aclose()`` (listener gone, in-flight jobs cancelled, pool shot).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.serve import (
+    AsyncServeClient,
+    JobFailed,
+    ServerClosed,
+    Shed,
+    SimulationServer,
+)
+from tests.test_serve_fabric import (
+    _canon,
+    _key_on,
+    _local,
+    converge,
+    payload_owned_by,
+    start_cluster,
+    stop_cluster,
+)
+
+SEED = 0xC0FFEE
+
+
+async def resilient_submit(clients, order, payload, **kw):
+    """Submit through nodes in ``order``, failing over on dead ones.
+
+    This is the documented client-side recovery contract: a typed
+    connection failure (refused, reset, job cancelled by shutdown) means
+    "try another node" — safe because jobs are content-keyed and
+    idempotent.  Anything else propagates.
+    """
+    last: Exception | None = None
+    for idx in order:
+        try:
+            return await clients[idx].submit("echo", payload, **kw)
+        except (ServerClosed, ConnectionRefusedError, OSError) as exc:
+            last = exc
+        except JobFailed as exc:
+            if exc.state != "cancelled":
+                raise
+            last = exc
+    raise last  # pragma: no cover - all nodes dead means a test bug
+
+
+# --------------------------------------------------------- seeded kill
+def test_seeded_kill_mid_load_no_lost_jobs(tmp_path):
+    """Kill one (seeded) node while 24 jobs are in flight across all
+    three: every job still completes byte-identically through the
+    survivors, the survivors re-shard (the dead node leaves both rings,
+    and both route its keys identically), and a restarted node with the
+    same id rejoins and serves again."""
+    rng = random.Random(SEED)
+
+    async def body():
+        servers = await start_cluster(n=3, tmp_path=tmp_path, workers=2,
+                                      max_pending=64)
+        clients = [await AsyncServeClient.connect(port=s.port)
+                   for s in servers]
+        replacement = None
+        try:
+            victim_idx = rng.randrange(3)
+            victim = servers[victim_idx]
+            victim_id = victim.node_id
+            survivors = [s for s in servers if s is not victim]
+            survivor_idx = [i for i in range(3) if i != victim_idx]
+
+            payloads = [{"chaos": i} for i in range(24)]
+            entry_order = [
+                [i % 3] + survivor_idx for i in range(len(payloads))]
+            rng.shuffle(entry_order)
+
+            async def one(i):
+                return await resilient_submit(
+                    clients, entry_order[i], payloads[i], sleep_s=0.15)
+
+            submits = [asyncio.ensure_future(one(i))
+                       for i in range(len(payloads))]
+            await asyncio.sleep(0.1)        # let the load get in flight
+            await victim.aclose()           # hard kill, no leave announce
+
+            results = await asyncio.wait_for(
+                asyncio.gather(*submits), timeout=60)
+            for payload, result in zip(payloads, results):
+                assert _canon(result) == _local(payload, sleep_s=0.15)
+
+            # Failure detection + re-shard: any survivor still believing
+            # in the victim discovers the death on its next forward and
+            # drops it; afterwards both rings agree on every key.
+            for s, c in zip(survivors,
+                            (clients[i] for i in survivor_idx)):
+                if victim_id in s.membership.members:
+                    flush = payload_owned_by(s, victim_id, "flush")
+                    assert await c.submit("echo", flush) == flush
+                assert victim_id not in s.membership.members
+                assert s.table.stats.failed == 0
+            for i in range(16):
+                key = _key_on(survivors[0], {"route-check": i})
+                assert (survivors[0].membership.owner(key)
+                        == survivors[1].membership.owner(key))
+
+            # Restart: same node id, fresh port, seeded with one
+            # survivor — gossip re-propagates it to the whole fabric...
+            replacement = SimulationServer(
+                port=0, node_id=victim_id, workers=1,
+                cache_dir=str(tmp_path / "reborn"),
+                peers=[f"127.0.0.1:{survivors[0].port}"])
+            await replacement.start()
+            await converge([replacement, *survivors])
+
+            # ...and it owns keys again: a submit entering a survivor for
+            # a key it owns is forwarded to and executed by the reborn
+            # node.
+            back = payload_owned_by(survivors[0], victim_id, "reborn")
+            async with await AsyncServeClient.connect(
+                    port=survivors[0].port) as c:
+                assert await c.submit("echo", back) == back
+            assert replacement.table.stats.executed == 1
+        finally:
+            for c in clients:
+                await c.close()
+            if replacement is not None:
+                await replacement.aclose()
+            await stop_cluster(servers)
+
+    asyncio.run(body())
+
+
+def test_owner_dying_mid_stream_falls_back_to_forwarder(tmp_path):
+    """The nastiest path, deterministically: a forwarded job is *running*
+    on its owner when the owner dies.  The forwarder detects the broken
+    relay before any terminal event, removes the owner, and re-runs the
+    job locally — the client sees one submit complete correctly."""
+
+    async def body():
+        servers = await start_cluster(n=2, tmp_path=tmp_path, workers=1)
+        entry, owner = servers[0], servers[1]
+        try:
+            # The probe must use the same kwargs as the submit below: the
+            # routing key hashes the whole canonical task, kwargs included.
+            payload = payload_owned_by(entry, "n1", "mid-stream",
+                                       sleep_s=0.6)
+            async with await AsyncServeClient.connect(
+                    port=entry.port) as c:
+                pending = asyncio.ensure_future(
+                    c.submit("echo", payload, sleep_s=0.6))
+                while not owner.table.active:       # forwarded + admitted
+                    await asyncio.sleep(0.005)
+                await owner.aclose()
+                result = await asyncio.wait_for(pending, timeout=30)
+            assert _canon(result) == _local(payload, sleep_s=0.6)
+            assert entry.table.stats.forwarded == 1
+            assert entry.table.stats.forward_failed == 1
+            assert entry.table.stats.executed == 1      # local fallback
+            assert "n1" not in entry.membership.members
+        finally:
+            await stop_cluster(servers)
+
+    asyncio.run(body())
+
+
+# ------------------------------------------------------ drain + churn
+def test_drain_under_churn(tmp_path):
+    """Graceful drain while the fabric churns: the draining node delivers
+    its in-flight job, sheds new work with a typed reason, announces
+    ``leave`` so peers re-shard *before* it exits — all while a brand-new
+    node joins through a different peer.  The fabric ends converged on
+    the post-churn membership and still serves."""
+
+    async def body():
+        servers = await start_cluster(n=3, tmp_path=tmp_path, workers=1)
+        a, b, c_node = servers
+        joiner = None
+        try:
+            # A key the draining node owns *before* the churn, to prove
+            # its share of the ring is served afterwards.
+            moved = payload_owned_by(a, "n1", "post-drain")
+            # The in-flight job must be *owned* by the draining node (the
+            # routing key includes kwargs, hence the matching sleep_s) so
+            # it runs there rather than being forwarded away.
+            inflight = payload_owned_by(b, "n1", "inflight", sleep_s=0.4)
+
+            async with await AsyncServeClient.connect(port=b.port) as cb:
+                pending = asyncio.ensure_future(
+                    cb.submit("echo", inflight, sleep_s=0.4))
+                while not b.table.active:
+                    await asyncio.sleep(0.005)
+
+                b.begin_drain()
+                while not b.draining:
+                    await asyncio.sleep(0.005)
+
+                # Typed degraded-mode response: refused with a reason the
+                # client can branch on, not a hang or a bare disconnect.
+                with pytest.raises(Shed) as exc:
+                    await cb.submit("echo", {"too": "late"})
+                assert exc.value.reason == "draining"
+
+                # The leave announcement re-shards peers while the drain
+                # is still delivering in-flight work.
+                while ("n1" in a.membership.members
+                       or "n1" in c_node.membership.members):
+                    await asyncio.sleep(0.005)
+
+                # Churn during the drain: a fourth node joins via a.
+                joiner = SimulationServer(
+                    port=0, node_id="n3", workers=1,
+                    cache_dir=str(tmp_path / "joiner"),
+                    peers=[f"127.0.0.1:{a.port}"])
+                await joiner.start()
+
+                # The in-flight job still delivers through the drain.
+                assert await asyncio.wait_for(
+                    pending, timeout=30) == inflight
+            await asyncio.wait_for(b.wait_closed(), timeout=30)
+
+            # Leave propagated, join propagated: survivors converge on
+            # exactly {a, c, joiner} and route identically.
+            remaining = [a, c_node, joiner]
+            await converge(remaining)
+            for s in remaining:
+                assert set(s.membership.members) == {"n0", "n2", "n3"}
+
+            # The post-churn fabric serves, including keys the drained
+            # node used to own.
+            async with await AsyncServeClient.connect(port=a.port) as ca:
+                assert await ca.submit("echo", moved) == moved
+            assert b.table.stats.shed == 1
+            assert b.table.stats.completed == 1
+            assert b.table.stats.cancelled == 0
+        finally:
+            if joiner is not None:
+                await joiner.aclose()
+            await stop_cluster(servers)
+
+    asyncio.run(body())
+
+
+def test_queue_full_shed_is_typed_on_fabric_node(tmp_path):
+    """Admission-control shed on a fabric node carries the structured
+    reason and depth (degraded mode stays typed with peers attached)."""
+
+    async def body():
+        servers = await start_cluster(n=2, tmp_path=tmp_path, workers=1,
+                                      max_pending=1)
+        entry = servers[0]
+        try:
+            # Fill the entry node's queue with a job it owns locally
+            # (kwargs are part of the routing key, so the probe matches
+            # the submit).
+            mine = payload_owned_by(entry, "n0", "clog", sleep_s=0.4)
+            extra = payload_owned_by(entry, "n0", "overflow")
+            async with await AsyncServeClient.connect(
+                    port=entry.port) as c:
+                slow = asyncio.ensure_future(
+                    c.submit("echo", mine, sleep_s=0.4))
+                while not entry.table.active:
+                    await asyncio.sleep(0.005)
+                with pytest.raises(Shed) as exc:
+                    await c.submit("echo", extra)
+                assert "queue full" in exc.value.reason
+                assert exc.value.depth == 1
+                assert await asyncio.wait_for(slow, timeout=30) == mine
+        finally:
+            await stop_cluster(servers)
+
+    asyncio.run(body())

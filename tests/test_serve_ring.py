@@ -1,0 +1,192 @@
+"""Property tests for the consistent-hash ring (``repro.serve.ring``).
+
+These pin the three contracts the fabric's routing layer rests on (see the
+module docstring of :mod:`repro.serve.ring`):
+
+* **determinism** — placement is a pure function of the member-id *set*;
+  insertion order, incremental vs batch construction, and process state
+  must not matter, or peer nodes would disagree about key ownership;
+* **balance** — ownership splits roughly evenly across members (within a
+  measured bound over >= 1k keys);
+* **monotonicity** — a join only moves keys *onto* the new node, a leave
+  only moves the departed node's keys; everything else stays put, which
+  is what keeps re-sharding cheap and warm caches warm.
+
+Deterministic pins run plain; the general laws run under hypothesis.
+"""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.ring import DEFAULT_VNODES, HashRing
+
+# Enough keys for the balance bound to be meaningful (the issue floor is
+# 1k); hex-ish strings mimic the sha256 content keys the fabric routes.
+KEYS_1K = [f"key-{i:06d}" for i in range(1024)]
+
+node_ids = st.lists(
+    st.text(alphabet=string.ascii_lowercase + string.digits + ":.-",
+            min_size=1, max_size=12),
+    min_size=1, max_size=8, unique=True)
+
+keys = st.lists(st.text(min_size=0, max_size=40), max_size=32)
+
+
+# -------------------------------------------------------------- basics
+def test_ring_validates_inputs():
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+    with pytest.raises(ValueError):
+        HashRing([""])
+    with pytest.raises(ValueError):
+        HashRing([None])  # type: ignore[list-item]
+
+
+def test_empty_ring_owns_nothing():
+    ring = HashRing()
+    assert ring.owner("anything") is None
+    assert len(ring) == 0
+    assert ring.spread(KEYS_1K) == {}
+
+
+def test_single_node_owns_everything():
+    ring = HashRing(["solo"])
+    assert all(ring.owner(k) == "solo" for k in KEYS_1K[:64])
+    assert ring.spread(KEYS_1K) == {"solo": len(KEYS_1K)}
+
+
+def test_add_remove_membership_round_trip():
+    ring = HashRing(["a"])
+    assert ring.add("b") and not ring.add("b")
+    assert "b" in ring and ring.nodes == {"a", "b"}
+    assert ring.remove("b") and not ring.remove("b")
+    assert ring.nodes == {"a"}
+
+
+# -------------------------------------------------------- determinism
+@settings(deadline=None, max_examples=50)
+@given(nodes=node_ids, sample=keys)
+def test_placement_ignores_construction_order(nodes, sample):
+    """Batch, reversed, and incremental construction all agree — placement
+    is a function of the member *set* only."""
+    batch = HashRing(nodes)
+    reverse = HashRing(list(reversed(nodes)))
+    grown = HashRing()
+    for n in sorted(nodes):
+        grown.add(n)
+    for key in sample + KEYS_1K[:16]:
+        assert batch.owner(key) == reverse.owner(key) == grown.owner(key)
+
+
+@settings(deadline=None, max_examples=50)
+@given(nodes=node_ids, sample=keys)
+def test_placement_is_stable_across_instances(nodes, sample):
+    """Two independently built rings (as two fabric nodes would hold)
+    always agree, and every key maps to a real member."""
+    a, b = HashRing(nodes), HashRing(nodes)
+    for key in sample:
+        owner = a.owner(key)
+        assert owner == b.owner(key)
+        assert owner in a.nodes
+
+
+def test_placement_pinned_against_accidental_rehash():
+    """A golden pin: the hash layout is part of the fabric's wire contract
+    (peers computing different placements would double-execute work), so
+    a silent change to the point function must fail loudly."""
+    ring = HashRing(["n0", "n1", "n2"], vnodes=128)
+    placed = {k: ring.owner(k) for k in ("alpha", "beta", "gamma", "delta")}
+    assert placed == {"alpha": "n0", "beta": "n0",
+                      "gamma": "n0", "delta": "n1"}
+
+
+# ------------------------------------------------------------- balance
+def test_balance_within_bound_over_1k_keys():
+    """With default vnodes, a small cluster splits >= 1k keys with a
+    max/mean ownership ratio under 1.45 (the bound the ring module
+    advertises) and no starved node."""
+    for n in (2, 3, 5):
+        ring = HashRing([f"node-{i}" for i in range(n)],
+                        vnodes=DEFAULT_VNODES)
+        spread = ring.spread(KEYS_1K)
+        assert sum(spread.values()) == len(KEYS_1K)
+        mean = len(KEYS_1K) / n
+        assert max(spread.values()) / mean < 1.45, (n, spread)
+        assert min(spread.values()) > 0
+
+
+@settings(deadline=None, max_examples=25)
+@given(nodes=st.lists(st.text(alphabet=string.ascii_lowercase,
+                              min_size=1, max_size=8),
+                      min_size=2, max_size=6, unique=True))
+def test_balance_holds_for_arbitrary_member_names(nodes):
+    """Balance is a property of the point function, not of nice node
+    names; arbitrary member ids stay within a looser 2x bound."""
+    ring = HashRing(nodes, vnodes=DEFAULT_VNODES)
+    spread = ring.spread(KEYS_1K)
+    mean = len(KEYS_1K) / len(nodes)
+    assert max(spread.values()) / mean < 2.0, spread
+    assert min(spread.values()) > 0
+
+
+def test_more_vnodes_tighten_balance():
+    nodes = [f"n{i}" for i in range(3)]
+    coarse = HashRing(nodes, vnodes=8).spread(KEYS_1K)
+    fine = HashRing(nodes, vnodes=256).spread(KEYS_1K)
+
+    def ratio(spread):
+        return max(spread.values()) / (len(KEYS_1K) / len(nodes))
+
+    assert ratio(fine) < ratio(coarse)
+
+
+# -------------------------------------------------------- monotonicity
+@settings(deadline=None, max_examples=50)
+@given(nodes=node_ids, joiner=st.text(alphabet=string.ascii_lowercase,
+                                      min_size=1, max_size=8))
+def test_join_only_moves_keys_onto_the_joiner(nodes, joiner):
+    """Adding a member never reshuffles unrelated keys: any key whose
+    owner changed is now owned by the joiner."""
+    ring = HashRing(nodes, vnodes=32)
+    before = {k: ring.owner(k) for k in KEYS_1K}
+    if not ring.add(joiner):        # already a member: placement unchanged
+        assert {k: ring.owner(k) for k in KEYS_1K} == before
+        return
+    for key, old in before.items():
+        new = ring.owner(key)
+        if new != old:
+            assert new == joiner
+
+
+@settings(deadline=None, max_examples=50)
+@given(nodes=st.lists(st.text(alphabet=string.ascii_lowercase,
+                              min_size=1, max_size=8),
+                      min_size=2, max_size=6, unique=True),
+       data=st.data())
+def test_leave_only_moves_the_leavers_keys(nodes, data):
+    """Removing a member strands only its own keys: every key it did not
+    own keeps its owner, and its keys land on surviving members."""
+    ring = HashRing(nodes, vnodes=32)
+    leaver = data.draw(st.sampled_from(sorted(nodes)))
+    before = {k: ring.owner(k) for k in KEYS_1K}
+    assert ring.remove(leaver)
+    for key, old in before.items():
+        new = ring.owner(key)
+        if old == leaver:
+            assert new in ring.nodes and new != leaver
+        else:
+            assert new == old
+
+
+def test_join_then_leave_restores_placement():
+    """A join followed by the same node leaving is a no-op for placement —
+    the property that makes a bounced node cheap for the fabric."""
+    ring = HashRing(["a", "b", "c"])
+    before = {k: ring.owner(k) for k in KEYS_1K}
+    ring.add("d")
+    ring.remove("d")
+    assert {k: ring.owner(k) for k in KEYS_1K} == before

@@ -299,6 +299,43 @@ def test_http_shim_endpoints():
     serve_run(body)
 
 
+def test_http_jobs_reports_abandoned_job_as_terminal_timeout():
+    """Regression: a job abandoned at its deadline must show up on the
+    ``/jobs`` endpoint in the terminal ``timeout`` state with a typed
+    error — not linger as ``running``.  (The worker may still be
+    crunching, but the *job* is over; reporting it as running made
+    operators wait on work the service had already written off.)"""
+
+    async def body(server):
+        async with await AsyncServeClient.connect(port=server.port) as c:
+            with pytest.raises(JobFailed) as exc:
+                await c.submit("echo", 1, sleep_s=3.0, timeout_s=0.2)
+            assert exc.value.state == "timeout"
+
+        r, w = await asyncio.open_connection("127.0.0.1", server.port)
+        w.write(b"GET /jobs HTTP/1.1\r\nHost: t\r\n\r\n")
+        await w.drain()
+        raw = await r.read()
+        w.close()
+        _, _, payload = raw.partition(b"\r\n\r\n")
+        jobs = json.loads(payload)["jobs"]
+
+        assert len(jobs) == 1
+        entry = jobs[0]
+        assert entry["state"] == "timeout"          # terminal, not running
+        assert entry["fn"].endswith("echo")
+        assert "JobTimeout" in entry["error"]       # typed, actionable
+        assert "0.2" in entry["error"]              # the deadline it blew
+        assert entry["elapsed_s"] > 0
+        # And the wire-protocol listing agrees with the HTTP shim.
+        async with await AsyncServeClient.connect(port=server.port) as c:
+            wire = await c.jobs()
+        assert [(j["id"], j["state"]) for j in wire] == \
+            [(entry["id"], "timeout")]
+
+    serve_run(body, workers=1)
+
+
 def test_wire_protocol_errors():
     async def body(server):
         # Raw garbage and unknown ops answer with error events — the

@@ -1,7 +1,11 @@
-"""Unit tests for the serve subsystem's pieces: protocol, jobs, pool.
+"""Unit tests for the serve subsystem's pieces: protocol, jobs, pool,
+client failure semantics, and the fabric's local data structures (LRU,
+membership).
 
 Integration tests (real sockets, real worker processes) live in
-``tests/test_serve_service.py``; everything here runs in-process.
+``tests/test_serve_service.py``; multi-node fabric tests in
+``tests/test_serve_fabric.py``.  Everything here runs in-process — the
+client tests use scripted fake servers, not the real service.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import pytest
 
 from repro.harness import task
 from repro.serve import protocol as P
+from repro.serve.client import AsyncServeClient, ServerClosed
 from repro.serve.jobs import (
     DONE,
     FAILED,
@@ -22,7 +27,9 @@ from repro.serve.jobs import (
     QUEUED,
     RUNNING,
 )
+from repro.serve.lru import LRUCache
 from repro.serve.ops import echo
+from repro.serve.peer import Membership, parse_addr
 from repro.serve.pool import WorkerPool, _run_guarded
 from repro.serve.protocol import RemoteError
 from repro.serve.server import SimulationServer
@@ -186,3 +193,228 @@ def test_canonical_task_rejects_unknown_ops():
         server._canonical_task({"fn": "os:system", "args": [], "kwargs": {}})
     with pytest.raises(KeyError):
         server._canonical_task({"fn": "nope", "args": [], "kwargs": {}})
+
+
+# ------------------------------------------ client failure semantics
+#
+# The retry contract (module docstring of repro.serve.client): a failure
+# the server provably never observed — connect refused, or the connection
+# dropped before *any* event arrived for the request — is retried with
+# backoff.  A drop after any event is NOT retried: the submit opened a
+# live server-side subscription, so resubmitting blindly would not be
+# idempotent.  Both halves are pinned against scripted fake servers that
+# count exactly what they were sent.
+
+class _FakeServer:
+    """A scripted NDJSON endpoint recording every submit frame it reads."""
+
+    def __init__(self, script) -> None:
+        self.script = script            # called as script(conn_no, r, w)
+        self.submits: list[dict] = []
+        self.conns = 0
+        self._server = None
+        self.port = 0
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(self._handle,
+                                                  "127.0.0.1", 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *exc):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        self.conns += 1
+        try:
+            await self.script(self, self.conns, reader, writer)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+
+async def _read_submit(fake, reader):
+    line = await reader.readline()
+    if not line:
+        return None
+    frame = P.decode_frame(line)
+    fake.submits.append(frame)
+    return frame
+
+
+def test_client_retries_connect_refused_with_backoff():
+    """``open(retries=...)`` rides out a server that is still binding:
+    refused connects are retried, and the eventual session works."""
+
+    async def script(fake, conn_no, reader, writer):
+        frame = await _read_submit(fake, reader)
+        writer.write(P.encode_frame(
+            {"req": frame["req"], "event": P.EV_PONG,
+             "version": P.PROTOCOL_VERSION}))
+        await writer.drain()
+
+    async def main():
+        # Claim a port, then release it so the first connect is refused.
+        probe = await asyncio.start_server(lambda r, w: None,
+                                           "127.0.0.1", 0)
+        port = probe.sockets[0].getsockname()[1]
+        probe.close()
+        await probe.wait_closed()
+
+        fake = _FakeServer(script)
+
+        async def start_late():
+            await asyncio.sleep(0.15)
+            fake._server = await asyncio.start_server(fake._handle,
+                                                      "127.0.0.1", port)
+
+        late = asyncio.ensure_future(start_late())
+        client = await AsyncServeClient.connect(
+            port=port, retries=6, backoff_base_s=0.05)
+        assert (await client.ping())["event"] == P.EV_PONG
+        await client.close()
+        await late
+        fake._server.close()
+        await fake._server.wait_closed()
+
+    asyncio.run(main())
+
+
+def test_client_resubmits_only_pre_acceptance_drops():
+    """Connections dropped before any event are safely retried — and the
+    job is only ever observed once by the server that finally answers."""
+
+    async def script(fake, conn_no, reader, writer):
+        if conn_no <= 2:
+            return                      # drop before any event
+        frame = await _read_submit(fake, reader)
+        req = frame["req"]
+        writer.write(P.encode_frame({"req": req, "event": P.EV_ACCEPTED,
+                                     "job": "j1"}))
+        writer.write(P.encode_frame({"req": req, "event": P.EV_DONE,
+                                     "result": {"answered": True}}))
+        await writer.drain()
+
+    async def main():
+        async with _FakeServer(script) as fake:
+            client = await AsyncServeClient.connect(port=fake.port)
+            result = await client.submit("echo", {"x": 1}, retries=5,
+                                         backoff_base_s=0.01)
+            assert result == {"answered": True}
+            # Conns 1-2 dropped the request unobserved; only the serving
+            # connection ever saw a submit frame.
+            assert len(fake.submits) == 1
+            await client.close()
+
+    asyncio.run(main())
+
+
+def test_client_reset_mid_response_raises_not_resubmits():
+    """Once any event has arrived, a dropped connection must raise
+    :class:`ServerClosed` — never a silent resubmit — even with retries
+    budget left.  The fake server proves it saw exactly one submit."""
+
+    async def script(fake, conn_no, reader, writer):
+        frame = await _read_submit(fake, reader)
+        if frame is None:
+            return
+        writer.write(P.encode_frame({"req": frame["req"],
+                                     "event": P.EV_ACCEPTED, "job": "j1"}))
+        await writer.drain()            # acknowledged, then die mid-job
+
+    async def main():
+        async with _FakeServer(script) as fake:
+            client = await AsyncServeClient.connect(port=fake.port)
+            with pytest.raises(ServerClosed) as excinfo:
+                await client.submit("echo", {"x": 1}, retries=3,
+                                    backoff_base_s=0.01)
+            assert "mid-job" in str(excinfo.value)
+            assert len(fake.submits) == 1       # no blind resubmission
+            await client.close()
+
+    asyncio.run(main())
+
+
+def test_client_exhausted_retries_surface_refused():
+    async def main():
+        probe = await asyncio.start_server(lambda r, w: None,
+                                           "127.0.0.1", 0)
+        port = probe.sockets[0].getsockname()[1]
+        probe.close()
+        await probe.wait_closed()
+        with pytest.raises(ConnectionRefusedError):
+            await AsyncServeClient.connect(port=port, retries=1,
+                                           backoff_base_s=0.01)
+
+    asyncio.run(main())
+
+
+# ------------------------------------------------------- two-tier LRU
+def test_lru_hit_miss_and_recency():
+    lru = LRUCache(max_entries=2)
+    lru.put("a", 1)
+    lru.put("b", 2)
+    assert lru.get("a") == 1            # refreshes "a"
+    lru.put("c", 3)                     # evicts "b", the stale one
+    assert lru.get("b") is None
+    assert lru.get("a") == 1 and lru.get("c") == 3
+    assert lru.stats.hits == 3 and lru.stats.misses == 1
+    assert lru.stats.evictions == 1
+
+
+def test_lru_byte_bound_and_oversize_skip():
+    lru = LRUCache(max_entries=64, max_bytes=200)
+    big = "x" * 500
+    lru.put("big", big)                 # larger than the whole cache
+    assert lru.get("big") is None and len(lru) == 0
+    for i in range(10):
+        lru.put(f"k{i}", "y" * 40)
+    assert lru.bytes <= 200
+    assert 0 < len(lru) < 10            # byte bound forced evictions
+
+
+def test_lru_clear_resets_contents_not_stats():
+    lru = LRUCache(max_entries=4)
+    lru.put("a", 1)
+    assert lru.get("a") == 1
+    lru.clear()
+    assert len(lru) == 0 and lru.bytes == 0
+    assert lru.get("a") is None
+    assert lru.stats.hits == 1          # history survives for obs
+
+
+# ----------------------------------------------------- membership unit
+def test_parse_addr_accepts_host_port_only():
+    assert parse_addr("127.0.0.1:9000") == ("127.0.0.1", 9000)
+    assert parse_addr("node.example:80") == ("node.example", 80)
+    for bad in ("no-port", ":9000", "host:", "host:banana"):
+        with pytest.raises(ValueError):
+            parse_addr(bad)
+
+
+def test_membership_add_remove_versioning():
+    m = Membership("n0", "127.0.0.1:1")
+    assert m.view() == [["n0", "127.0.0.1:1"]]
+    assert m.add("n1", "127.0.0.1:2") and m.version == 1
+    assert not m.add("n1", "127.0.0.1:2")       # idempotent
+    assert m.owner("some-key") in {"n0", "n1"}
+    assert m.others() == ["n1"]
+    assert m.addr_of("n1") == "127.0.0.1:2"
+    assert m.remove("n1") and not m.remove("n1")
+    assert not m.remove("n0")                   # never forget yourself
+    assert m.version == 2
+
+
+def test_membership_merge_ignores_malformed_entries():
+    m = Membership("n0", "127.0.0.1:1")
+    changed = m.merge([["n1", "127.0.0.1:2"], "garbage", [1, 2],
+                       ["n2", "127.0.0.1:3", "extra"], None])
+    assert changed
+    # Only the well-formed pair lands; wrong arity/type entries are skipped.
+    assert set(m.members) == {"n0", "n1"}
+    assert not m.merge([])
+    assert not m.merge(None)
