@@ -1,11 +1,15 @@
 """Fault matrix — exec-error vs trace-fault severity, per fault family.
 
-Runs :func:`repro.validate.run_fault_matrix` on the reference mismatch pair
-(fft, 16 cores, awgr-captured trace replayed on crossbar) under the default
-``neighbor_gap`` degraded-gap policy, and pins the graceful-degradation
-claim: every family's error-vs-severity curve is *smooth* (bounded slope
-between adjacent severities — no re-anchoring cliff), and the pristine
-anchor point keeps the paper's precision.
+Runs the ``fault_matrix`` experiment family through the declarative
+:mod:`repro.exp` layer (the same compile/postprocess path the CI
+bench-regression gate drives via ``benchmarks/experiments/smoke/
+fault_matrix.yaml``), at the full severity grid of
+``benchmarks/experiments/base/fault_matrix.yaml``: the reference mismatch
+pair (fft, 16 cores, awgr-captured trace replayed on crossbar) under the
+default ``neighbor_gap`` degraded-gap policy.  It pins the graceful-
+degradation claim: every family's error-vs-severity curve is *smooth*
+(bounded slope between adjacent severities — no re-anchoring cliff, the
+``breaches`` column), and the pristine anchor keeps the paper's precision.
 
 The rendered curves are saved to ``benchmarks/results/fault_matrix.txt`` so
 the measured degradation behaviour is checked in alongside the other figure
@@ -14,31 +18,39 @@ artifacts.
 
 from __future__ import annotations
 
-from conftest import save_and_print
+from conftest import EXPERIMENTS_DIR, save_and_print
 
-from repro.validate import Scenario, run_fault_matrix
+from repro.exp import resolve_config, run_experiment
+from repro.harness import SweepRunner
 
 
 def run():
-    base = Scenario("fft", 16, 16, 0.1, "awgr", "crossbar")
-    return run_fault_matrix(base)
+    cfg = resolve_config(EXPERIMENTS_DIR / "base" / "fault_matrix.yaml")
+    return run_experiment(cfg, SweepRunner())
 
 
 def test_fault_matrix_smooth(benchmark, results_dir):
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
     lines = ["Fault matrix: sc exec error vs severity "
              "(fft-16, awgr -> crossbar, neighbor_gap policy)"]
-    lines += report.summary_lines()
+    by_family: dict[str, list[dict]] = {}
+    for row in out.rows:
+        by_family.setdefault(row["family"], []).append(row)
+    for fam, rows in sorted(by_family.items()):
+        curve = ", ".join(f"{r['severity']:g}:{r['sc_err_%']:.1f}%"
+                          for r in rows)
+        status = "ok  " if not any(r["breaches"] for r in rows) else "FAIL"
+        lines.append(f"  {status} {fam}: {curve}")
     save_and_print(results_dir, "fault_matrix", "\n".join(lines) + "\n")
 
     # Smooth degradation: no family may concentrate the pristine-to-naive
     # error range in one severity step (the captured-policy cliff does, at
     # ~2x the allowed slope, and is pinned as failing in the test-suite).
-    assert report.breaches == {}, report.breaches
-    for fam, pts in report.curves.items():
-        errors = {sev: o.sc_exec_error_pct for sev, o in pts}
+    for row in out.rows:
+        fam = row["family"]
+        assert row["breaches"] == 0, (fam, row)
         # Shared pristine anchor keeps the paper's precision.
-        assert errors[0.0] < 5.0, (fam, errors)
+        if row["severity"] == 0.0:
+            assert row["sc_err_%"] < 5.0, (fam, row)
         # Nothing stalls under the neighbor policy, whatever the damage.
-        assert all(o.sc_unreplayed == 0 for _, o in pts), fam
-    assert all(o.passed for pts in report.curves.values() for _, o in pts)
+        assert row["unreplayed"] == 0, (fam, row)

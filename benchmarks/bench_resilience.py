@@ -1,0 +1,121 @@
+"""Resilience — mitigation-policy penalty curves under the checked-in
+reference fault timeseries.
+
+Replays the fft-16 electrical capture on the optical crossbar while the
+reference degradation timeseries (``benchmarks/data/
+resilience_reference.csv`` — all three generator families at full
+intensity, seed-pinned) hits the fabric mid-replay, once per mitigation
+policy.  The per-epoch penalty timeseries (``repro.resilience``'s
+degradation-level / penalty-cycle curve) for every policy is written to
+``benchmarks/results/BENCH_resilience.json`` so the measured
+policy-vs-penalty trade-off is checked in alongside the other artifacts:
+
+* ``none``       — take the raw slowdown;
+* ``disable``    — drop links past the threshold, pay detour latency but
+  shed the worst serialization stretch;
+* ``reallocate`` — retune wavelengths within spare capacity, pay a flat
+  retune cost per touched message.
+
+The pytest wrapper is the CI resilience-smoke gate: the policies must
+produce *distinct* penalty curves (if two coincide, the mitigation layer
+is dead code) and ``disable`` must actually detour under this timeseries.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py \
+        --out benchmarks/results/BENCH_resilience.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.config import MITIGATIONS
+from repro.harness.builders import experiment_from_params
+from repro.harness.experiments import resilience_point
+from repro.resilience import FaultTimeseries
+
+DATA_DIR = pathlib.Path(__file__).parent / "data"
+REFERENCE = DATA_DIR / "resilience_reference.csv"
+
+WORKLOAD = "fft"
+SCALE = 0.25
+
+
+def run(reference: pathlib.Path = REFERENCE) -> dict:
+    """One degraded replay per mitigation policy, as a JSON-ready report."""
+    series = FaultTimeseries.from_text(reference.read_text())
+    exp = experiment_from_params(cores=16, seed=7, wavelengths=64)
+    policies = {}
+    for mitigation in MITIGATIONS:
+        r = resilience_point(exp, WORKLOAD, "", 0.0, mitigation,
+                             scale=SCALE, fault_events=series.as_tuples())
+        policies[mitigation] = {
+            "exec_stock": r["exec_stock"],
+            "exec_degraded": r["exec_degraded"],
+            "slowdown_pct": r["slowdown_pct"],
+            "penalty": r["penalty"],
+            "curve": r["curve"],
+        }
+    return {
+        "workload": WORKLOAD,
+        "scale": SCALE,
+        "reference": {"file": str(reference.name), "events": len(series)},
+        "policies": policies,
+    }
+
+
+def check(report: dict) -> None:
+    """The resilience-smoke assertions (shared by pytest and standalone)."""
+    pols = report["policies"]
+    totals = {m: p["penalty"]["total_cycles"] for m, p in pols.items()}
+    assert all(t > 0 for t in totals.values()), totals
+    # Distinct policy trade-offs: if two mitigation policies produce the
+    # same penalty, the policy layer is not actually being exercised.
+    assert totals["disable"] != totals["reallocate"], totals
+    assert pols["disable"]["curve"] != pols["reallocate"]["curve"]
+    # disable must cross its drop threshold under this timeseries ...
+    assert pols["disable"]["penalty"]["detour_cycles"] > 0, pols["disable"]
+    # ... and reallocate must pay its retune cost.
+    assert pols["reallocate"]["penalty"]["retune_cycles"] > 0
+    # The per-epoch curves cover every fault epoch for every policy.
+    events = report["reference"]["events"]
+    for mitigation, p in pols.items():
+        assert len(p["curve"]) == events, (mitigation, len(p["curve"]))
+
+
+def test_resilience_policy_curves(benchmark, results_dir):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(report)
+    out = results_dir / "BENCH_resilience.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    totals = {m: p["penalty"]["total_cycles"]
+              for m, p in report["policies"].items()}
+    print(f"\nresilience penalties (cycles): {totals} -> {out}")
+
+
+def main() -> int:
+    from conftest import standalone_parser
+
+    ap = standalone_parser(
+        "Mitigation-policy penalty curves under the reference "
+        "fault timeseries",
+        reference=(str(REFERENCE), "fault-timeseries CSV/JSON file"))
+    args = ap.parse_args()
+    report = run(pathlib.Path(args.reference))
+    check(report)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    sys.exit(main())

@@ -114,6 +114,29 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
                         "JSON (open in chrome://tracing or Perfetto)")
 
 
+def _add_degrade_flags(p: argparse.ArgumentParser,
+                       spec_only: bool = False) -> None:
+    from repro.config import MITIGATION_NONE, MITIGATIONS
+    from repro.resilience import GENERATOR_FAMILIES
+
+    families = "+".join(sorted(GENERATOR_FAMILIES))
+    if spec_only:
+        spec_help = (f"apply a seeded fault timeseries to every scenario: "
+                     f"'+'-joined generator families from {{{families}}}")
+    else:
+        spec_help = (f"degrade the fabric mid-replay: a fault-timeseries "
+                     f"file (CSV/JSON) or a '+'-joined generator spec from "
+                     f"{{{families}}} seeded by --seed")
+    p.add_argument("--degrade", default=None, metavar="SPEC", help=spec_help)
+    p.add_argument("--degrade-intensity", type=float, default=0.5,
+                   metavar="F",
+                   help="generator intensity in [0,1] (default 0.5)")
+    p.add_argument("--mitigation", default=MITIGATION_NONE,
+                   choices=MITIGATIONS,
+                   help="mitigation policy for degraded resources "
+                        "(default none)")
+
+
 def _add_sweep_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for independent simulations "
@@ -164,6 +187,22 @@ def _target_factory(args: argparse.Namespace, exp: ExperimentConfig):
     return optical_factory(onoc, exp.seed)
 
 
+def _resolve_degrade(spec: str, trace, cores: int, seed: int,
+                     intensity: float):
+    """Fault timeseries from a ``--degrade`` value: an existing CSV/JSON
+    file is parsed, anything else is treated as a ``family[+family]``
+    generator spec seeded from ``--seed`` with the horizon tied to the
+    trace's injection span."""
+    from repro.resilience import FaultTimeseries, generate_timeseries
+
+    path = pathlib.Path(spec)
+    if path.is_file():
+        return FaultTimeseries.from_text(path.read_text())
+    horizon = max((r.t_inject for r in trace.records), default=1)
+    return generate_timeseries(spec, seed=seed, num_nodes=cores,
+                               horizon=max(1, horizon), intensity=intensity)
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     from repro.core import load_trace
 
@@ -171,14 +210,35 @@ def cmd_replay(args: argparse.Namespace) -> int:
     cores = trace.meta.get("num_cores", args.cores)
     args.cores = cores
     exp = build_experiment(args)
-    result = replay_trace(trace, _target_factory(args, exp),
-                          TraceConfig(mode=args.mode, engine=args.engine))
+    fault_events: tuple = ()
+    if args.degrade:
+        fault_events = _resolve_degrade(
+            args.degrade, trace, cores, args.seed,
+            args.degrade_intensity).as_tuples()
+    result = replay_trace(
+        trace, _target_factory(args, exp),
+        TraceConfig(mode=args.mode, engine=args.engine,
+                    fault_events=fault_events, mitigation=args.mitigation,
+                    awgr_occupancy_hint=args.occupancy_hint))
     print(f"mode={result.mode} target={args.target} engine={args.engine}")
     print(f"predicted exec time : {result.exec_time_estimate} cycles")
     print(f"messages replayed   : {result.messages_replayed} "
           f"({result.messages_unreplayed} unreplayed)")
     print(f"wall clock          : {result.wall_clock_s:.3f}s "
           f"({result.sim_events} events)")
+    res = result.extra.get("resilience")
+    if res is not None:
+        pen = res["penalty"]
+        print(f"degradation         : {res['events']} fault events, "
+              f"mitigation={res['mitigation']}")
+        print(f"penalty cycles      : {pen['total_cycles']} "
+              f"(slowdown {pen['slowdown_cycles']}, detour "
+              f"{pen['detour_cycles']}, retune {pen['retune_cycles']}; "
+              f"{pen['messages_affected']}/{pen['messages_total']} messages)")
+    hint = result.extra.get("occupancy_hint")
+    if hint is not None:
+        print(f"occupancy hint      : {hint['deferred']} injections "
+              f"deferred ({hint['deferred_cycles']} cycles)")
     return 0
 
 
@@ -336,12 +396,15 @@ def cmd_validate(args: argparse.Namespace) -> int:
                      if args.workloads else V.SCENARIO_WORKLOADS)
         scenarios = V.generate_scenarios(args.n, args.seed,
                                          workloads=workloads)
-    if args.faults or args.gap_policy != "neighbor_gap":
+    if args.faults or args.gap_policy != "neighbor_gap" or args.degrade:
         from dataclasses import replace as _replace
         faults = V.parse_fault_specs(args.faults) if args.faults else ()
         scenarios = [
             _replace(s, faults=faults, fault_seed=args.fault_seed,
-                     gap_policy=args.gap_policy)
+                     gap_policy=args.gap_policy,
+                     degrade=args.degrade or "",
+                     degrade_intensity=args.degrade_intensity,
+                     mitigation=args.mitigation)
             for s in scenarios
         ]
     repro_dir = pathlib.Path(args.repro_dir)
@@ -606,6 +669,12 @@ def make_parser() -> argparse.ArgumentParser:
                    default="event",
                    help="replay implementation: reference event-driven, or "
                         "vectorized generational (optical targets only)")
+    _add_degrade_flags(p)
+    p.add_argument("--occupancy-hint", action="store_true",
+                   help="online λ-lane occupancy hint (event engine, "
+                        "per-pair-lane targets): reserve lanes at "
+                        "dependency-release time; workload-specific, see "
+                        "the awgr-occupancy-hint envelope note")
     p.set_defaults(fn=cmd_replay)
 
     p = sub.add_parser("trace",
@@ -696,7 +765,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--engines", action="store_true",
                    help="run the generational-vs-event engine differential "
                         "on the golden corpus (all backends x gap policies "
-                        "x fault matrix + binary/JSON identity) and exit")
+                        "x fault matrix + degraded cells + binary/JSON "
+                        "identity) and exit")
+    _add_degrade_flags(p, spec_only=True)
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser(

@@ -317,6 +317,16 @@ ENGINE_EVENT = "event"
 ENGINE_GENERATIONAL = "generational"
 REPLAY_ENGINES = (ENGINE_EVENT, ENGINE_GENERATIONAL)
 
+# Mitigation policies for time-varying network degradation
+# (:mod:`repro.resilience`).  Defined here — the bottom of the import
+# graph — so ``TraceConfig`` can validate without importing the resilience
+# package; :mod:`repro.resilience.policies` re-exports them with the
+# policy semantics documented alongside the implementations.
+MITIGATION_NONE = "none"
+MITIGATION_DISABLE = "disable"
+MITIGATION_REALLOCATE = "reallocate"
+MITIGATIONS = (MITIGATION_NONE, MITIGATION_DISABLE, MITIGATION_REALLOCATE)
+
 
 @dataclass(frozen=True)
 class TraceConfig:
@@ -329,6 +339,17 @@ class TraceConfig:
     dep_drop_seed: int = 12345
     degraded_gap_policy: str = GAP_POLICY_NEIGHBOR
     engine: str = ENGINE_EVENT
+    # Time-varying degradation (repro.resilience): the fault timeseries as
+    # plain (time, target, severity) tuples — empty means the stock,
+    # byte-identical replay path — and the mitigation policy applied to it.
+    fault_events: tuple = ()
+    mitigation: str = MITIGATION_NONE
+    # Online AWGR wavelength-occupancy hint (event engine only): reserve the
+    # (src, dst) λ-lane at dependency-release time instead of injection time.
+    # Closes the single-pass radix→awgr capture-ordering gap without the
+    # iterate cost, but is workload-specific — see the awgr-occupancy-hint
+    # note in tests/golden/envelopes.json — hence default-off.
+    awgr_occupancy_hint: bool = False
 
     def __post_init__(self) -> None:
         _require(self.mode in TRACE_MODES,
@@ -343,6 +364,19 @@ class TraceConfig:
         _require(self.degraded_gap_policy in GAP_POLICIES,
                  f"unknown degraded_gap_policy {self.degraded_gap_policy!r}; "
                  f"expected one of {GAP_POLICIES}")
+        # Normalize fault events to hashable plain tuples; full schema
+        # validation happens when the resilience overlay parses them.
+        events = tuple(
+            (int(t), str(target), float(sev))
+            for t, target, sev in self.fault_events)
+        for t, _, sev in events:
+            _require(t >= 0, f"fault event time must be >= 0, got {t}")
+            _require(0.0 <= sev <= 1.0,
+                     f"fault severity must be in [0, 1], got {sev}")
+        object.__setattr__(self, "fault_events", events)
+        _require(self.mitigation in MITIGATIONS,
+                 f"unknown mitigation {self.mitigation!r}; "
+                 f"expected one of {MITIGATIONS}")
 
 
 # --------------------------------------------------------------------------

@@ -308,6 +308,12 @@ def _prop_pair_vector(cfg: OnocConfig, layout: SerpentineLayout,
 class _FifoModel:
     """Shared scan for the three FIFO backends (swmr / awgr / crossbar)."""
 
+    #: Degradation overlay (repro.resilience); attached by
+    #: ``replay_trace_generational`` when a fault timeseries is configured.
+    #: Its adjustments are non-negative, so ``gain_lb`` stays a valid lower
+    #: bound for the windowed solver with the overlay active.
+    degrade = None
+
     def __init__(self, cols: _Columns) -> None:
         self.cols = cols
 
@@ -315,7 +321,9 @@ class _FifoModel:
     # (resource id space), self.occ_static (occupancy, or None for the
     # crossbar where it depends on order), self.extra (deliver - release),
     # self.base (uncontended latency), self.gain_lb (per-message lower
-    # bound on deliver - inject, for the windowed solver's safe horizon).
+    # bound on deliver - inject, for the windowed solver's safe horizon),
+    # self.deg_ser (the serialization count the matching event backend
+    # feeds to ``DegradationOverlay.adjust`` — lane ser for the AWGR).
 
     def base_latency(self) -> np.ndarray:
         return self.base
@@ -341,6 +349,12 @@ class _FifoModel:
         seg_start[0] = True
         seg_start[1:] = res_s[1:] != res_s[:-1]
         occ_s = self._occupancy_batch(bs, res_s, seg_start)
+        lat_x = None
+        if self.degrade is not None:
+            occ_x, lat_x = self.degrade.adjust_vec(
+                inj_s, self.cols.src[bs], self.cols.dst[bs],
+                self.deg_ser[bs])
+            occ_s = occ_s + occ_x      # degraded resource held longer
         if seg_start.all():
             # Common small-batch case: one message per resource — the
             # recurrence collapses to a single elementwise step.
@@ -352,6 +366,8 @@ class _FifoModel:
             tails = np.flatnonzero(np.concatenate((seg_start[1:], [True])))
             self._carry[res_s[tails]] = release_s[tails]
         deliver[bs] = release_s + self.extra[bs]
+        if lat_x is not None:
+            deliver[bs] += lat_x       # detour flight delays delivery only
 
     def _occupancy(self, order: np.ndarray, res_s: np.ndarray,
                    seg_start: np.ndarray) -> np.ndarray:
@@ -374,10 +390,16 @@ class _FifoModel:
         seg_start = np.empty(len(order), dtype=bool)
         seg_start[0] = True
         seg_start[1:] = res_s[1:] != res_s[:-1]
-        occ_s = self._occupancy(active_idx[order], res_s, seg_start)
-        release_s = _release_sorted(inj[order], occ_s, seg_start)
         tgt = active_idx[order]
-        deliver[tgt] = release_s + self.extra[tgt]
+        occ_s = self._occupancy(tgt, res_s, seg_start)
+        lat_x = 0
+        if self.degrade is not None:
+            occ_x, lat_x = self.degrade.adjust_vec(
+                inj[order], self.cols.src[tgt], self.cols.dst[tgt],
+                self.deg_ser[tgt])
+            occ_s = occ_s + occ_x
+        release_s = _release_sorted(inj[order], occ_s, seg_start)
+        deliver[tgt] = release_s + self.extra[tgt] + lat_x
         return deliver
 
 
@@ -392,6 +414,7 @@ class _SwmrModel(_FifoModel):
         self.res = cols.src
         self.res_size = cfg.num_nodes
         self.occ_static = ser
+        self.deg_ser = ser
         self.extra = prop + 2 * cfg.conversion_cycles
         self.base = ser + self.extra
         self.gain_lb = self.base
@@ -408,6 +431,7 @@ class _AwgrModel(_FifoModel):
         self.res = cols.src * cfg.num_nodes + cols.dst
         self.res_size = cfg.num_nodes * cfg.num_nodes
         self.occ_static = lane_ser
+        self.deg_ser = lane_ser
         self.extra = prop + 2 * cfg.conversion_cycles
         self.base = lane_ser + self.extra
         self.gain_lb = self.base
@@ -423,6 +447,7 @@ class _CrossbarModel(_FifoModel):
         n = cfg.num_nodes
         self.num_nodes = n
         self.ser = _ser_vector(cfg, cols.size)
+        self.deg_ser = self.ser
         prop = _prop_pair_vector(cfg, layout, cols.src, cols.dst)
         self.res = cols.dst
         self.res_size = n
@@ -484,6 +509,12 @@ class _CircuitModel:
     the reference; see docs/TRACE_FORMAT.md).
     """
 
+    #: Degradation overlay; see :class:`_FifoModel`.  Circuit-mesh
+    #: degradation is latency-only by contract (the event model tears the
+    #: circuit down on the stock schedule, so the unmodelled segment
+    #: contention does not grow): deliver = inject + const + occ + lat.
+    degrade = None
+
     def __init__(self, cfg: OnocConfig, cols: _Columns) -> None:
         self.cols = cols
         side = cfg.mesh_side
@@ -497,10 +528,16 @@ class _CircuitModel:
         for h in range(1, len(prop_h)):
             prop_h[h] = cfg.propagation_cycles(h * link)
         ser = _ser_vector(cfg, cols.size)
+        self.deg_ser = ser
         r, lnk = cfg.setup_router_latency, cfg.setup_link_latency
         self.const = (r + hops * (2 * lnk + r) + 1
                       + 2 * cfg.conversion_cycles + ser + prop_h[hops])
         self.gain_lb = self.const
+
+    def _degrade_terms(self, b: np.ndarray, inj: np.ndarray) -> np.ndarray:
+        occ, lat = self.degrade.adjust_vec(
+            inj, self.cols.src[b], self.cols.dst[b], self.deg_ser[b])
+        return occ + lat
 
     def base_latency(self) -> np.ndarray:
         return self.const.copy()
@@ -511,10 +548,15 @@ class _CircuitModel:
     def serve_batch(self, b: np.ndarray, inject: np.ndarray,
                     deliver: np.ndarray) -> None:
         deliver[b] = inject[b] + self.const[b]
+        if self.degrade is not None:
+            deliver[b] += self._degrade_terms(b, inject[b])
 
     def scan(self, inject: np.ndarray, active_idx: np.ndarray) -> np.ndarray:
         deliver = np.full(self.cols.n, _NEG, dtype=np.int64)
         deliver[active_idx] = inject[active_idx] + self.const[active_idx]
+        if self.degrade is not None:
+            deliver[active_idx] += self._degrade_terms(
+                active_idx, inject[active_idx])
         return deliver
 
 
@@ -1022,6 +1064,21 @@ def _solve_windowed(cols: _Columns, model,
 # Engine entry point
 # --------------------------------------------------------------------------
 
+def _resilience_payload(overlay, cols: _Columns, inject: np.ndarray,
+                        active_idx: np.ndarray) -> dict:
+    """Penalty accounting + obs export over the final injection schedule
+    of the replayed messages (same funnel as the event engine)."""
+    from repro.resilience.overlay import resilience_extra
+
+    return resilience_extra(
+        overlay,
+        inject[active_idx],
+        cols.src[active_idx],
+        cols.dst[active_idx],
+        cols.size[active_idx],
+    )
+
+
 def _result_dicts(cols: _Columns, inject: np.ndarray, deliver: np.ndarray,
                   active_idx: np.ndarray):
     idx_list = active_idx.tolist()
@@ -1057,6 +1114,13 @@ def replay_trace_generational(
     if cols.n and onoc.num_nodes <= int(max(cols.src.max(), cols.dst.max())):
         raise ValueError("target network too small for trace endpoints")
     model = _MODELS[onoc.topology](onoc, cols)
+    overlay = None
+    if cfg.fault_events:
+        from repro.resilience.overlay import DegradationOverlay
+
+        overlay = DegradationOverlay.build(
+            cfg.fault_events, onoc, cfg.mitigation)
+        model.degrade = overlay       # None when the timeseries is empty
     full_idx = np.arange(cols.n, dtype=np.int64)
 
     if cfg.mode == TRACE_NAIVE:
@@ -1064,6 +1128,11 @@ def replay_trace_generational(
         deliver = model.scan(inject, full_idx)
         injections, deliveries, lats = _result_dicts(
             cols, inject, deliver, full_idx)
+        extra = {"engine": "generational", "iterations": 1,
+                 "converged": True}
+        if overlay is not None:
+            extra["resilience"] = _resilience_payload(
+                overlay, cols, inject, full_idx)
         return ReplayResult(
             mode=TRACE_NAIVE,
             exec_time_estimate=_estimate_exec_time(trace, deliveries),
@@ -1074,8 +1143,7 @@ def replay_trace_generational(
             messages_unreplayed=0,
             wall_clock_s=_walltime.perf_counter() - t0,
             sim_events=0,
-            extra={"engine": "generational", "iterations": 1,
-                   "converged": True},
+            extra=extra,
         )
 
     plan = _classify(trace, cols, cfg)
@@ -1117,6 +1185,11 @@ def replay_trace_generational(
         rederived_msg_ids=rederived_ids,
     )
     rederive = cfg.degraded_gap_policy != GAP_POLICY_CAPTURED
+    extra = {"engine": "generational", "iterations": iterations,
+             "converged": converged}
+    if overlay is not None:
+        extra["resilience"] = _resilience_payload(
+            overlay, cols, final_inject, active_idx)
     return ReplayResult(
         mode=TRACE_SELF_CORRECTING,
         exec_time_estimate=_estimate_exec_time(
@@ -1135,8 +1208,7 @@ def replay_trace_generational(
         stalled_on=stalled_on,
         rederived_records=len(rederived_ids),
         fault_exposure=exposure,
-        extra={"engine": "generational", "iterations": iterations,
-               "converged": converged},
+        extra=extra,
     )
 
 

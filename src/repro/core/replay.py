@@ -362,8 +362,22 @@ class SelfCorrectingReplayer(_ReplayerBase):
         keep_dep_fraction: float = 1.0,
         dep_drop_seed: int = 12345,
         degraded_gap_policy: str = GAP_POLICY_NEIGHBOR,
+        awgr_occupancy_hint: bool = False,
     ) -> None:
         super().__init__(trace, sim, net)
+        # Occupancy hint: reserve the (src, dst) λ-lane at dependency-release
+        # time rather than injection time, so release *order* — the proxy the
+        # capture network cannot provide — binds lane occupancy the way the
+        # execution-driven transaction order does.  Only meaningful on
+        # backends with dedicated per-pair lanes; a no-op elsewhere.
+        self._lane_ready: dict[tuple[int, int], int] = {}
+        self._lane_ser = (
+            net.lane_serialization_cycles
+            if awgr_occupancy_hint
+            and hasattr(net, "lane_serialization_cycles")
+            else None)
+        self._hint_deferred = 0
+        self._hint_deferred_cycles = 0
         if not 0.0 <= keep_dep_fraction <= 1.0:
             raise ValueError(f"keep_dep_fraction out of range: {keep_dep_fraction}")
         if degraded_gap_policy not in GAP_POLICIES:
@@ -539,7 +553,7 @@ class SelfCorrectingReplayer(_ReplayerBase):
             fallback_captured=self._fallback_captured,
             rederived_msg_ids=rederived_ids,
         )
-        return self._result(
+        result = self._result(
             _walltime.perf_counter() - t0,
             dropped_deps=self.dropped_deps,
             demoted_cyclic=len(self.demoted_cyclic),
@@ -549,6 +563,12 @@ class SelfCorrectingReplayer(_ReplayerBase):
             rederived_records=len(rederived_ids),
             fault_exposure=exposure,
         )
+        if self._lane_ser is not None:
+            result.extra["occupancy_hint"] = {
+                "deferred": self._hint_deferred,
+                "deferred_cycles": self._hint_deferred_cycles,
+            }
+        return result
 
     def _node_warp(self, node: int) -> float:
         """``interp`` policy: local replayed-vs-captured time dilation on
@@ -652,6 +672,15 @@ class SelfCorrectingReplayer(_ReplayerBase):
             self._prereqs_left[dep.msg_id] = left
             if left == 0:
                 start = self._start_time[dep.msg_id]
+                if self._lane_ser is not None:
+                    key = (dep.src, dep.dst)
+                    busy_until = self._lane_ready.get(key, 0)
+                    if busy_until > start:
+                        self._hint_deferred += 1
+                        self._hint_deferred_cycles += busy_until - start
+                        start = busy_until
+                    self._lane_ready[key] = (
+                        start + self._lane_ser(dep.size_bytes))
                 if self._tl is not None:
                     self._tl.record(start, f"node{dep.src}",
                                     "replay.correction")
@@ -675,6 +704,11 @@ def replay_trace(
     """
     cfg = cfg or TraceConfig()
     if cfg.engine == ENGINE_GENERATIONAL:
+        if cfg.awgr_occupancy_hint:
+            raise ValueError(
+                "awgr_occupancy_hint is event-engine only: the generational "
+                "windowed solver prices lanes at injection time and has no "
+                "release-order reservation state")
         onoc = getattr(network_factory, "onoc", None)
         if onoc is None:
             raise ValueError(
@@ -685,11 +719,58 @@ def replay_trace(
         from repro.core.generational import replay_trace_generational
         return replay_trace_generational(trace, onoc, cfg)
     sim, net = network_factory()
+    overlay = _attach_degradation(net, cfg)
     if cfg.mode == TRACE_NAIVE:
-        return NaiveReplayer(trace, sim, net).run()
-    return SelfCorrectingReplayer(
-        trace, sim, net,
-        keep_dep_fraction=cfg.keep_dep_fraction,
-        dep_drop_seed=cfg.dep_drop_seed,
-        degraded_gap_policy=cfg.degraded_gap_policy,
-    ).run()
+        result = NaiveReplayer(trace, sim, net).run()
+    else:
+        result = SelfCorrectingReplayer(
+            trace, sim, net,
+            keep_dep_fraction=cfg.keep_dep_fraction,
+            dep_drop_seed=cfg.dep_drop_seed,
+            degraded_gap_policy=cfg.degraded_gap_policy,
+            awgr_occupancy_hint=cfg.awgr_occupancy_hint,
+        ).run()
+    if overlay is not None:
+        _record_resilience(trace, result, overlay)
+    return result
+
+
+def _attach_degradation(net: NetworkAdapter, cfg: TraceConfig):
+    """Build the degradation overlay from ``cfg.fault_events`` and attach it
+    to the optical serving layer (a hybrid degrades its ``.optical``
+    sublayer; the electrical layer has no photonic drift to model).
+
+    Returns the overlay, or ``None`` when the timeseries is empty — in
+    which case the network is left completely untouched, preserving the
+    byte-identical stock replay path.
+    """
+    if not cfg.fault_events:
+        return None
+    target = getattr(net, "optical", net)
+    if not hasattr(target, "degrade"):
+        raise ValueError(
+            "degradation timeseries need an optical (or hybrid) target; "
+            f"{type(target).__name__} has no degradation hook")
+    from repro.resilience.overlay import DegradationOverlay
+    overlay = DegradationOverlay.build(cfg.fault_events, target.cfg,
+                                       cfg.mitigation)
+    target.degrade = overlay
+    return overlay
+
+
+def _record_resilience(trace: Trace, result: ReplayResult, overlay) -> None:
+    """Post-hoc penalty accounting into ``result.extra['resilience']``.
+
+    Computed from the *final* injection schedule — never inside the serve
+    loop — so the accounting is identical for both engines and immune to
+    relaxation-pass re-scans.
+    """
+    from repro.resilience.overlay import resilience_extra
+    recs = [r for r in trace.records if r.msg_id in result.injections]
+    result.extra["resilience"] = resilience_extra(
+        overlay,
+        [result.injections[r.msg_id] for r in recs],
+        [r.src for r in recs],
+        [r.dst for r in recs],
+        [r.size_bytes for r in recs],
+    )

@@ -29,7 +29,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.config import ENGINE_EVENT, REPLAY_ENGINES
+from repro.config import ENGINE_EVENT, MITIGATIONS, REPLAY_ENGINES
 from repro.exp.config import GateSpec
 from repro.exp.schema import ParamSchema, SchemaError, specs
 from repro.harness.builders import experiment_from_params
@@ -43,6 +43,7 @@ from repro.harness.experiments import (
     latency_fidelity_rows,
     load_latency_point,
     power_experiment,
+    resilience_point,
     scalability_point,
     seed_accuracy_point,
     simtime_experiment,
@@ -716,6 +717,166 @@ register(
         compile=_convergence_compile,
         postprocess=_convergence_post,
         volatile=("*.wall_clock_s",),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# resilience (degradation mitigation)
+# ---------------------------------------------------------------------------
+
+
+def _resilience_compile(params: dict) -> list[SweepTask]:
+    exp = _exp_config(params)
+    kwargs: dict[str, Any] = {"scale": params["scale"]}
+    if params["engine"] != ENGINE_EVENT:
+        kwargs["engine"] = params["engine"]
+    return [
+        SweepTask.make(
+            resilience_point,
+            exp,
+            wl,
+            params["degrade"],
+            params["intensity"],
+            mitigation,
+            **kwargs,
+        )
+        for wl in params["workloads"]
+        for mitigation in params["mitigations"]
+    ]
+
+
+def _resilience_post(params: dict, results: list) -> tuple[Rows, Metrics]:
+    rows = [
+        {
+            "workload": r["workload"],
+            "mitigation": r["mitigation"],
+            "events": r["events"],
+            "exec_stock": r["exec_stock"],
+            "exec_degraded": r["exec_degraded"],
+            "slowdown_pct": r["slowdown_pct"],
+            "penalty_cycles": r["penalty"].get("total_cycles", 0),
+            "slowdown_cycles": r["penalty"].get("slowdown_cycles", 0),
+            "detour_cycles": r["penalty"].get("detour_cycles", 0),
+            "retune_cycles": r["penalty"].get("retune_cycles", 0),
+            "affected": r["penalty"].get("messages_affected", 0),
+        }
+        for r in results
+    ]
+    return rows, metrics_from_rows(rows, ("workload", "mitigation"))
+
+
+register(
+    BaseExperiment(
+        name="resilience",
+        description="Mid-replay network degradation under each mitigation "
+        "policy: a seeded fault timeseries hits the ONOC while the "
+        "self-correcting replay runs, and the policies' typed penalties "
+        "are compared against the pristine replay.",
+        schema=specs(
+            ("workloads", "list[str]", ("fft", "radix")),
+            ("degrade", "str",
+             "thermal_drift+laser_droop+corruption_bursts"),
+            ("intensity", "float", 0.9),
+            ("mitigations", "list[str]", MITIGATIONS),
+            *_COMMON,
+            ("scale", "float", 0.25),
+            ("engine", "str", ENGINE_EVENT, REPLAY_ENGINES),
+        ),
+        compile=_resilience_compile,
+        postprocess=_resilience_post,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# fault_matrix (error vs trace-fault severity)
+# ---------------------------------------------------------------------------
+
+
+def _fault_matrix_base(params: dict):
+    from repro.validate.scenario import Scenario
+
+    return Scenario(
+        params["workload"], params["cores"], params["seed"],
+        params["scale"], params["capture"], params["target"],
+        fault_seed=params["fault_seed"], gap_policy=params["gap_policy"],
+    )
+
+
+def _fault_matrix_cells(params: dict):
+    """The deduplicated scenario list + per-family severity grid, shared by
+    compile and postprocess so task order is reproducible."""
+    from repro.validate.differential import fault_matrix_scenarios
+
+    matrix = fault_matrix_scenarios(
+        _fault_matrix_base(params),
+        families=tuple(params["families"]) or None,
+        severities=tuple(params["severities"]),
+        fault_seed=params["fault_seed"],
+    )
+    unique: dict[str, Any] = {}
+    for pts in matrix.values():
+        for _, s in pts:
+            unique.setdefault(s.name, s)
+    return matrix, list(unique.values())
+
+
+def _fault_matrix_compile(params: dict) -> list[SweepTask]:
+    from repro.validate.scenario import run_scenario
+
+    _, ordered = _fault_matrix_cells(params)
+    return [SweepTask.make(run_scenario, s) for s in ordered]
+
+
+def _fault_matrix_post(params: dict, results: list) -> tuple[Rows, Metrics]:
+    from repro.validate.differential import check_fault_matrix_smooth
+
+    matrix, ordered = _fault_matrix_cells(params)
+    by_name = {s.name: o for s, o in zip(ordered, results)}
+    rows: Rows = []
+    for fam, pts in sorted(matrix.items()):
+        curve = [(sev, by_name[s.name]) for sev, s in pts]
+        breaches = check_fault_matrix_smooth(
+            [(sev, o.sc_exec_error_pct) for sev, o in curve],
+            params["max_slope"])
+        for sev, o in curve:
+            rows.append(
+                {
+                    "family": fam,
+                    "severity": sev,
+                    "sc_err_%": round(o.sc_exec_error_pct, 2),
+                    "naive_err_%": round(o.naive_exec_error_pct, 2),
+                    "unreplayed": o.sc_unreplayed,
+                    "damaged": o.fault_damaged,
+                    "breaches": len(breaches),
+                }
+            )
+    return rows, metrics_from_rows(rows, ("family", "severity"))
+
+
+register(
+    BaseExperiment(
+        name="fault_matrix",
+        description="Exec-error vs trace-fault severity per fault family on "
+        "a capture/target mismatch pair, gated on smooth degradation (no "
+        "re-anchoring cliffs) via the per-segment slope bound.",
+        schema=specs(
+            ("workload", "str", "fft"),
+            ("cores", "int", 16),
+            ("seed", "int", 16),
+            ("scale", "float", 0.1),
+            ("capture", "str", "awgr"),
+            ("target", "str", "crossbar"),
+            ("families", "list[str]", ()),
+            ("severities", "list[float]",
+             (0.0, 0.1, 0.25, 0.5, 0.75, 1.0)),
+            ("fault_seed", "int", 777),
+            ("gap_policy", "str", "neighbor_gap"),
+            ("max_slope", "float", 900.0),
+        ),
+        compile=_fault_matrix_compile,
+        postprocess=_fault_matrix_post,
     )
 )
 

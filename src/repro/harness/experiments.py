@@ -431,6 +431,64 @@ def ablation_dep_fraction(
     return out
 
 
+# ------------------------------------------------------------- resilience
+def resilience_point(
+    exp: ExperimentConfig,
+    workload: str,
+    degrade: str,
+    intensity: float,
+    mitigation: str,
+    scale: float = 1.0,
+    engine: str = ENGINE_EVENT,
+    fault_events: tuple = (),
+) -> dict:
+    """One degraded replay of the resilience subsystem: capture on the
+    electrical baseline, replay self-correcting on the ONOC while a seeded
+    fault timeseries degrades the fabric mid-replay, and account the
+    mitigation policy's penalty against the pristine replay.
+
+    ``fault_events`` overrides the generated timeseries with an explicit
+    ``(time, target, severity)`` tuple list (e.g. a checked-in reference
+    file); otherwise ``degrade`` names '+'-joined generator families
+    seeded by ``exp.seed`` over the trace's injection span.
+    """
+    _, trace, _ = run_execution_driven(exp, workload, "electrical",
+                                       scale=scale)
+    assert trace is not None
+    if not fault_events and degrade:
+        from repro.resilience import generate_timeseries
+
+        horizon = max((r.t_inject for r in trace.records), default=1)
+        fault_events = generate_timeseries(
+            degrade, seed=exp.seed, num_nodes=exp.onoc.num_nodes,
+            horizon=max(1, horizon), intensity=intensity).as_tuples()
+    factory = optical_factory(exp.onoc, exp.seed)
+    stock = replay_trace(
+        trace, factory,
+        TraceConfig(mode=TRACE_SELF_CORRECTING, engine=engine))
+    degraded = replay_trace(
+        trace, factory,
+        TraceConfig(mode=TRACE_SELF_CORRECTING, engine=engine,
+                    fault_events=tuple(fault_events),
+                    mitigation=mitigation))
+    res = degraded.extra.get("resilience", {})
+    pen = res.get("penalty", {})
+    slowdown = (degraded.exec_time_estimate - stock.exec_time_estimate) \
+        / max(1, stock.exec_time_estimate) * 100
+    return {
+        "workload": workload,
+        "mitigation": mitigation,
+        "degrade": degrade,
+        "intensity": intensity,
+        "events": res.get("events", len(fault_events)),
+        "exec_stock": stock.exec_time_estimate,
+        "exec_degraded": degraded.exec_time_estimate,
+        "slowdown_pct": round(slowdown, 2),
+        "penalty": pen,
+        "curve": res.get("curve", []),
+    }
+
+
 # ---------------------------------------------------------------- Fig. 8
 def ablation_network_mismatch(
     exp: ExperimentConfig,

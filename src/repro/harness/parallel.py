@@ -59,8 +59,10 @@ from repro import obs
 
 #: Bump when simulator semantics change so stale cached results are never
 #: returned for the new code.  (v2: tuple-keyed event kernel; v3: replay
-#: engine selection — results now depend on TraceConfig.engine.)
-CACHE_SALT = "repro-kernel-v3"
+#: engine selection — results now depend on TraceConfig.engine; v4: the
+#: resilience subsystem — results now depend on TraceConfig.fault_events /
+#: mitigation and Scenario.degrade.)
+CACHE_SALT = "repro-kernel-v4"
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

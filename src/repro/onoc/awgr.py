@@ -82,6 +82,9 @@ class OpticalAwgr:
         self._delivery_handler: Optional[Callable[[Message], None]] = None
         # None unless repro.obs instrumentation was enabled at build time.
         self._probe = net_probe("awgr")
+        # Degradation overlay (repro.resilience); attached by replay_trace
+        # when a fault timeseries is configured, None = pristine fabric.
+        self.degrade = None
         self.bits_transmitted = 0
 
     # ------------------------------------------------------ adapter API
@@ -126,10 +129,15 @@ class OpticalAwgr:
         msg = lane.queue.popleft()
         now = self.sim.now
         ser = self.lane_serialization_cycles(msg.size_bytes)
+        lat_extra = 0
+        if self.degrade is not None:
+            occ_extra, lat_extra = self.degrade.adjust(
+                msg.inject_time, src, dst, ser)
+            ser += occ_extra            # degraded lane held longer
         prop = self.cfg.propagation_cycles(self.layout.distance_cm(src, dst))
         self.stats.queueing_delay.add(now - msg.inject_time)
-        self.sim.schedule(now + ser + prop + 2 * self.cfg.conversion_cycles,
-                          self._deliver, (msg,))
+        self.sim.schedule(now + ser + prop + 2 * self.cfg.conversion_cycles
+                          + lat_extra, self._deliver, (msg,))
         self.sim.schedule(now + ser, self._transmit_next, (src, dst, lane))
 
     def _deliver(self, msg: Message) -> None:

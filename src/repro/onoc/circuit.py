@@ -81,6 +81,9 @@ class CircuitSwitchedMesh:
         self._delivery_handler: Optional[Callable[[Message], None]] = None
         # None unless repro.obs instrumentation was enabled at build time.
         self._probe = net_probe("circuit_mesh")
+        # Degradation overlay (repro.resilience); attached by replay_trace
+        # when a fault timeseries is configured, None = pristine fabric.
+        self.degrade = None
         self._next_cid = 0
         # Power-model counters.
         self.bits_transmitted = 0
@@ -165,9 +168,20 @@ class CircuitSwitchedMesh:
         self.stats.queueing_delay.add(now - msg.inject_time)  # setup latency
         ack = hops * self.cfg.setup_link_latency + 1
         ser = self.cfg.serialization_cycles(msg.size_bytes)
+        degrade_extra = 0
+        if self.degrade is not None:
+            occ_extra, lat_extra = self.degrade.adjust(
+                msg.inject_time, msg.src, msg.dst, ser)
+            # Both terms delay only the payload *delivery*; the circuit is
+            # torn down on the stock schedule.  Extending the segment hold
+            # window would amplify precisely the contention the generational
+            # circuit model documents as unmodelled, breaking the engine
+            # equivalence bound — this backend's degradation is therefore
+            # latency-only by contract (see docs/RESILIENCE.md).
+            degrade_extra = occ_extra + lat_extra
         prop = self.cfg.propagation_cycles(hops * self.link_length_cm)
         data_end = now + ack + 2 * self.cfg.conversion_cycles + ser + prop
-        self.sim.schedule(data_end, self._deliver, (msg, hops))
+        self.sim.schedule(data_end + degrade_extra, self._deliver, (msg, hops))
         self.sim.schedule(
             data_end + self.cfg.teardown_latency, self._teardown, (walker,)
         )

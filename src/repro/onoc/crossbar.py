@@ -70,6 +70,9 @@ class OpticalCrossbar:
         self._delivery_handler: Optional[Callable[[Message], None]] = None
         # None unless repro.obs instrumentation was enabled at build time.
         self._probe = net_probe("crossbar")
+        # Degradation overlay (repro.resilience); attached by replay_trace
+        # when a fault timeseries is configured, None = pristine fabric.
+        self.degrade = None
         # Power-model counters.
         self.bits_transmitted = 0
         self.token_travel_cycles = 0
@@ -123,9 +126,14 @@ class OpticalCrossbar:
         travel = self._token_travel(ch, msg.src)
         grant = max(now, ch.token_free_time) + travel
         ser = self.cfg.serialization_cycles(msg.size_bytes)
+        lat_extra = 0
+        if self.degrade is not None:
+            occ_extra, lat_extra = self.degrade.adjust(
+                msg.inject_time, msg.src, msg.dst, ser)
+            ser += occ_extra            # degraded channel held longer
         release = grant + ser
         prop = self.cfg.propagation_cycles(self.layout.distance_cm(msg.src, msg.dst))
-        deliver = grant + ser + prop + 2 * self.cfg.conversion_cycles
+        deliver = grant + ser + prop + 2 * self.cfg.conversion_cycles + lat_extra
 
         ch.token_at = msg.src
         ch.token_free_time = release

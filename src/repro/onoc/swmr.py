@@ -78,6 +78,9 @@ class OpticalSwmrCrossbar:
         self._delivery_handler: Optional[Callable[[Message], None]] = None
         # None unless repro.obs instrumentation was enabled at build time.
         self._probe = net_probe("swmr_crossbar")
+        # Degradation overlay (repro.resilience); attached by replay_trace
+        # when a fault timeseries is configured, None = pristine fabric.
+        self.degrade = None
         self.bits_transmitted = 0
 
     # ------------------------------------------------------ adapter API
@@ -117,10 +120,15 @@ class OpticalSwmrCrossbar:
         msg = ch.queue.popleft()
         now = self.sim.now
         ser = self.cfg.serialization_cycles(msg.size_bytes)
+        lat_extra = 0
+        if self.degrade is not None:
+            occ_extra, lat_extra = self.degrade.adjust(
+                msg.inject_time, msg.src, msg.dst, ser)
+            ser += occ_extra            # degraded channel held longer
         prop = self.cfg.propagation_cycles(
             self.layout.distance_cm(msg.src, msg.dst))
         release = now + ser
-        deliver = now + ser + prop + 2 * self.cfg.conversion_cycles
+        deliver = now + ser + prop + 2 * self.cfg.conversion_cycles + lat_extra
         self.stats.queueing_delay.add(now - msg.inject_time)
         self.sim.schedule(deliver, self._deliver, (msg,))
         self.sim.schedule(release, self._transmit_next, (ch,))

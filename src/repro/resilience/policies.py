@@ -1,0 +1,100 @@
+"""Mitigation policies and their typed penalty accounting.
+
+A mitigation policy decides what the fabric does about a degraded
+resource.  Policies are *table transforms*: :class:`~repro.resilience.
+overlay.DegradationOverlay` computes a raw per-epoch, per-(src, dst)
+degradation level and each policy maps it to the integer penalty tables
+both replay engines consult.  The three built-ins:
+
+``none``        ride out the degradation: serialization on a level-``l``
+                pair stretches by ``1 / (1 - l)`` (lost optical margin =
+                lost effective bandwidth), holding the channel longer and
+                cascading contention onto healthy traffic.
+``disable``     drop any pair degraded past :data:`DISABLE_THRESHOLD_PM`
+                and detour via the lowest-numbered healthy relay node:
+                serialization happens twice (store-and-forward at the
+                relay, which keeps holding the source resource — the
+                "contention penalty"), plus the extra propagation and one
+                extra O/E + E/O conversion pair.  Pairs under the
+                threshold fall back to ``none`` behaviour.
+``reallocate``  re-allocate spare wavelength/path capacity to the degraded
+                pair: the effective level drops by the backend's spare
+                capacity (AWGR: the leftover ``W mod (N-1)`` wavelengths
+                the cyclic lane assignment leaves idle; other backends: a
+                fixed spare-path budget), at the cost of
+                :data:`REALLOCATE_RETUNE_CYCLES` of ring re-tuning per
+                message, which also holds the channel.
+
+Every policy produces only **non-negative** adjustments, which is what
+keeps the generational engine's windowed solver exact: the per-message
+gain lower bound remains a lower bound under degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import (  # noqa: F401  (re-exported policy names)
+    MITIGATION_DISABLE,
+    MITIGATION_NONE,
+    MITIGATION_REALLOCATE,
+    MITIGATIONS,
+)
+
+#: ``disable`` drops a (src, dst) pair once its level reaches this
+#: per-mille threshold (0.7 — the link has lost >70% of its margin).
+DISABLE_THRESHOLD_PM = 700
+
+#: Ring re-tuning cost per message on a reallocated pair (cycles).
+REALLOCATE_RETUNE_CYCLES = 2
+
+#: Spare capacity (per mille) the ``reallocate`` policy can shift to a
+#: degraded pair on backends without idle AWGR wavelengths.
+REALLOCATE_DEFAULT_SPARE_PM = 250
+
+#: Levels are capped here so the ``1/(1-l)`` serialization stretch stays
+#: bounded (a fully dead link is modelled as 20x slowdown, not infinity —
+#: the ``disable`` policy exists for the "actually dead" regime).
+LEVEL_CAP_PM = 950
+
+
+@dataclass(frozen=True)
+class PenaltyBreakdown:
+    """Typed accounting of where a policy's cycles went.
+
+    ``slowdown_cycles``  serialization stretch on degraded pairs
+    ``detour_cycles``    relay detours taken by ``disable`` (extra
+                         serialization + propagation + conversions)
+    ``retune_cycles``    ring re-tuning charged by ``reallocate``
+    ``messages_affected`` messages that crossed a degraded pair
+    ``messages_total``    messages replayed (affected or not)
+    """
+
+    mitigation: str
+    slowdown_cycles: int = 0
+    detour_cycles: int = 0
+    retune_cycles: int = 0
+    messages_affected: int = 0
+    messages_total: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.slowdown_cycles + self.detour_cycles + self.retune_cycles
+
+    def as_dict(self) -> dict:
+        return {
+            "mitigation": self.mitigation,
+            "slowdown_cycles": self.slowdown_cycles,
+            "detour_cycles": self.detour_cycles,
+            "retune_cycles": self.retune_cycles,
+            "total_cycles": self.total_cycles,
+            "messages_affected": self.messages_affected,
+            "messages_total": self.messages_total,
+        }
+
+
+def check_mitigation(name: str) -> str:
+    if name not in MITIGATIONS:
+        raise ValueError(
+            f"unknown mitigation policy {name!r}; expected one of {MITIGATIONS}")
+    return name

@@ -1,0 +1,223 @@
+"""The fault-timeseries schema: ``(time, target, severity)`` step functions.
+
+A :class:`FaultTimeseries` is an ordered sequence of :class:`FaultEvent`
+records.  Each event sets the degradation *level* of one target from its
+``time`` onward — the timeseries is a right-continuous step function per
+target, and the last event at or before ``t`` wins.  Severity ``0.0``
+restores the target to pristine.
+
+Targets address the resources every optical backend shares:
+
+``global``          the whole fabric (laser power droop)
+``node:<k>``        endpoint ``k``'s modulator/detector banks (thermal drift)
+``link:<s>-<d>``    the directed (src, dst) channel (corruption bursts)
+``wl:<w>``          one WDM wavelength (a drifted microring row)
+
+Containers round-trip through CSV (``time,target,severity`` header) and
+JSON (``{"format": "repro-faultseries-v1", "events": [...]}``); parsing is
+strict — unknown targets, out-of-range severities, or negative times raise
+:class:`TimeseriesError` rather than degrading silently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+TARGET_GLOBAL = "global"
+TARGET_NODE = "node"
+TARGET_LINK = "link"
+TARGET_WAVELENGTH = "wl"
+TARGET_KINDS = (TARGET_GLOBAL, TARGET_NODE, TARGET_LINK, TARGET_WAVELENGTH)
+
+#: JSON container format tag.
+FAULTSERIES_FORMAT = "repro-faultseries-v1"
+
+CSV_HEADER = "time,target,severity"
+
+
+class TimeseriesError(ValueError):
+    """Raised on malformed timeseries input (schema, range, or container)."""
+
+
+def parse_target(target: str) -> tuple[str, Union[None, int, tuple[int, int]]]:
+    """Split a target string into ``(kind, operand)``.
+
+    Returns ``("global", None)``, ``("node", k)``, ``("link", (src, dst))``
+    or ``("wl", w)``; raises :class:`TimeseriesError` on anything else.
+    """
+    if target == TARGET_GLOBAL:
+        return TARGET_GLOBAL, None
+    kind, sep, rest = target.partition(":")
+    if not sep or kind not in (TARGET_NODE, TARGET_LINK, TARGET_WAVELENGTH):
+        raise TimeseriesError(
+            f"bad fault target {target!r}; expected 'global', 'node:<k>', "
+            f"'link:<src>-<dst>' or 'wl:<w>'")
+    try:
+        if kind == TARGET_LINK:
+            src_s, _, dst_s = rest.partition("-")
+            src, dst = int(src_s), int(dst_s)
+            if src < 0 or dst < 0 or src == dst:
+                raise ValueError
+            return TARGET_LINK, (src, dst)
+        k = int(rest)
+        if k < 0:
+            raise ValueError
+        return kind, k
+    except ValueError:
+        raise TimeseriesError(
+            f"bad fault target operand in {target!r}") from None
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One step of the degradation timeseries."""
+
+    time: int
+    target: str
+    severity: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise TimeseriesError(f"event time must be >= 0, got {self.time}")
+        if not (0.0 <= self.severity <= 1.0):
+            raise TimeseriesError(
+                f"severity must be in [0, 1], got {self.severity}")
+        parse_target(self.target)  # validates; result recomputed on demand
+
+    def as_tuple(self) -> tuple[int, str, float]:
+        return (self.time, self.target, self.severity)
+
+
+class FaultTimeseries:
+    """An immutable, time-sorted sequence of :class:`FaultEvent` records.
+
+    Sorting is stable by ``(time, target)`` so that serialization is
+    canonical: two timeseries with the same events compare (and hash
+    through configs) identically regardless of construction order.  Two
+    events on the *same* target at the same time are rejected — the step
+    function would be ambiguous.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        ordered = tuple(sorted(events, key=lambda e: (e.time, e.target)))
+        seen: set[tuple[int, str]] = set()
+        for e in ordered:
+            key = (e.time, e.target)
+            if key in seen:
+                raise TimeseriesError(
+                    f"duplicate event for target {e.target!r} at t={e.time}")
+            seen.add(key)
+        self.events: tuple[FaultEvent, ...] = ordered
+
+    # ------------------------------------------------------------- basics
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, FaultTimeseries)
+                and self.events == other.events)
+
+    def __hash__(self) -> int:
+        return hash(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultTimeseries({len(self.events)} events)"
+
+    def targets(self) -> list[str]:
+        """Distinct targets, sorted."""
+        return sorted({e.target for e in self.events})
+
+    def merged(self, other: "FaultTimeseries") -> "FaultTimeseries":
+        """Union of two timeseries (duplicate (time, target) pairs raise)."""
+        return FaultTimeseries(self.events + other.events)
+
+    # -------------------------------------------------------- tuple codec
+    def as_tuples(self) -> tuple[tuple[int, str, float], ...]:
+        """Plain-tuple form — the shape carried by ``TraceConfig``."""
+        return tuple(e.as_tuple() for e in self.events)
+
+    @classmethod
+    def from_tuples(
+        cls, tuples: Sequence[Sequence]
+    ) -> "FaultTimeseries":
+        events = []
+        for row in tuples:
+            if len(row) != 3:
+                raise TimeseriesError(
+                    f"expected (time, target, severity), got {row!r}")
+            t, target, sev = row
+            events.append(FaultEvent(int(t), str(target), float(sev)))
+        return cls(events)
+
+    # ---------------------------------------------------------------- CSV
+    def to_csv(self) -> str:
+        lines = [CSV_HEADER]
+        for e in self.events:
+            lines.append(f"{e.time},{e.target},{e.severity:g}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_csv(cls, text: str) -> "FaultTimeseries":
+        lines = [ln.strip() for ln in text.splitlines() if ln.strip()]
+        if not lines or lines[0].replace(" ", "") != CSV_HEADER:
+            raise TimeseriesError(
+                f"CSV timeseries must start with header {CSV_HEADER!r}")
+        events = []
+        for i, line in enumerate(lines[1:], start=2):
+            parts = [p.strip() for p in line.split(",")]
+            if len(parts) != 3:
+                raise TimeseriesError(
+                    f"line {i}: expected 3 comma-separated fields, "
+                    f"got {line!r}")
+            try:
+                events.append(FaultEvent(int(parts[0]), parts[1],
+                                         float(parts[2])))
+            except TimeseriesError:
+                raise
+            except ValueError as exc:
+                raise TimeseriesError(f"line {i}: {exc}") from None
+        return cls(events)
+
+    # --------------------------------------------------------------- JSON
+    def to_json(self) -> str:
+        return json.dumps({
+            "format": FAULTSERIES_FORMAT,
+            "events": [
+                {"time": e.time, "target": e.target, "severity": e.severity}
+                for e in self.events
+            ],
+        }, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultTimeseries":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TimeseriesError(f"bad JSON timeseries: {exc}") from None
+        if not isinstance(doc, dict) or doc.get("format") != FAULTSERIES_FORMAT:
+            raise TimeseriesError(
+                f"expected a {FAULTSERIES_FORMAT!r} document")
+        events = []
+        for i, entry in enumerate(doc.get("events", [])):
+            try:
+                events.append(FaultEvent(int(entry["time"]),
+                                         str(entry["target"]),
+                                         float(entry["severity"])))
+            except (KeyError, TypeError) as exc:
+                raise TimeseriesError(f"event {i}: {exc!r}") from None
+        return cls(events)
+
+    @classmethod
+    def from_text(cls, text: str) -> "FaultTimeseries":
+        """Container sniffing: JSON if it parses as an object, else CSV."""
+        stripped = text.lstrip()
+        if stripped.startswith("{"):
+            return cls.from_json(text)
+        return cls.from_csv(text)

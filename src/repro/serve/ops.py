@@ -49,6 +49,7 @@ DEFAULT_OPERATIONS: dict[str, str] = {
     "seed_accuracy_point": "repro.harness.experiments:seed_accuracy_point",
     "latency_fidelity": "repro.harness.experiments:latency_fidelity_rows",
     "area_rows": "repro.harness.experiments:area_rows",
+    "resilience_point": "repro.harness.experiments:resilience_point",
 }
 
 

@@ -38,6 +38,7 @@ from repro.config import (
     GAP_POLICIES,
     GAP_POLICY_CAPTURED,
     GAP_POLICY_INTERP,
+    MITIGATIONS,
     OnocConfig,
     TRACE_NAIVE,
     TRACE_SELF_CORRECTING,
@@ -46,6 +47,7 @@ from repro.config import (
 from repro.core.replay import ReplayResult, replay_trace
 from repro.core.trace import Trace
 from repro.harness.builders import backend_in_order_channels, optical_factory
+from repro.resilience import generate_timeseries
 from repro.validate import invariants as inv
 from repro.validate.faults import apply_faults, parse_fault_specs
 from repro.validate.golden import GOLDEN_SCENARIOS, _trace_path
@@ -60,6 +62,15 @@ EXEC_TOL_PCT_INTERP = 6.0
 #: Fault slice for the matrix: one selection fault, one timing fault, one
 #: structural fault, at the moderate severities the fault-matrix gate uses.
 ENGINE_FAULT_SPECS = ("drop_deps:0.3", "jitter:8", "truncate:0.1")
+
+#: Degraded slice: one seeded fault *timeseries* per backend cell, replayed
+#: through both engines under identical events (the resilience subsystem's
+#: engine-equivalence pin).  Intensity stays moderate on purpose: extreme
+#: degradation (>= 0.9) multiplies FIFO occupancies up to ~20x, which
+#: widens the engines' documented same-cycle scheduling freedom beyond the
+#: exec tolerance without indicating a semantic divergence.
+ENGINE_DEGRADE_FAMILY = "thermal_drift+corruption_bursts"
+ENGINE_DEGRADE_INTENSITY = 0.7
 
 #: Count fields of :class:`ReplayResult` that must match *exactly*.
 COUNT_FIELDS = (
@@ -163,7 +174,12 @@ def compare_engines(
                       dataclasses.replace(cfg, engine=ENGINE_EVENT))
     gen = replay_trace(trace, optical_factory(onoc, seed),
                        dataclasses.replace(cfg, engine=ENGINE_GENERATIONAL))
-    strict = backend_in_order_channels(onoc.topology)
+    # The ``disable`` mitigation's detour latency can legitimately deliver
+    # an earlier-injected message after a later one on the same channel
+    # (the detour rides a different physical path), so degraded replays are
+    # exempt from the strict per-channel FIFO form.
+    strict = (backend_in_order_channels(onoc.topology)
+              and not cfg.fault_events)
     violations = tuple(
         str(v) for v in inv.check_replay(trace, gen, strict_fifo=strict))
     interp_degraded = (cfg.degraded_gap_policy == GAP_POLICY_INTERP
@@ -217,7 +233,7 @@ def check_engines(golden_dir: Path,
     report = EngineReport()
     policies = (GAP_POLICY_CAPTURED,) if fast else GAP_POLICIES
     keeps = (1.0, 0.9)
-    for scenario in GOLDEN_SCENARIOS:
+    for cell_idx, scenario in enumerate(GOLDEN_SCENARIOS):
         trace = Trace.from_json(_trace_path(golden_dir, scenario).read_text())
         onoc = OnocConfig(num_nodes=scenario.cores,
                           num_wavelengths=scenario.wavelengths,
@@ -242,6 +258,21 @@ def check_engines(golden_dir: Path,
                 report.cells.append(compare_engines(
                     damaged, onoc, cfg, scenario.seed,
                     scenario=name, faults=spec))
+        # Degraded cell: one per backend, identical fault timeseries through
+        # both engines (cycling the mitigation policy across the corpus so
+        # each one is engine-pinned somewhere).
+        horizon = max((r.t_inject for r in trace.records), default=1)
+        series = generate_timeseries(
+            ENGINE_DEGRADE_FAMILY, seed=scenario.seed,
+            num_nodes=scenario.cores, horizon=max(1, horizon),
+            intensity=ENGINE_DEGRADE_INTENSITY)
+        mitigation = MITIGATIONS[cell_idx % len(MITIGATIONS)]
+        cfg = TraceConfig(mode=TRACE_SELF_CORRECTING,
+                          fault_events=series.as_tuples(),
+                          mitigation=mitigation)
+        report.cells.append(compare_engines(
+            trace, onoc, cfg, scenario.seed, scenario=name,
+            faults=f"degrade:{ENGINE_DEGRADE_FAMILY}/{mitigation}"))
         report.format_failures += _format_identity(
             trace, onoc, scenario.seed, name)
     return report

@@ -22,6 +22,8 @@ from repro.config import (
     GAP_POLICIES,
     GAP_POLICY_CAPTURED,
     GAP_POLICY_NEIGHBOR,
+    MITIGATION_NONE,
+    MITIGATIONS,
     NocConfig,
     OnocConfig,
     ONOC_TOPOLOGIES,
@@ -31,6 +33,7 @@ from repro.config import (
     TraceConfig,
 )
 from repro.core import compare_to_reference, replay_trace
+from repro.resilience import GENERATOR_FAMILIES, generate_timeseries
 from repro.validate.faults import FaultModel, apply_faults
 from repro.harness.builders import (
     backend_in_order_channels,
@@ -63,6 +66,9 @@ class Scenario:
     faults: tuple = ()              # FaultModel sequence applied to the trace
     fault_seed: int = 777
     gap_policy: str = GAP_POLICY_NEIGHBOR
+    degrade: str = ""               # generator families ("+"-joined), "" off
+    degrade_intensity: float = 0.5
+    mitigation: str = MITIGATION_NONE
 
     def __post_init__(self) -> None:
         side = math.isqrt(self.cores)
@@ -78,6 +84,16 @@ class Scenario:
             raise ValueError("keep_dep_fraction must be in [0, 1]")
         if self.gap_policy not in GAP_POLICIES:
             raise ValueError(f"unknown gap_policy {self.gap_policy!r}")
+        if self.degrade:
+            unknown = set(self.degrade.split("+")) - set(GENERATOR_FAMILIES)
+            if unknown:
+                raise ValueError(
+                    f"unknown degradation families {sorted(unknown)} "
+                    f"(available: {sorted(GENERATOR_FAMILIES)})")
+        if not 0.0 <= self.degrade_intensity <= 1.0:
+            raise ValueError("degrade_intensity must be in [0, 1]")
+        if self.mitigation not in MITIGATIONS:
+            raise ValueError(f"unknown mitigation {self.mitigation!r}")
         # Normalize (frozen dataclass: assign via object.__setattr__) so the
         # scenario content-hashes identically however the faults were given.
         object.__setattr__(self, "faults", tuple(self.faults))
@@ -102,9 +118,13 @@ class Scenario:
             f"-{f.name}{f.severity:g}" for f in self.faults)
         policy = ("" if self.gap_policy == GAP_POLICY_NEIGHBOR
                   else f"-{self.gap_policy}")
+        degrade = ("" if not self.degrade
+                   else f"-dg.{self.degrade}"
+                        f".i{self.degrade_intensity:g}.{self.mitigation}")
         return (f"{self.workload}-c{self.cores}-s{self.seed}"
                 f"-x{self.scale:g}-w{self.wavelengths}"
-                f"-{self.capture}-to-{self.target}{frac}{faults}{policy}")
+                f"-{self.capture}-to-{self.target}{frac}{faults}{policy}"
+                f"{degrade}")
 
     def experiment(self) -> ExperimentConfig:
         side = math.isqrt(self.cores)
@@ -148,8 +168,11 @@ class ErrorEnvelope:
         bad: list[str] = []
         # Faulted scenarios intentionally degrade toward naive replay, the
         # same way keep_dep_fraction ablation does: naive bound applies.
+        # Degraded-fabric scenarios diverge from the *pristine* execution-
+        # driven reference by design, so they get the same loose bound.
         ablated = (outcome.scenario.keep_dep_fraction < 1.0
-                   or bool(outcome.scenario.faults))
+                   or bool(outcome.scenario.faults)
+                   or bool(outcome.scenario.degrade))
         sc_bound = (self.max_naive_exec_error_pct if ablated
                     else self.max_sc_exec_error_pct)
         if outcome.sc_exec_error_pct > sc_bound:
@@ -249,17 +272,37 @@ def run_scenario(
         trace, fault_reports = apply_faults(
             trace, scenario.faults, scenario.fault_seed)
 
+    # Degradation timeseries: deterministic in (families, seed, cores) with
+    # the horizon tied to the captured injection span, so the same scenario
+    # always replays under the same fabric weather.
+    fault_events: tuple = ()
+    if scenario.degrade:
+        horizon = max((r.t_inject for r in trace.records), default=1)
+        fault_events = generate_timeseries(
+            scenario.degrade, seed=scenario.seed,
+            num_nodes=scenario.cores, horizon=max(1, horizon),
+            intensity=scenario.degrade_intensity).as_tuples()
+
     ref_res, ref_trace, _ = run_execution_driven(
         exp, scenario.workload, "optical", scale=scenario.scale)
     assert ref_trace is not None
     factory = optical_factory(exp.onoc, exp.seed)
-    naive = replay_trace(trace, factory, TraceConfig(mode=TRACE_NAIVE))
+    naive = replay_trace(trace, factory,
+                         TraceConfig(mode=TRACE_NAIVE,
+                                     fault_events=fault_events,
+                                     mitigation=scenario.mitigation))
     sc = replay_trace(
         trace, factory,
         TraceConfig(mode=TRACE_SELF_CORRECTING,
                     keep_dep_fraction=scenario.keep_dep_fraction,
-                    degraded_gap_policy=scenario.gap_policy))
-    strict_target = backend_in_order_channels(scenario.target)
+                    degraded_gap_policy=scenario.gap_policy,
+                    fault_events=fault_events,
+                    mitigation=scenario.mitigation))
+    # The disable mitigation's detour latency legitimately reorders
+    # overlapping same-channel flights, so degraded replays skip the strict
+    # FIFO form of the channel invariant.
+    strict_target = (backend_in_order_channels(scenario.target)
+                     and not fault_events)
     violations += [str(v) for v in inv.check_replay(
         trace, naive, strict_fifo=strict_target)]
     violations += [str(v) for v in inv.check_replay(

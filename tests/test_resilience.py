@@ -1,0 +1,300 @@
+"""The resilience subsystem: schema round-trips, generator determinism and
+monotonicity, the empty-timeseries byte-identity contract on every backend,
+policy penalty accounting, and the degraded engine differential.
+
+The byte-identity pin is the subsystem's safety contract: a ``TraceConfig``
+with no fault events must replay *exactly* like stock — same injections,
+same deliveries, no resilience payload — on both engines and all four
+optical backends, so the degradation hook provably costs nothing when off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.config import (
+    ENGINE_EVENT,
+    ENGINE_GENERATIONAL,
+    MITIGATION_DISABLE,
+    MITIGATION_NONE,
+    MITIGATION_REALLOCATE,
+    MITIGATIONS,
+    OnocConfig,
+    TraceConfig,
+)
+from repro.core.replay import replay_trace
+from repro.core.trace import Trace
+from repro.harness.builders import optical_factory
+from repro.resilience import (
+    FaultEvent,
+    FaultTimeseries,
+    GENERATOR_FAMILIES,
+    TimeseriesError,
+    generate_timeseries,
+)
+from repro.validate.engines import (
+    ENGINE_DEGRADE_FAMILY,
+    ENGINE_DEGRADE_INTENSITY,
+    compare_engines,
+)
+from repro.validate.golden import GOLDEN_SCENARIOS, _trace_path
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+ALL_FAMILIES = "+".join(sorted(GENERATOR_FAMILIES))
+
+
+def _golden(scenario):
+    trace = Trace.from_json(_trace_path(GOLDEN_DIR, scenario).read_text())
+    onoc = OnocConfig(num_nodes=scenario.cores,
+                      num_wavelengths=scenario.wavelengths,
+                      topology=scenario.target)
+    return trace, onoc
+
+
+def _series_for(trace, scenario, intensity=0.9, family=ALL_FAMILIES):
+    horizon = max((r.t_inject for r in trace.records), default=1)
+    return generate_timeseries(family, seed=scenario.seed,
+                               num_nodes=scenario.cores,
+                               horizon=max(1, horizon), intensity=intensity)
+
+
+# ---------------------------------------------------------------------------
+# Schema / containers
+# ---------------------------------------------------------------------------
+
+class TestTimeseriesSchema:
+    def test_sorted_and_canonical(self):
+        a = FaultTimeseries([FaultEvent(5, "global", 0.5),
+                             FaultEvent(1, "node:3", 0.2)])
+        b = FaultTimeseries([FaultEvent(1, "node:3", 0.2),
+                             FaultEvent(5, "global", 0.5)])
+        assert a == b and hash(a) == hash(b)
+        assert [e.time for e in a] == [1, 5]
+
+    def test_duplicate_step_rejected(self):
+        with pytest.raises(TimeseriesError, match="duplicate"):
+            FaultTimeseries([FaultEvent(1, "global", 0.5),
+                             FaultEvent(1, "global", 0.7)])
+
+    @pytest.mark.parametrize("target", [
+        "globe", "node:", "node:-1", "link:1", "link:2-2", "wl:x", "links:1-2",
+    ])
+    def test_bad_targets_rejected(self, target):
+        with pytest.raises(TimeseriesError):
+            FaultEvent(0, target, 0.5)
+
+    @pytest.mark.parametrize("sev", [-0.1, 1.5])
+    def test_severity_range(self, sev):
+        with pytest.raises(TimeseriesError):
+            FaultEvent(0, "global", sev)
+
+    def test_csv_header_required(self):
+        with pytest.raises(TimeseriesError, match="header"):
+            FaultTimeseries.from_csv("1,global,0.5\n")
+
+    def test_from_text_sniffs_container(self):
+        s = generate_timeseries(ALL_FAMILIES, seed=3, num_nodes=8,
+                                horizon=500, intensity=0.7)
+        # CSV uses %g formatting, so severities round — the round-trip is a
+        # serialization fixed point, not float-exact; JSON is exact.
+        csv_rt = FaultTimeseries.from_text(s.to_csv())
+        assert csv_rt.to_csv() == s.to_csv()
+        assert [e.as_tuple()[:2] for e in csv_rt] == \
+            [e.as_tuple()[:2] for e in s]
+        assert FaultTimeseries.from_text(s.to_json()) == s
+
+
+# hypothesis round-trip: parse -> serialize -> parse is the identity for
+# every container, on arbitrary valid event sets.
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@st.composite
+def timeseries(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    events, seen = [], set()
+    for _ in range(n):
+        t = draw(st.integers(min_value=0, max_value=10_000))
+        kind = draw(st.sampled_from(("global", "node", "link", "wl")))
+        if kind == "global":
+            target = "global"
+        elif kind == "link":
+            src = draw(st.integers(min_value=0, max_value=15))
+            dst = draw(st.integers(min_value=0, max_value=14))
+            target = f"link:{src}-{dst if dst < src else dst + 1}"
+        else:
+            target = f"{kind}:{draw(st.integers(min_value=0, max_value=63))}"
+        if (t, target) in seen:
+            continue
+        seen.add((t, target))
+        sev = draw(st.floats(min_value=0.0, max_value=1.0,
+                             allow_nan=False, width=32))
+        events.append(FaultEvent(t, target, sev))
+    return FaultTimeseries(events)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(series=timeseries())
+    def test_csv_roundtrip(self, series):
+        again = FaultTimeseries.from_csv(series.to_csv())
+        # %g formatting may shorten severities; re-serialization must be a
+        # fixed point even so.
+        assert again.to_csv() == FaultTimeseries.from_csv(again.to_csv()).to_csv()
+        assert [e.as_tuple()[:2] for e in again] == \
+            [e.as_tuple()[:2] for e in series]
+
+    @settings(max_examples=60, deadline=None)
+    @given(series=timeseries())
+    def test_json_roundtrip(self, series):
+        assert FaultTimeseries.from_json(series.to_json()) == series
+
+    @settings(max_examples=60, deadline=None)
+    @given(series=timeseries())
+    def test_tuple_roundtrip(self, series):
+        assert FaultTimeseries.from_tuples(series.as_tuples()) == series
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+class TestGenerators:
+    @pytest.mark.parametrize("family", sorted(GENERATOR_FAMILIES))
+    def test_seed_determinism(self, family):
+        kw = dict(seed=42, num_nodes=16, horizon=5000, intensity=0.8)
+        assert generate_timeseries(family, **kw) == \
+            generate_timeseries(family, **kw)
+        assert generate_timeseries(family, **kw) != generate_timeseries(
+            family, **{**kw, "seed": 43})
+
+    @pytest.mark.parametrize("family", sorted(GENERATOR_FAMILIES))
+    def test_severity_monotone_in_intensity(self, family):
+        kw = dict(seed=11, num_nodes=16, horizon=5000)
+        prev = None
+        for intensity in (0.2, 0.5, 0.8, 1.0):
+            series = generate_timeseries(family, intensity=intensity, **kw)
+            assert len(series) > 0
+            if prev is not None:
+                assert len(series) == len(prev)
+                for lo, hi in zip(prev, series):
+                    assert (lo.time, lo.target) == (hi.time, hi.target)
+                    assert hi.severity >= lo.severity
+            prev = series
+
+    def test_combined_families_merge(self):
+        kw = dict(seed=9, num_nodes=16, horizon=4000, intensity=0.6)
+        combined = generate_timeseries(ALL_FAMILIES, **kw)
+        kinds = {e.target.split(":")[0] for e in combined}
+        # Thermal drift hits nodes, droop hits global, bursts hit links.
+        assert {"node", "global", "link"} <= kinds
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown degradation family"):
+            generate_timeseries("gamma_rays", seed=1, num_nodes=4, horizon=10)
+
+
+# ---------------------------------------------------------------------------
+# Empty timeseries == stock replay, byte for byte (both engines, 4 backends)
+# ---------------------------------------------------------------------------
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("scenario", GOLDEN_SCENARIOS,
+                             ids=lambda s: s.target)
+    @pytest.mark.parametrize("engine", (ENGINE_EVENT, ENGINE_GENERATIONAL))
+    def test_empty_timeseries_is_stock(self, scenario, engine):
+        trace, onoc = _golden(scenario)
+        stock = replay_trace(trace, optical_factory(onoc, scenario.seed),
+                             TraceConfig(engine=engine))
+        empty = replay_trace(
+            trace, optical_factory(onoc, scenario.seed),
+            TraceConfig(engine=engine, fault_events=(),
+                        mitigation=MITIGATION_DISABLE))
+        assert stock.injections == empty.injections
+        assert stock.deliveries == empty.deliveries
+        assert stock.exec_time_estimate == empty.exec_time_estimate
+        assert "resilience" not in stock.extra
+        assert "resilience" not in empty.extra
+
+
+# ---------------------------------------------------------------------------
+# Degraded replay: penalties + engine equivalence
+# ---------------------------------------------------------------------------
+
+class TestDegradedReplay:
+    def test_policies_produce_distinct_penalties(self):
+        scenario = GOLDEN_SCENARIOS[0]          # fft -> crossbar
+        trace, onoc = _golden(scenario)
+        series = _series_for(trace, scenario, intensity=1.0)
+        pens = {}
+        for mitigation in MITIGATIONS:
+            res = replay_trace(
+                trace, optical_factory(onoc, scenario.seed),
+                TraceConfig(fault_events=series.as_tuples(),
+                            mitigation=mitigation))
+            payload = res.extra["resilience"]
+            assert payload["mitigation"] == mitigation
+            assert payload["events"] == len(series)
+            pen = payload["penalty"]
+            assert pen["total_cycles"] > 0
+            assert pen["messages_affected"] <= pen["messages_total"]
+            pens[mitigation] = pen
+        assert pens[MITIGATION_DISABLE]["total_cycles"] != \
+            pens[MITIGATION_REALLOCATE]["total_cycles"]
+        # The policies pay in their own currency.
+        assert pens[MITIGATION_NONE]["detour_cycles"] == 0
+        assert pens[MITIGATION_NONE]["retune_cycles"] == 0
+        assert pens[MITIGATION_DISABLE]["detour_cycles"] > 0
+        assert pens[MITIGATION_DISABLE]["retune_cycles"] == 0
+        assert pens[MITIGATION_REALLOCATE]["retune_cycles"] > 0
+        assert pens[MITIGATION_REALLOCATE]["detour_cycles"] == 0
+
+    def test_penalty_curve_covers_epochs(self):
+        scenario = GOLDEN_SCENARIOS[0]
+        trace, onoc = _golden(scenario)
+        series = _series_for(trace, scenario)
+        res = replay_trace(
+            trace, optical_factory(onoc, scenario.seed),
+            TraceConfig(fault_events=series.as_tuples(),
+                        mitigation=MITIGATION_NONE))
+        curve = res.extra["resilience"]["curve"]
+        # One row per epoch: the pristine prefix plus one per distinct
+        # event time.
+        times = sorted({e.time for e in series})
+        assert [row["time"] for row in curve] == [0] + times
+        assert curve[0]["level_max_pm"] == 0
+
+    @pytest.mark.parametrize(
+        "cell_idx,scenario", list(enumerate(GOLDEN_SCENARIOS)),
+        ids=lambda v: v.target if hasattr(v, "target") else str(v))
+    def test_degraded_engines_agree(self, cell_idx, scenario):
+        trace, onoc = _golden(scenario)
+        series = _series_for(trace, scenario,
+                             intensity=ENGINE_DEGRADE_INTENSITY,
+                             family=ENGINE_DEGRADE_FAMILY)
+        mitigation = MITIGATIONS[cell_idx % len(MITIGATIONS)]
+        cell = compare_engines(
+            trace, onoc,
+            TraceConfig(fault_events=series.as_tuples(),
+                        mitigation=mitigation),
+            scenario.seed, scenario=scenario.workload,
+            faults=f"degrade/{mitigation}")
+        assert cell.passed, cell.describe()
+
+    def test_degraded_result_is_deterministic(self):
+        scenario = GOLDEN_SCENARIOS[1]          # radix -> awgr
+        trace, onoc = _golden(scenario)
+        series = _series_for(trace, scenario)
+        cfg = TraceConfig(fault_events=series.as_tuples(),
+                          mitigation=MITIGATION_REALLOCATE)
+        runs = [replay_trace(trace, optical_factory(onoc, scenario.seed),
+                             dataclasses.replace(cfg))
+                for _ in range(2)]
+        assert runs[0].injections == runs[1].injections
+        assert runs[0].deliveries == runs[1].deliveries
+        assert runs[0].extra["resilience"] == runs[1].extra["resilience"]
