@@ -1,0 +1,191 @@
+"""Production-scale synthetic replay: throughput + peak RSS vs trace size.
+
+The synthetic generator (``repro.synth``) exists to take the simulator
+beyond the captured corpus; this bench pins the claim that it actually
+gets there.  For each trace size on the ladder (10^4 - 10^6 messages at
+1024 nodes) it:
+
+* **streams the trace into the binary container** with
+  ``generate_to_file`` — generation never materializes the record list,
+  so the bench itself is O(chunk) too;
+* **replays it out-of-core** (``stream_naive_summary``) in a fresh
+  subprocess, sampling peak RSS via ``/proc/self/status`` VmHWM (reset at
+  exec, so the child measures only itself);
+* **replays it fully in memory** (load + naive generational) in another
+  subprocess, as the contrast curve.
+
+The gate: streaming peak RSS must grow *sublinearly* in trace size — the
+last/first RSS ratio stays below the last/first file-size ratio.  The
+checked-in ``benchmarks/results/BENCH_scale.json`` records the full
+ladder; CI re-runs the two-point smoke shape per commit and the full
+ladder nightly.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py \
+        --out benchmarks/results/BENCH_scale.json
+
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke  # CI shape
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+from repro.synth import default_profile, generate_to_file
+
+NODES = 1024
+TOPOLOGY = "crossbar"
+SEED = 20260808
+#: Full in-memory replay is skipped above this size by default: the point
+#: of the contrast curve is made long before the record list stops
+#: fitting comfortably in RAM.
+FULL_REPLAY_MAX = 200_000
+
+SMOKE_SIZES = (10_000, 40_000)
+LADDER_SIZES = (10_000, 100_000, 1_000_000)
+
+
+def build_trace(n_messages: int, path: pathlib.Path) -> dict:
+    profile = default_profile(NODES, n_messages, pattern="uniform")
+    return generate_to_file(profile, path, seed=SEED)
+
+
+# --------------------------------------------------------------------------
+# Peak RSS + replay wall clock, fresh subprocess per point
+# --------------------------------------------------------------------------
+
+_RSS_CHILD = r"""
+import json, re, resource, sys, time
+from repro.config import OnocConfig
+
+
+def peak_rss_kib():
+    # /proc VmHWM is reset at exec so it measures *this* process only;
+    # ru_maxrss would report the parent's peak for every child.
+    try:
+        with open("/proc/self/status") as f:
+            return int(re.search(r"VmHWM:\s+(\d+) kB", f.read()).group(1))
+    except (OSError, AttributeError):
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+mode, path = sys.argv[1], sys.argv[2]
+onoc = OnocConfig(num_nodes=%(nodes)d)
+t0 = time.perf_counter()
+if mode == "stream":
+    from repro.core import stream_naive_summary
+    summary = stream_naive_summary(path, onoc)
+    n = summary["messages"]
+else:
+    from repro.core import load_trace, replay_trace
+    from repro.config import TraceConfig
+    from repro.harness.builders import optical_factory
+    trace = load_trace(path)
+    res = replay_trace(trace, optical_factory(onoc, 1),
+                       TraceConfig(mode="naive", engine="generational"))
+    n = res.messages_replayed
+wall = time.perf_counter() - t0
+print(json.dumps({"messages": n, "rss_kib": peak_rss_kib(),
+                  "wall_s": round(wall, 4)}))
+"""
+
+
+def _child(mode: str, path: pathlib.Path) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", _RSS_CHILD % {"nodes": NODES},
+         mode, str(path)],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONPATH": str(pathlib.Path(__file__).parent.parent / "src"),
+             "PATH": "/usr/bin:/bin"})
+    return json.loads(proc.stdout)
+
+
+def measure_point(n_messages: int, tmp: pathlib.Path,
+                  full_replay_max: int) -> dict:
+    path = tmp / f"synth{n_messages}.rtrc"
+    gen = build_trace(n_messages, path)
+    stream = _child("stream", path)
+    assert stream["messages"] == gen["messages"], (stream, gen)
+    row = {
+        "messages": gen["messages"],
+        "file_bytes": gen["file_bytes"],
+        "gen_wall_s": round(gen["wall_clock_s"], 3),
+        "gen_msgs_per_s": round(gen["messages"] / gen["wall_clock_s"]),
+        "stream_rss_kib": stream["rss_kib"],
+        "stream_wall_s": stream["wall_s"],
+        "stream_msgs_per_s": round(stream["messages"] / stream["wall_s"]),
+    }
+    if n_messages <= full_replay_max:
+        full = _child("full", path)
+        row["full_rss_kib"] = full["rss_kib"]
+        row["full_wall_s"] = full["wall_s"]
+    path.unlink()
+    return row
+
+
+def run(sizes: list[int],
+        full_replay_max: int = FULL_REPLAY_MAX) -> dict:
+    points = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for n in sizes:
+            points.append(measure_point(n, pathlib.Path(tmp),
+                                        full_replay_max))
+    first, last = points[0], points[-1]
+    report = {
+        "nodes": NODES,
+        "topology": TOPOLOGY,
+        "seed": SEED,
+        "points": points,
+        "trace_growth_x": round(
+            last["file_bytes"] / first["file_bytes"], 3),
+        "rss_growth_x": round(
+            last["stream_rss_kib"] / first["stream_rss_kib"], 3),
+    }
+    report["sublinear"] = report["rss_growth_x"] < report["trace_growth_x"]
+    return report
+
+
+# ------------------------------------------------------------------ pytest
+
+def test_scale_smoke(results_dir):
+    """CI smoke gate: streaming peak RSS grows sublinearly in trace size."""
+    report = run(list(SMOKE_SIZES))
+    (results_dir / "scale_smoke.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+    assert [p["messages"] for p in report["points"]] == list(SMOKE_SIZES)
+    assert all(p["stream_msgs_per_s"] > 0 for p in report["points"])
+    # The 4x trace must not cost 4x the memory to stream-replay.
+    assert report["sublinear"], report
+    # The full in-memory contrast must be the hungrier path at the top of
+    # the smoke ladder, or the streaming path isn't buying anything.
+    top = report["points"][-1]
+    assert top["full_rss_kib"] > top["stream_rss_kib"], top
+
+
+# -------------------------------------------------------------- standalone
+
+def main() -> int:
+    from conftest import standalone_parser, write_json_report
+
+    ap = standalone_parser(
+        __doc__,
+        sizes=",".join(str(s) for s in LADDER_SIZES),
+        full_replay_max=FULL_REPLAY_MAX,
+        smoke=(False, "two small sizes (the per-commit CI shape)"),
+    )
+    args = ap.parse_args()
+    if args.smoke:
+        args.sizes = ",".join(str(s) for s in SMOKE_SIZES)
+    sizes = [int(s) for s in args.sizes.split(",")]
+    report = run(sizes, full_replay_max=int(args.full_replay_max))
+    write_json_report(report, args.out)
+    return 0 if report["sublinear"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -248,10 +248,24 @@ def cmd_trace(args: argparse.Namespace) -> int:
     src = pathlib.Path(args.file)
     if args.trace_op == "info":
         info = tracebin.trace_info(src)
+        skip = ("meta", "blocks", "record_chunk_bytes")
         rows = [{"property": k, "value": v}
-                for k, v in info.items() if k != "meta"]
-        rows += [{"property": f"meta.{k}", "value": v}
-                 for k, v in sorted(info.get("meta", {}).items())]
+                for k, v in info.items() if k not in skip]
+        for name, agg in info.get("blocks", {}).items():
+            rows.append({"property": f"block.{name}",
+                         "value": f"{agg['count']} x {agg['bytes']} B"})
+        chunk_bytes = info.get("record_chunk_bytes", [])
+        if chunk_bytes:
+            shown = ", ".join(str(b) for b in chunk_bytes[:8])
+            if len(chunk_bytes) > 8:
+                shown += f", ... ({len(chunk_bytes)} chunks)"
+            rows.append({"property": "chunk_bytes", "value": shown})
+        for k, v in sorted(info.get("meta", {}).items()):
+            if isinstance(v, dict):  # e.g. an embedded synth profile
+                rows += [{"property": f"meta.{k}.{k2}", "value": v2}
+                         for k2, v2 in sorted(v.items())]
+            else:
+                rows.append({"property": f"meta.{k}", "value": v})
         print(format_table(rows, title=f"trace {src}"))
         return 0
     # convert: whichever format the source is, write the other (or --to).
@@ -267,6 +281,64 @@ def cmd_trace(args: argparse.Namespace) -> int:
         out.write_text(trace.to_json())
     print(f"converted {src} -> {out} ({to}, {len(trace)} records, "
           f"{out.stat().st_size // 1024} KiB)")
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    from repro.core import is_binary_trace, load_trace
+    from repro.core.tracebin import CHUNK_RECORDS
+    from repro.synth import (
+        SynthProfile,
+        default_profile,
+        fit_profile,
+        generate_to_file,
+        trace_stats,
+    )
+
+    def _profile_rows(profile):
+        return [{"parameter": k, "value": v}
+                for k, v in sorted(profile.as_dict().items())]
+
+    if args.synth_op == "generate":
+        if args.profile:
+            profile = SynthProfile.load(args.profile)
+        else:
+            profile = default_profile(args.nodes, args.messages,
+                                      pattern=args.pattern)
+        chunk = args.chunk_records or CHUNK_RECORDS
+        out = generate_to_file(profile, args.out, scale=args.scale,
+                               seed=args.seed, chunk_records=chunk)
+        print(f"generated {out['messages']} messages -> {out['path']} "
+              f"({out['file_bytes'] // 1024} KiB, exec_time "
+              f"{out['exec_time']}, {out['wall_clock_s']:.2f} s)")
+        return 0
+
+    src = pathlib.Path(args.file)
+    if args.synth_op == "fit":
+        trace = load_trace(src)
+        profile = fit_profile(trace, pattern=args.pattern)
+        out = pathlib.Path(args.out) if args.out else src.with_suffix(
+            ".profile.json")
+        out.write_text(profile.to_json())
+        print(format_table(_profile_rows(profile),
+                           title=f"fitted profile -> {out}"))
+        return 0
+
+    # describe: a profile JSON prints its parameters; a trace file prints
+    # the fidelity statistics the generator would be held to.
+    if not is_binary_trace(src):
+        try:
+            profile = SynthProfile.load(src)
+        except (ValueError, KeyError, TypeError):
+            profile = None
+        if profile is not None:
+            print(format_table(_profile_rows(profile),
+                               title=f"profile {src}"))
+            return 0
+    stats = trace_stats(load_trace(src))
+    rows = [{"statistic": k, "value": round(v, 4) if isinstance(v, float)
+             else v} for k, v in stats.items()]
+    print(format_table(rows, title=f"fidelity statistics {src}"))
     return 0
 
 
@@ -692,6 +764,42 @@ def make_parser() -> argparse.ArgumentParser:
                          help="print header/summary without loading records")
     tp.add_argument("file", help="trace file (JSON or binary)")
     tp.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "synth",
+        help="synthetic workload generator (generate / fit / describe)")
+    ssub = p.add_subparsers(dest="synth_op", required=True)
+    sp = ssub.add_parser(
+        "generate",
+        help="stream a synthetic trace into the binary container")
+    sp.add_argument("--out", required=True, help="output .rtrc path")
+    sp.add_argument("--profile", default=None,
+                    help="profile JSON from 'repro synth fit' (default: a "
+                         "built-in profile for --nodes/--messages)")
+    sp.add_argument("--nodes", type=int, default=1024)
+    sp.add_argument("--messages", type=int, default=100_000)
+    sp.add_argument("--pattern", default="uniform")
+    sp.add_argument("--scale", type=float, default=1.0,
+                    help="message-count multiplier on the profile")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--chunk-records", type=int, default=None,
+                    help="records per RECORDS chunk (default: the "
+                         "container's standard chunk size)")
+    sp.set_defaults(fn=cmd_synth)
+    sp = ssub.add_parser(
+        "fit", help="fit a generator profile to a captured trace")
+    sp.add_argument("file", help="source trace (JSON or binary)")
+    sp.add_argument("--out", default=None,
+                    help="profile JSON path (default: <trace>.profile.json)")
+    sp.add_argument("--pattern", default=None,
+                    help="override the pattern heuristic with this "
+                         "catalogue pattern")
+    sp.set_defaults(fn=cmd_synth)
+    sp = ssub.add_parser(
+        "describe",
+        help="describe a profile JSON or a trace's fidelity statistics")
+    sp.add_argument("file", help="profile JSON, or a trace (JSON/binary)")
+    sp.set_defaults(fn=cmd_synth)
 
     p = sub.add_parser("accuracy", help="full accuracy experiment")
     _add_common(p)

@@ -64,6 +64,7 @@ from repro.core.tracebin import (
     TraceBinError,
     is_binary_trace,
     load_trace,
+    scan_blocks,
     trace_info,
 )
 
@@ -99,6 +100,7 @@ __all__ = [
     "reference_latencies",
     "replay_trace",
     "replay_trace_generational",
+    "scan_blocks",
     "stream_naive_summary",
     "trace_info",
 ]

@@ -610,6 +610,88 @@ def read_summary(source: Union[str, Path, BinaryIO]) -> dict:
             fp.close()
 
 
+#: Block-type names for :func:`scan_blocks` / ``repro trace info``.
+_BLOCK_NAMES = {
+    _BLOCK_META: "META",
+    _BLOCK_KINDS: "KINDS",
+    _BLOCK_RECORDS: "RECORDS",
+    _BLOCK_MARKERS: "MARKERS",
+    _BLOCK_END: "END",
+}
+
+
+def scan_blocks(source: Union[str, Path, BinaryIO]) -> dict:
+    """Truncation-tolerant O(header) block scan for inspection tooling.
+
+    Walks the block headers only: RECORDS and MARKERS payloads are never
+    read (let alone decoded), so the scan touches ``12 + 5 * n_blocks``
+    bytes of record data regardless of trace size, and corrupt *payload*
+    bytes cannot make it fail.  Unlike the loading readers this scan does
+    not demand an END block: a truncated file yields whatever prefix of
+    blocks is intact plus ``truncated=True``, which is exactly what you
+    want from ``repro trace info`` when triaging a half-written capture.
+    The magic/version check stays strict, as does the unknown-block check
+    (those are corruption, not truncation).
+
+    Returns ``{"meta", "kinds" (count), "footer" (dict or None),
+    "blocks" ([{"type", "payload_bytes"}, ...]), "truncated",
+    "version"}``.
+    """
+    own = not hasattr(source, "read")
+    fp: BinaryIO = open(source, "rb") if own else source  # type: ignore
+    try:
+        _check_header(fp)
+        pos = fp.tell()
+        file_end = fp.seek(0, 2)
+        fp.seek(pos)
+        meta: dict = {}
+        kinds_count = 0
+        footer: Optional[dict] = None
+        blocks: list[dict] = []
+        truncated = False
+        while True:
+            head = fp.read(_BLOCK_HEAD.size)
+            if not head:
+                break
+            if len(head) < _BLOCK_HEAD.size:
+                truncated = True
+                break
+            btype, length = _BLOCK_HEAD.unpack(head)
+            if btype not in _BLOCK_NAMES:
+                raise TraceBinError(
+                    f"corrupt trace: unknown block type {btype}")
+            if fp.tell() + length > file_end:
+                truncated = True
+                break
+            if btype in (_BLOCK_META, _BLOCK_KINDS, _BLOCK_END):
+                payload = _read_exact(fp, length, f"block type {btype}")
+                if btype == _BLOCK_META:
+                    meta = json.loads(payload.decode())
+                elif btype == _BLOCK_KINDS:
+                    kinds_count += len(json.loads(payload.decode()))
+                else:
+                    footer = json.loads(payload.decode())
+            else:
+                fp.seek(length, 1)
+            blocks.append({"type": _BLOCK_NAMES[btype],
+                           "payload_bytes": length})
+            if btype == _BLOCK_END:
+                break
+        if footer is None:
+            truncated = True
+        return {
+            "meta": meta,
+            "kinds": kinds_count,
+            "footer": footer,
+            "blocks": blocks,
+            "truncated": truncated,
+            "version": VERSION,
+        }
+    finally:
+        if own:
+            fp.close()
+
+
 # -------------------------------------------------------------- detection
 def is_binary_trace(source: Union[str, Path, bytes]) -> bool:
     """True when ``source`` (path or bytes) starts with the format magic."""
@@ -634,22 +716,40 @@ def load_trace(path: Union[str, Path]) -> Trace:
 def trace_info(path: Union[str, Path]) -> dict:
     """Inspect a trace file (either format) without a full decode.
 
-    For binary traces this is the :func:`read_summary` seek-scan; for JSON
-    the whole file must be parsed (there is no cheap scan — which is part
-    of why the binary format exists).
+    For binary traces this is the :func:`scan_blocks` header walk —
+    record payloads are never decoded, per-block sizes come straight from
+    the 5-byte block heads, and a truncated file still yields the intact
+    prefix (``truncated=True``) instead of an error.  Counts and
+    ``exec_time`` come from the END footer, so they are ``None`` for a
+    truncated file.  For JSON the whole file must be parsed (there is no
+    cheap scan — which is part of why the binary format exists).
     """
     path = Path(path)
     if is_binary_trace(path):
-        s = read_summary(path)
+        s = scan_blocks(path)
+        footer = s["footer"]
+        chunk_bytes = [b["payload_bytes"] for b in s["blocks"]
+                       if b["type"] == "RECORDS"]
+        if footer is not None and footer.get("chunks") != len(chunk_bytes):
+            raise TraceBinError(
+                "corrupt trace: END footer chunk count disagrees with file")
+        blocks: dict[str, dict] = {}
+        for b in s["blocks"]:
+            agg = blocks.setdefault(b["type"], {"count": 0, "bytes": 0})
+            agg["count"] += 1
+            agg["bytes"] += b["payload_bytes"]
         return {
             "format": "binary",
             "version": s["version"],
             "file_bytes": path.stat().st_size,
-            "records": s["record_count"],
-            "end_markers": s["marker_count"],
-            "chunks": s["chunks"],
-            "kinds": len(s["kinds"]),
-            "exec_time": s["exec_time"],
+            "truncated": s["truncated"],
+            "records": footer.get("record_count") if footer else None,
+            "end_markers": footer.get("marker_count") if footer else None,
+            "chunks": len(chunk_bytes),
+            "kinds": s["kinds"],
+            "exec_time": footer.get("exec_time") if footer else None,
+            "blocks": blocks,
+            "record_chunk_bytes": chunk_bytes,
             "meta": s["meta"],
         }
     trace = Trace.from_json(path.read_text())
@@ -657,11 +757,14 @@ def trace_info(path: Union[str, Path]) -> dict:
         "format": "json",
         "version": None,
         "file_bytes": path.stat().st_size,
+        "truncated": False,
         "records": len(trace.records),
         "end_markers": len(trace.end_markers),
         "chunks": 1,
         "kinds": len({r.kind for r in trace.records}
                      | {r.key[2] for r in trace.records}),
         "exec_time": trace.exec_time,
+        "blocks": {},
+        "record_chunk_bytes": [],
         "meta": trace.meta,
     }

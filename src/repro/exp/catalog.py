@@ -29,7 +29,13 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.config import ENGINE_EVENT, MITIGATIONS, REPLAY_ENGINES
+from repro.config import (
+    ENGINE_EVENT,
+    ENGINE_GENERATIONAL,
+    MITIGATIONS,
+    ONOC_TOPOLOGIES,
+    REPLAY_ENGINES,
+)
 from repro.exp.config import GateSpec
 from repro.exp.schema import ParamSchema, SchemaError, specs
 from repro.harness.builders import experiment_from_params
@@ -910,5 +916,59 @@ register(
         ),
         compile=_latency_error_compile,
         postprocess=_latency_error_post,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# scalability_synth (production-scale synthetic workloads)
+# ---------------------------------------------------------------------------
+
+
+def _scalability_synth_compile(params: dict) -> list[SweepTask]:
+    from repro.synth.experiment import synth_scalability_point
+
+    tasks = []
+    for topology in params["topologies"]:
+        for nodes in params["node_counts"]:
+            if topology == "circuit_mesh" and math.isqrt(nodes) ** 2 != nodes:
+                continue  # the mesh needs a square node count
+            tasks.append(
+                SweepTask.make(
+                    synth_scalability_point,
+                    nodes,
+                    params["messages"],
+                    topology,
+                    params["seed"],
+                    pattern=params["pattern"],
+                    engine=params["engine"],
+                )
+            )
+    return tasks
+
+
+def _scalability_synth_post(params: dict, results: list) -> tuple[Rows, Metrics]:
+    return list(results), metrics_from_rows(results, ("topology", "nodes"))
+
+
+register(
+    BaseExperiment(
+        name="scalability_synth",
+        description="Replay throughput + exec estimates on synthetic "
+        "workloads beyond the captured corpus: the generator emits one "
+        "profile-matched trace per (topology, nodes) cell at production "
+        "node counts, replayed naive and self-correcting.  Exec estimates "
+        "are deterministic and gateable; wall-clock throughput is volatile.",
+        schema=specs(
+            ("node_counts", "list[int]", (1024, 4096)),
+            ("topologies", "list[str]", ONOC_TOPOLOGIES),
+            ("messages", "int", 50_000),
+            ("pattern", "str", "uniform"),
+            ("seed", "int", 7),
+            ("engine", "str", ENGINE_GENERATIONAL, REPLAY_ENGINES),
+        ),
+        compile=_scalability_synth_compile,
+        postprocess=_scalability_synth_post,
+        volatile=("*.replay_wall_s", "*.msgs_per_s"),
     )
 )

@@ -50,6 +50,7 @@ DEFAULT_OPERATIONS: dict[str, str] = {
     "latency_fidelity": "repro.harness.experiments:latency_fidelity_rows",
     "area_rows": "repro.harness.experiments:area_rows",
     "resilience_point": "repro.harness.experiments:resilience_point",
+    "synth_scalability_point": "repro.synth.experiment:synth_scalability_point",
 }
 
 

@@ -1,0 +1,42 @@
+"""Synthetic full-system workload generator (ROADMAP item 5).
+
+The captured kernel catalogue tops out at 64 cores and ~120k messages;
+this package generates *statistically faithful* dependency-annotated
+traces at any scale — splitmix64-seeded dependency-graph families with
+tunable fan-out, compute-gap distributions, and sharing patterns (reusing
+:data:`repro.traffic.PATTERNS`), fitted to a captured corpus trace via
+:func:`fit_profile` and emitted either in memory (:func:`generate`) or
+straight into the chunked binary container (:func:`generate_to_file`) so
+million-message traces never fully materialize.
+
+Quality gates: ``tests/test_synth_properties.py`` (byte-determinism, the
+full invariant catalogue, profile fidelity under
+:data:`FIDELITY_TOLERANCES`), ``tests/test_synth_engines.py`` (event vs
+generational agreement at 64 and 1024 nodes), and
+``benchmarks/bench_scale.py`` (replay throughput + peak RSS vs trace
+size).  See the "Synthetic traces" section of ``docs/TRACE_FORMAT.md``.
+"""
+
+from repro.synth.generator import generate, generate_to_file, iter_records
+from repro.synth.profile import (
+    FIDELITY_TOLERANCES,
+    SynthProfile,
+    default_profile,
+    fit_profile,
+    trace_stats,
+)
+from repro.synth.topologies import SCALE_NODE_COUNTS, scale_configs, synth_onoc
+
+__all__ = [
+    "FIDELITY_TOLERANCES",
+    "SCALE_NODE_COUNTS",
+    "SynthProfile",
+    "default_profile",
+    "fit_profile",
+    "generate",
+    "generate_to_file",
+    "iter_records",
+    "scale_configs",
+    "synth_onoc",
+    "trace_stats",
+]

@@ -1,0 +1,58 @@
+"""Sweep-task surface of the synthetic generator.
+
+:func:`synth_scalability_point` is the module-level, fully-picklable
+point function behind the ``scalability_synth`` experiment family
+(``repro.exp``) and the serve-whitelisted ``synth_scalability_point``
+operation: generate one synthetic trace for a (nodes, topology) cell and
+replay it both naive and self-correcting, reporting exec-time estimates
+(deterministic, gateable) and replay throughput (wall-clock, volatile).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import (
+    ENGINE_GENERATIONAL,
+    TRACE_NAIVE,
+    TRACE_SELF_CORRECTING,
+    TraceConfig,
+)
+from repro.core import replay_trace
+from repro.harness.builders import optical_factory
+from repro.synth.generator import generate
+from repro.synth.profile import default_profile
+from repro.synth.topologies import synth_onoc
+
+
+def synth_scalability_point(
+    nodes: int,
+    messages: int,
+    topology: str,
+    seed: int,
+    pattern: str = "uniform",
+    engine: str = ENGINE_GENERATIONAL,
+) -> dict:
+    """One (nodes, topology) cell of the synthetic scalability matrix."""
+    profile = default_profile(nodes, messages, pattern=pattern)
+    trace = generate(profile, seed=seed)
+    onoc = synth_onoc(topology, nodes)
+    factory = optical_factory(onoc, seed)
+    t0 = time.perf_counter()
+    naive = replay_trace(trace, factory,
+                         TraceConfig(mode=TRACE_NAIVE, engine=engine))
+    sc = replay_trace(trace, factory,
+                      TraceConfig(mode=TRACE_SELF_CORRECTING, engine=engine))
+    replay_wall = time.perf_counter() - t0
+    return {
+        "topology": topology,
+        "nodes": nodes,
+        "messages": len(trace),
+        "pattern": pattern,
+        "naive_exec": naive.exec_time_estimate,
+        "selfcorr_exec": sc.exec_time_estimate,
+        "captured_exec": trace.exec_time,
+        "replay_wall_s": round(replay_wall, 4),
+        "msgs_per_s": round(2 * len(trace) / replay_wall)
+        if replay_wall > 0 else 0,
+    }

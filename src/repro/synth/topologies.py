@@ -1,0 +1,51 @@
+"""Production-scale topology configs for the synthetic workloads.
+
+The captured workload catalogue tops out at 64 cores; the synthetic
+generator is what exercises the 1k-16k-node configurations ROADMAP item 5
+calls for.  These helpers build :class:`~repro.config.OnocConfig` presets
+that satisfy every backend's structural constraints at those sizes —
+``circuit_mesh`` needs a square node count (1024 = 32^2, 4096 = 64^2,
+16384 = 128^2, all powers of two so ``bit_reverse`` traffic works too)
+and ``awgr`` needs at least ``num_nodes - 1`` wavelengths.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import ONOC_AWGR, ONOC_TOPOLOGIES, OnocConfig
+
+#: The production-scale node-count ladder (squares and powers of two).
+SCALE_NODE_COUNTS = (1024, 4096, 16384)
+
+
+def synth_onoc(topology: str = "crossbar", num_nodes: int = 1024,
+               num_wavelengths: int | None = None) -> OnocConfig:
+    """An :class:`OnocConfig` for ``num_nodes`` endpoints on ``topology``,
+    with the wavelength count raised to whatever the backend demands."""
+    if topology not in ONOC_TOPOLOGIES:
+        raise ValueError(f"unknown topology {topology!r}; "
+                         f"known: {ONOC_TOPOLOGIES}")
+    if num_wavelengths is None:
+        num_wavelengths = 64
+        if topology == ONOC_AWGR:
+            num_wavelengths = max(num_wavelengths, num_nodes - 1)
+    return OnocConfig(num_nodes=num_nodes, topology=topology,
+                      num_wavelengths=num_wavelengths)
+
+
+def scale_configs(topologies=ONOC_TOPOLOGIES,
+                  node_counts=SCALE_NODE_COUNTS) -> dict[str, OnocConfig]:
+    """The full production-scale config matrix, keyed ``topology/nodes``.
+
+    Non-square node counts are skipped for ``circuit_mesh`` (the default
+    ladder is all-square, so nothing is dropped there).
+    """
+    out: dict[str, OnocConfig] = {}
+    for topology in topologies:
+        for nodes in node_counts:
+            side = math.isqrt(nodes)
+            if topology == "circuit_mesh" and side * side != nodes:
+                continue
+            out[f"{topology}/{nodes}"] = synth_onoc(topology, nodes)
+    return out

@@ -1,0 +1,138 @@
+"""Multi-chunk coverage for the out-of-core replay path (satellite 4).
+
+``stream_naive_summary`` replays a binary trace chunk by chunk with
+per-resource carry state; this file pins the part single-chunk tests
+cannot see — that the carry actually works.  Three angles: chunking
+invariance (the same trace split into many RECORDS chunks summarizes
+identically to the single-chunk encoding), agreement with the in-memory
+naive generational replay, and a hot-destination trace whose one
+contended FIFO spans every chunk boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ONOC_TOPOLOGIES,
+    TRACE_NAIVE,
+    TraceConfig,
+)
+from repro.core import replay_trace, stream_naive_summary, tracebin
+from repro.core.trace import EndMarker, Trace, TraceRecord
+from repro.harness.builders import optical_factory
+from repro.synth import default_profile, generate, synth_onoc
+
+NODES = 16
+MESSAGES = 3000
+CHUNK = 256  # small enough for ~12 chunks at MESSAGES records
+
+SUMMARY_KEYS = ("messages", "bytes", "exec_time_estimate",
+                "mean_latency", "max_deliver")
+
+
+@pytest.fixture(scope="module")
+def synth_trace() -> Trace:
+    return generate(default_profile(NODES, MESSAGES), seed=5)
+
+
+def _write_both(trace: Trace, tmp_path):
+    single = tmp_path / "single.rtrc"
+    multi = tmp_path / "multi.rtrc"
+    tracebin.write_file(trace, single)
+    tracebin.write_file(trace, multi, chunk_records=CHUNK)
+    return single, multi
+
+
+@pytest.mark.parametrize("topology", ONOC_TOPOLOGIES)
+def test_chunking_invisible_to_stream_summary(synth_trace, tmp_path, topology):
+    """Chunk size is a container knob: the streaming replay must not see it."""
+    single, multi = _write_both(synth_trace, tmp_path)
+    onoc = synth_onoc(topology, NODES)
+    one = stream_naive_summary(single, onoc)
+    many = stream_naive_summary(multi, onoc)
+    assert many["chunks"] > 8  # the multi file genuinely exercises carry
+    assert one["chunks"] == 1
+    for key in SUMMARY_KEYS:
+        assert one[key] == many[key], key
+
+
+@pytest.mark.parametrize("topology", ONOC_TOPOLOGIES)
+def test_stream_summary_matches_in_memory_naive(synth_trace, tmp_path,
+                                                topology):
+    """The streaming scan is a replay, not an approximation: exec estimate,
+    mean latency and last delivery must equal the in-memory naive
+    generational replay exactly."""
+    _, multi = _write_both(synth_trace, tmp_path)
+    onoc = synth_onoc(topology, NODES)
+    summary = stream_naive_summary(multi, onoc)
+    result = replay_trace(
+        synth_trace, optical_factory(onoc, 7),
+        TraceConfig(mode=TRACE_NAIVE, engine="generational"))
+    assert summary["messages"] == len(synth_trace)
+    assert summary["bytes"] == sum(
+        r.size_bytes for r in synth_trace.records)
+    assert summary["exec_time_estimate"] == result.exec_time_estimate
+    lats = result.latencies_by_key
+    assert summary["mean_latency"] == pytest.approx(
+        sum(lats.values()) / len(lats))
+    assert summary["max_deliver"] == max(result.deliveries.values())
+    assert summary["captured_exec_time"] == synth_trace.exec_time
+
+
+def _hot_destination_trace(n_records: int) -> Trace:
+    """Every message targets node 0: one crossbar FIFO carries occupancy
+    across every chunk boundary, and the token/channel carry state is the
+    only thing keeping the replay consistent."""
+    records = []
+    for i in range(n_records):
+        t = i * 2
+        records.append(TraceRecord(
+            msg_id=i, key=(1 + i % (NODES - 1), 0, "data", i, 0),
+            src=1 + i % (NODES - 1), dst=0, size_bytes=64, kind="data",
+            t_inject=t, t_deliver=t + 12, cause_id=-1, gap=t))
+    last = records[-1]
+    markers = [EndMarker(0, last.t_deliver + 10, last.msg_id, 10)]
+    markers += [EndMarker(node, 0, -1, 0) for node in range(1, NODES)]
+    trace = Trace(records=records, end_markers=markers,
+                  exec_time=last.t_deliver + 10, meta={"workload": "hot"})
+    trace.validate()
+    return trace
+
+
+@pytest.mark.parametrize("topology", ("crossbar", "swmr_crossbar"))
+def test_hot_destination_carry_spans_chunks(tmp_path, topology):
+    trace = _hot_destination_trace(1200)
+    single, multi = _write_both(trace, tmp_path)
+    onoc = synth_onoc(topology, NODES)
+    one = stream_naive_summary(single, onoc)
+    many = stream_naive_summary(multi, onoc)
+    assert many["chunks"] >= 4
+    for key in SUMMARY_KEYS:
+        assert one[key] == many[key], key
+    result = replay_trace(
+        trace, optical_factory(onoc, 7),
+        TraceConfig(mode=TRACE_NAIVE, engine="generational"))
+    assert many["exec_time_estimate"] == result.exec_time_estimate
+    assert many["max_deliver"] == max(result.deliveries.values())
+    if topology == "crossbar":
+        # The hot FIFO must actually be backed up — mean latency far above
+        # the captured 12 cycles — or this test exercises nothing.  (On
+        # swmr_crossbar the FIFO resource is the *source*, which rotates,
+        # so the same trace is contention-free there by design.)
+        assert many["mean_latency"] > 10 * 12
+
+
+def test_tiny_chunks_still_agree(synth_trace, tmp_path):
+    """chunk_records=64 -> ~47 chunks: resources cross dozens of borders."""
+    path = tmp_path / "tiny.rtrc"
+    tracebin.write_file(synth_trace, path, chunk_records=64)
+    onoc = synth_onoc("crossbar", NODES)
+    tiny = stream_naive_summary(path, onoc)
+    single = tracebin.dumps(synth_trace)
+    ref_path = tmp_path / "ref.rtrc"
+    ref_path.write_bytes(single)
+    ref = stream_naive_summary(ref_path, onoc)
+    assert tiny["chunks"] > 40
+    for key in SUMMARY_KEYS:
+        assert tiny[key] == ref[key], key

@@ -142,6 +142,91 @@ def test_corrupt_record_payload_rejected():
     assert back.to_json() != trace.to_json()
 
 
+# ------------------------------------------------- header-only inspection
+
+def _block_offsets(blob: bytes):
+    """Yield (offset, type, payload_len) for every block in ``blob``."""
+    bh = struct.Struct("<BI")
+    off = len(MAGIC) + 4
+    while off < len(blob):
+        btype, length = bh.unpack_from(blob, off)
+        yield off, btype, length
+        off += bh.size + length
+
+
+def test_trace_info_reports_per_block_sizes(tmp_path):
+    trace = _sample()
+    path = tmp_path / "t.rtrc"
+    path.write_bytes(tracebin.dumps(trace, chunk_records=1))
+    info = tracebin.trace_info(path)
+    assert info["truncated"] is False
+    assert info["records"] == 2
+    assert info["chunks"] == 2
+    assert len(info["record_chunk_bytes"]) == 2
+    # Per-block accounting must tile the file exactly: fixed header +
+    # 5 bytes of head per block + the payload sizes.
+    n_blocks = sum(a["count"] for a in info["blocks"].values())
+    payload_total = sum(a["bytes"] for a in info["blocks"].values())
+    assert payload_total + 5 * n_blocks + len(MAGIC) + 4 == info["file_bytes"]
+    assert info["blocks"]["RECORDS"]["count"] == 2
+    assert info["blocks"]["RECORDS"]["bytes"] == sum(
+        info["record_chunk_bytes"])
+    assert info["blocks"]["END"]["count"] == 1
+
+
+def test_trace_info_tolerates_truncation_after_meta(tmp_path):
+    """The O(header) pin: a file cut right after the META block still
+    yields its meta and ``truncated=True`` from ``trace_info``, while the
+    loading readers keep rejecting it (END stays mandatory for loads)."""
+    blob = tracebin.dumps(_sample())
+    off, btype, length = next(iter(_block_offsets(blob)))
+    assert btype == 1  # META is always first
+    cut = off + 5 + length
+    path = tmp_path / "trunc.rtrc"
+    path.write_bytes(blob[:cut])
+    info = tracebin.trace_info(path)
+    assert info["truncated"] is True
+    assert info["meta"] == {"workload": "sample", "seed": 1}
+    assert info["records"] is None
+    assert info["exec_time"] is None
+    assert info["chunks"] == 0
+    with pytest.raises(TraceBinError, match="missing END"):
+        Trace.from_binary(blob[:cut])
+    with pytest.raises(TraceBinError):
+        tracebin.read_summary(path)
+
+
+def test_trace_info_tolerates_mid_block_truncation(tmp_path):
+    """A cut *inside* a RECORDS payload still reports the intact prefix."""
+    blob = tracebin.dumps(_sample())
+    records_off = next(
+        off for off, btype, _ in _block_offsets(blob) if btype == 3)
+    path = tmp_path / "trunc.rtrc"
+    path.write_bytes(blob[:records_off + 5 + 3])  # 3 bytes into the payload
+    info = tracebin.trace_info(path)
+    assert info["truncated"] is True
+    assert info["chunks"] == 0  # the cut chunk is not counted as intact
+    assert info["blocks"].get("META", {}).get("count") == 1
+
+
+def test_trace_info_never_decodes_record_payloads(tmp_path):
+    """Garbage record *payload* bytes cannot break the info scan — proof
+    that it works from the block heads alone."""
+    blob = bytearray(tracebin.dumps(_sample(), chunk_records=1))
+    for off, btype, length in _block_offsets(bytes(blob)):
+        if btype == 3:  # RECORDS
+            blob[off + 5:off + 5 + length] = b"\xff" * length
+    path = tmp_path / "corrupt.rtrc"
+    path.write_bytes(bytes(blob))
+    info = tracebin.trace_info(path)
+    assert info["truncated"] is False
+    assert info["records"] == 2
+    assert info["chunks"] == 2
+    # The full loader must still reject the damaged payloads.
+    with pytest.raises((TraceBinError, ValueError)):
+        tracebin.read_file(path)
+
+
 # ------------------------------------------------------------- hypothesis
 
 @given(traces())
